@@ -1,0 +1,20 @@
+"""Extension — SUSS under a CoDel (AQM) bottleneck."""
+
+from repro.experiments import ablation_aqm
+from repro.workloads import MB
+
+from conftest import FULL, run_once
+
+
+def test_ablation_aqm(benchmark):
+    size = 8 * MB if FULL else 4 * MB
+    cells = run_once(benchmark, ablation_aqm.run, size=size)
+    print()
+    print(ablation_aqm.format_report(cells))
+    # Shape: the SUSS gain survives AQM, and SUSS does not trip CoDel
+    # into extra drops.
+    for kind in ("droptail", "codel"):
+        assert ablation_aqm.suss_improvement(cells, kind) > 0.05
+    by = {(c.queue_kind, c.cc): c for c in cells}
+    assert by[("codel", "cubic+suss")].loss_rate <= \
+        by[("codel", "cubic")].loss_rate + 0.002

@@ -1,0 +1,18 @@
+"""Appendix B ablation — bottleneck bandwidth drops mid-slow-start."""
+
+from repro.experiments import ablation_btlbw
+from repro.workloads import MB
+
+from conftest import FULL, run_once
+
+
+def test_ablation_btlbw_drop(benchmark):
+    drop_times = (0.4, 0.6, 0.9, 1.3) if FULL else (0.6, 1.0)
+    results = run_once(benchmark, ablation_btlbw.run,
+                       drop_times=drop_times, size=4 * MB)
+    print()
+    print(ablation_btlbw.format_report(results))
+    for r in results:
+        # Appendix B: a BtlBw drop must not make SUSS lossy or slow.
+        assert r.loss_regression <= 0.01
+        assert r.suss_improvement > -0.10

@@ -1,0 +1,18 @@
+"""Extension — SUSS with a delayed-ACK receiver."""
+
+from repro.experiments import ablation_delack
+from repro.workloads import MB
+
+from conftest import FULL, run_once
+
+
+def test_ablation_delack(benchmark):
+    size = 4 * MB if FULL else 2 * MB
+    cells = run_once(benchmark, ablation_delack.run, size=size)
+    print()
+    print(ablation_delack.format_report(cells))
+    # Shape: the SUSS gain survives a delaying receiver.
+    gain_off = ablation_delack.suss_improvement(cells, delayed=False)
+    gain_on = ablation_delack.suss_improvement(cells, delayed=True)
+    assert gain_on > 0.10
+    assert abs(gain_on - gain_off) < 0.15

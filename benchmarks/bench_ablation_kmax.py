@@ -1,0 +1,21 @@
+"""Appendix A ablation — generalised SUSS look-ahead depth (k_max)."""
+
+from repro.experiments import ablation_kmax
+from repro.workloads import MB, get_scenario
+
+from conftest import FULL, iterations, run_once
+
+
+def test_ablation_kmax(benchmark):
+    results = run_once(benchmark, ablation_kmax.run,
+                       size=2 * MB, iterations=iterations(2, 8))
+    print()
+    print(ablation_kmax.format_report(results))
+    for result in results:
+        # The main design (k_max=1) must already beat plain CUBIC.
+        assert result.improvement_over_cubic("cubic+suss") > 0
+        if result.scenario.link_type == "wired":
+            # Stable path: deeper look-ahead is at least not harmful.
+            k1 = result.fct["cubic+suss"].mean
+            k3 = result.fct["cubic+suss-k3"].mean
+            assert k3 <= k1 * 1.10

@@ -1,0 +1,67 @@
+"""Micro-benchmarks of the substrate itself (engine and stack throughput).
+
+Unlike the figure/table benchmarks (which run once and print the paper's
+rows), these measure raw simulator performance with proper repetition —
+useful for catching performance regressions in the event loop or the TCP
+hot path.
+"""
+
+from repro.net import bdp_bytes, build_path
+from repro.sim import Simulator
+from repro.tcp import open_transfer
+
+MSS = 1448
+
+
+def run_download(cc: str, size: int):
+    """Self-contained single-flow download on a 100 Mbit/s, 100 ms path."""
+    sim = Simulator()
+    rate, rtt = 12_500_000, 0.1
+    net = build_path(sim, rate, rtt, bdp_bytes(rate, rtt))
+    transfer = open_transfer(sim, net.servers[0], net.clients[0],
+                             flow_id=1, size_bytes=size, cc=cc)
+    sim.run(until=300.0)
+    return transfer
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule-and-fire cost of the event loop."""
+
+    def run_events():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run_events) == 10_000
+
+
+def test_transfer_packet_throughput(benchmark):
+    """End-to-end cost per simulated data packet (2 MB CUBIC download)."""
+
+    def run_transfer():
+        transfer = run_download("cubic", 1400 * MSS)
+        assert transfer.completed
+        return transfer.sender.data_packets_sent
+
+    packets = benchmark(run_transfer)
+    assert packets >= 1400
+
+
+def test_suss_transfer_throughput(benchmark):
+    """Same download with SUSS enabled (accelerated rounds + pacing timers)."""
+
+    def run_transfer():
+        transfer = run_download("cubic+suss", 1400 * MSS)
+        assert transfer.completed
+        return transfer.sender.data_packets_sent
+
+    packets = benchmark(run_transfer)
+    assert packets >= 1400

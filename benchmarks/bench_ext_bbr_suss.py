@@ -1,0 +1,37 @@
+"""Extension — SUSS integrated with BBR (paper Section 7 future work)."""
+
+from repro.experiments.report import pct, render_table
+from repro.experiments.runner import fct_summary
+from repro.workloads import FIG9_SCENARIO, MB, get_scenario
+
+from conftest import FULL, iterations, run_once
+
+
+def _sweep(iters):
+    scenarios = [get_scenario("google-tokyo", "wired"), FIG9_SCENARIO]
+    sizes = (1 * MB, 2 * MB, 4 * MB)
+    rows = []
+    for scenario in scenarios:
+        for size in sizes:
+            plain = fct_summary(scenario, "bbr", size, iters)
+            suss = fct_summary(scenario, "bbr+suss", size, iters)
+            rows.append((scenario.name, size, plain, suss))
+    return rows
+
+
+def test_bbr_suss_integration(benchmark):
+    rows = run_once(benchmark, _sweep, iterations(2, 8))
+    table = []
+    gains = []
+    for name, size, plain, suss in rows:
+        gain = (plain.mean - suss.mean) / plain.mean
+        gains.append(gain)
+        table.append([name, size / MB, f"{plain.mean:.3f}",
+                      f"{suss.mean:.3f}", pct(gain)])
+    print()
+    print(render_table(
+        ["path", "size (MB)", "BBR FCT", "BBR+SUSS FCT", "gain"],
+        table, title="Extension — SUSS on BBR startup (Section 7)"))
+    # Shape: small-but-consistent FCT gains, never a meaningful regression.
+    assert sum(gains) / len(gains) > 0.0
+    assert min(gains) > -0.10

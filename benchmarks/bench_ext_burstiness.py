@@ -1,0 +1,19 @@
+"""Extension — bottleneck queue pressure during slow start."""
+
+from repro.experiments import ext_burstiness
+from repro.workloads import MB
+
+from conftest import FULL, run_once
+
+
+def test_ext_burstiness(benchmark):
+    ccs = (("cubic", "cubic+suss", "cubic-iw32", "jumpstart")
+           if FULL else ("cubic", "cubic+suss", "cubic-iw32"))
+    rows = run_once(benchmark, ext_burstiness.run, size=3 * MB, ccs=ccs)
+    print()
+    print(ext_burstiness.format_report(rows))
+    by = {r.cc: r for r in rows}
+    # Shape (the Fig. 14 mechanism): SUSS's paced growth puts less
+    # pressure on the bottleneck buffer than plain doubling or a large IW.
+    assert by["cubic+suss"].peak_queue <= by["cubic"].peak_queue
+    assert by["cubic+suss"].peak_queue <= by["cubic-iw32"].peak_queue

@@ -1,0 +1,17 @@
+"""Extension — SUSS gain under Poisson cross traffic."""
+
+from repro.experiments import ext_crosstraffic
+from repro.workloads import MB
+
+from conftest import FULL, iterations, run_once
+
+
+def test_ext_crosstraffic(benchmark):
+    results = run_once(benchmark, ext_crosstraffic.run, size=2 * MB,
+                       load=0.3, iterations=iterations(2, 5))
+    print()
+    print(ext_crosstraffic.format_report(results))
+    # Shape: SUSS still helps the foreground under contention, and the
+    # short cross flows are not meaningfully slowed by it.
+    assert ext_crosstraffic.suss_improvement(results) > 0.0
+    assert ext_crosstraffic.cross_flow_regression(results) < 0.15

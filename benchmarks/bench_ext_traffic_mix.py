@@ -1,0 +1,18 @@
+"""Extension — SUSS improvement distribution over a campus traffic mix."""
+
+from repro.experiments import ext_traffic_mix
+
+from conftest import FULL, run_once
+
+
+def test_ext_traffic_mix(benchmark):
+    n_flows = 120 if FULL else 30
+    result = run_once(benchmark, ext_traffic_mix.run, n_flows=n_flows,
+                      max_size=20_000_000 if FULL else 8_000_000)
+    print()
+    print(ext_traffic_mix.format_report(result))
+    # Shape: the mix improves on average and a meaningful share of flows
+    # benefits; no pathological regressions in the tail.
+    assert result.mean_improvement > 0.03
+    assert result.fraction_improved > 0.35
+    assert result.percentile(5) > -0.15

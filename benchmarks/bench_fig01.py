@@ -1,0 +1,16 @@
+"""Fig. 1 — slow-start under-utilisation on a US->NZ path."""
+
+from repro.experiments import fig01_motivation
+from repro.workloads import MB
+
+from conftest import FULL, run_once
+
+
+def test_fig01_motivation(benchmark):
+    size = 40 * MB if FULL else 25 * MB
+    results = run_once(benchmark, fig01_motivation.run, size_bytes=size)
+    print()
+    print(fig01_motivation.format_report(results))
+    # Shape: both CCAs fall well short of the theta line early on.
+    for r in results.values():
+        assert r.early_deficit > 0.2

@@ -1,0 +1,21 @@
+"""Fig. 2 — a new flow joining four established flows (CUBIC vs BBR)."""
+
+from repro.experiments import fig02_competition
+
+from conftest import FULL, run_once
+
+
+def test_fig02_competition(benchmark):
+    kwargs = (dict(join_time=20.0, horizon=50.0, bottleneck_mbps=50.0)
+              if FULL else
+              dict(join_time=10.0, horizon=25.0, bottleneck_mbps=20.0))
+    results = run_once(benchmark, fig02_competition.run_comparison,
+                       ("cubic", "bbr"), **kwargs)
+    print()
+    print(fig02_competition.format_report(results))
+    cubic, bbr = results["cubic"], results["bbr"]
+    # Shape: the CUBIC newcomer converges far more slowly than BBR's
+    # (often not at all within the horizon) — the paper's Fig. 2 story.
+    if cubic.time_to_fair_share is not None:
+        assert bbr.time_to_fair_share is not None
+        assert bbr.time_to_fair_share <= cubic.time_to_fair_share

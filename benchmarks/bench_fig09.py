@@ -1,0 +1,19 @@
+"""Fig. 9 — cwnd and RTT dynamics with SUSS on/off (4G NZ <- US-East)."""
+
+from repro.experiments import fig09_cwnd_rtt
+from repro.workloads import MB
+
+from conftest import FULL, run_once
+
+
+def test_fig09_cwnd_rtt(benchmark):
+    # The paper's trace needs the full slow-start ramp even in fast mode.
+    size = 25 * MB
+    results = run_once(benchmark, fig09_cwnd_rtt.run, size_bytes=size)
+    print()
+    print(fig09_cwnd_rtt.format_report(results))
+    suss, plain = results["cubic+suss"], results["cubic"]
+    # Shape (paper): SUSS reaches the exit window sooner, exponential
+    # growth stops at a similar cwnd, RTT does not blow up.
+    assert suss.time_to_exit_cwnd < plain.time_to_exit_cwnd
+    assert suss.early_rtt_inflation < 2.0

@@ -1,0 +1,17 @@
+"""Fig. 10 — total delivered data over time, SUSS on/off."""
+
+from repro.experiments import fig10_delivered
+from repro.workloads import MB
+
+from conftest import FULL, run_once
+
+
+def test_fig10_delivered(benchmark):
+    # Large enough that the transfer outlives the sampled time points.
+    size = 25 * MB
+    results = run_once(benchmark, fig10_delivered.run, size_bytes=size)
+    print()
+    print(fig10_delivered.format_report(results))
+    # Shape (paper: ~3x at the 2 s mark): SUSS delivers a multiple of
+    # plain CUBIC's bytes early in the connection.
+    assert fig10_delivered.delivered_ratio_at(results, 2.0) > 1.3

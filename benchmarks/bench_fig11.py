@@ -1,0 +1,19 @@
+"""Fig. 11 — FCT vs flow size, Tokyo server, four link types."""
+
+from repro.experiments import fig11_12_fct
+from repro.workloads import MB
+
+from conftest import FULL, iterations, run_once
+
+
+def test_fig11_fct_sweep(benchmark):
+    sizes = ((int(0.5 * MB), 1 * MB, 2 * MB, 4 * MB, 8 * MB, 12 * MB)
+             if FULL else (1 * MB, 2 * MB, 4 * MB))
+    links = ("5g", "wired", "wifi", "4g") if FULL else ("wired", "4g")
+    sweeps = run_once(benchmark, fig11_12_fct.run, links=links, sizes=sizes,
+                      iterations=iterations(2, 10))
+    print()
+    print(fig11_12_fct.format_report(sweeps))
+    # Shape: CUBIC+SUSS-on beats CUBIC+SUSS-off for small flows everywhere.
+    for sweep in sweeps.values():
+        assert sweep.improvement_at(2 * MB) > 0.0

@@ -1,0 +1,33 @@
+"""Fig. 12 — relative FCT improvement of SUSS (derived from Fig. 11).
+
+The paper's headline: >20% improvement for flows <= 2 MB in all four
+Tokyo scenarios, diminishing for larger flows.
+"""
+
+from repro.experiments import fig11_12_fct
+from repro.experiments.report import pct, render_table
+from repro.workloads import MB
+
+from conftest import FULL, iterations, run_once
+
+
+def test_fig12_improvement(benchmark):
+    sizes = (1 * MB, 2 * MB, 8 * MB) if not FULL else \
+        (int(0.5 * MB), 1 * MB, 2 * MB, 4 * MB, 8 * MB, 12 * MB)
+    links = ("5g", "wired", "wifi", "4g") if FULL else ("wired", "wifi")
+    sweeps = run_once(benchmark, fig11_12_fct.run, links=links, sizes=sizes,
+                      iterations=iterations(3, 10),
+                      schemes=("cubic", "cubic+suss"))
+    rows = []
+    for link, sweep in sweeps.items():
+        for size in sweep.sizes:
+            rows.append([link, size / MB, pct(sweep.improvement_at(size))])
+    print()
+    print(render_table(["link", "size (MB)", "SUSS improvement"], rows,
+                       title="Fig. 12 — FCT improvement by SUSS"))
+    for link, sweep in sweeps.items():
+        small = sweep.improvement_at(2 * MB)
+        large = sweep.improvement_at(sizes[-1])
+        assert small > 0.10, f"{link}: small-flow gain only {small:.1%}"
+        # Gains taper as flows grow (slow start's share shrinks).
+        assert large <= small + 0.10

@@ -1,0 +1,19 @@
+"""Fig. 13 — SUSS has no impact on large TCP flows (100 MB DC-to-DC)."""
+
+from repro.experiments import fig13_large_flow
+from repro.workloads import MB
+
+from conftest import FULL, run_once
+
+
+def test_fig13_large_flow(benchmark):
+    size = 100 * MB if FULL else 50 * MB
+    milestones = (1, 2, 5, 10, 20, 40, 50, 60, 80, 100)
+    result = run_once(benchmark, fig13_large_flow.run, size_bytes=size,
+                      milestones_mb=milestones)
+    print()
+    print(fig13_large_flow.format_report(result))
+    # Shape: big early improvement tapering off; total effect modest.
+    assert result.early_improvement > 0.15
+    assert result.late_improvement < result.early_improvement
+    assert result.total_improvement < result.early_improvement

@@ -1,0 +1,24 @@
+"""Fig. 14 — packet-loss rate vs flow size (Oracle London -> 5G Sweden)."""
+
+from repro.experiments import fig14_loss
+from repro.workloads import MB
+
+from conftest import FULL, iterations, run_once
+
+
+def test_fig14_loss(benchmark):
+    sizes = ((2 * MB, 4 * MB, 8 * MB, 16 * MB, 28 * MB, 40 * MB)
+             if FULL else (2 * MB, 4 * MB, 8 * MB, 16 * MB))
+    result = run_once(benchmark, fig14_loss.run, sizes=sizes,
+                      iterations=iterations(3, 10))
+    print()
+    print(fig14_loss.format_report(result))
+    # Shape (paper): SUSS-on loses no more than SUSS-off at every size,
+    # the off-curve decreases with size, and the curves converge.
+    for size in result.sizes:
+        off = result.loss["cubic"][size].mean
+        on = result.loss["cubic+suss"][size].mean
+        assert on <= off + 0.002
+    first, last = result.sizes[0], result.sizes[-1]
+    assert result.loss["cubic"][last].mean <= result.loss["cubic"][first].mean
+    assert result.converged()

@@ -1,0 +1,32 @@
+"""Fig. 15 — fairness convergence after a fifth flow joins (Jain index)."""
+
+from repro.experiments import fig15_fairness
+
+from conftest import FULL, run_once
+
+
+def test_fig15_fairness(benchmark):
+    if FULL:
+        rtts, buffers = (0.025, 0.05, 0.1, 0.2), (1.0, 1.5, 2.0)
+        kwargs = dict(bottleneck_mbps=50.0, join_time=16.0, horizon=40.0)
+    else:
+        rtts, buffers = (0.05, 0.1), (1.0, 2.0)
+        kwargs = dict(bottleneck_mbps=20.0, join_time=12.0, horizon=30.0)
+    cells = run_once(benchmark, fig15_fairness.run, rtts=rtts,
+                     buffers=buffers, **kwargs)
+    print()
+    print(fig15_fairness.format_report(cells))
+    # Shape: SUSS never slows fairness recovery; in the long-RTT/deep-
+    # buffer cells (where the paper's effect is most pronounced) it is
+    # strictly better.
+    better = worse = 0
+    for (rtt, buf) in {(r, b) for r, b, _ in cells}:
+        off = cells[(rtt, buf, False)].recovery_time
+        on = cells[(rtt, buf, True)].recovery_time
+        off = off if off is not None else float("inf")
+        on = on if on is not None else float("inf")
+        if on < off:
+            better += 1
+        elif on > off:
+            worse += 1
+    assert better >= worse

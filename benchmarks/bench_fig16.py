@@ -1,0 +1,21 @@
+"""Fig. 16 — one large flow facing twelve sequential small flows (trace)."""
+
+from repro.experiments import fig16_stability_trace
+from repro.workloads import MB
+
+from conftest import FULL, run_once
+
+
+def test_fig16_stability_trace(benchmark):
+    kwargs = (dict(large_size=100 * MB, n_small=12, bottleneck_mbps=50.0,
+                   horizon=60.0)
+              if FULL else
+              dict(large_size=40 * MB, n_small=8, bottleneck_mbps=20.0,
+                   horizon=40.0))
+    result = run_once(benchmark, fig16_stability_trace.run, **kwargs)
+    print()
+    print(fig16_stability_trace.format_report(result))
+    # Shape: the large flow keeps making progress while the small flows
+    # come and go, and the small flows actually complete.
+    assert result.completed_small_flows >= len(result.small_fcts) * 0.7
+    assert result.large_fct is not None

@@ -1,0 +1,21 @@
+"""Fig. 17 — packet loss across the internet-scale scenarios."""
+
+from repro.experiments import fig17_18_all_scenarios
+from repro.workloads import LINK_NAMES, MB, SERVER_NAMES
+
+from conftest import FULL, iterations, run_once
+
+
+def test_fig17_loss_matrix(benchmark):
+    servers = tuple(SERVER_NAMES) if FULL else \
+        ("google-tokyo", "oracle-london")
+    links = tuple(LINK_NAMES) if FULL else ("wired", "5g")
+    rows = run_once(benchmark, fig17_18_all_scenarios.run_matrix,
+                    servers=servers, links=links, sizes=(2 * MB,),
+                    iterations=iterations(2, 5))
+    print()
+    print(fig17_18_all_scenarios.format_loss_report(rows))
+    # Shape: SUSS never increases CUBIC's loss rate materially, and BBR's
+    # pacing keeps its loss low on these paths.
+    for row in rows:
+        assert row.loss["cubic+suss"].mean <= row.loss["cubic"].mean + 0.005

@@ -1,0 +1,29 @@
+"""Extension — SUSS vs the Section-2 slow-start schemes, head to head."""
+
+from repro.experiments import ext_related_work
+from repro.workloads import MB
+
+from conftest import FULL, iterations, run_once
+
+
+def test_related_work_comparison(benchmark):
+    rows = run_once(benchmark, ext_related_work.run, size=2 * MB,
+                    iterations=iterations(1, 5))
+    print()
+    print(ext_related_work.format_report(rows))
+    by = {(r.scenario.name, r.scheme): r for r in rows}
+    shallow = "oracle-london/wired-shallow"
+    # Shape (the paper's Section-2 argument):
+    # 1. On the constrained path SUSS is the fastest scheme...
+    assert ext_related_work.best_scheme(rows, shallow) == "cubic+suss"
+    # 2. ...while the skip-slow-start schemes pay in loss,
+    assert by[(shallow, "jumpstart")].loss.mean > 0.05
+    assert by[(shallow, "halfback")].retransmit_rate > 0.25
+    # 3. naive pacing disrupts HyStart (slow on the clean path),
+    clean = "google-tokyo/wired"
+    assert by[(clean, "cubic-spread-iw32")].fct.mean > \
+        by[(clean, "cubic+suss")].fct.mean
+    # 4. and SUSS never loses more than plain CUBIC.
+    for scenario in (clean, shallow):
+        assert by[(scenario, "cubic+suss")].loss.mean <= \
+            by[(scenario, "cubic")].loss.mean + 1e-6

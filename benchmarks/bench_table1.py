@@ -1,0 +1,32 @@
+"""Table 1 — stability grid: small SUSS flows vs a large flow.
+
+Paper: small-flow FCT improves ~32%/28%/26% on average for CUBIC/BBRv1/
+BBRv2 large flows, with no meaningful large-flow regression.
+"""
+
+from repro.experiments import table1_stability
+from repro.workloads import MB
+
+from conftest import FULL, run_once
+
+
+def test_table1_stability(benchmark):
+    if FULL:
+        kwargs = dict(large_ccas=("cubic", "bbr", "bbr2"),
+                      buffers=(1.0, 2.0), rtts=(0.025, 0.05, 0.1, 0.2),
+                      large_size=150 * MB, bottleneck_mbps=50.0,
+                      horizon=60.0)
+    else:
+        kwargs = dict(large_ccas=("cubic",), buffers=(1.0, 2.0),
+                      rtts=(0.05, 0.2), large_size=150 * MB,
+                      bottleneck_mbps=50.0, horizon=60.0)
+    cells = run_once(benchmark, table1_stability.run, **kwargs)
+    print()
+    print(table1_stability.format_report(cells))
+    # Shape: clear average small-flow improvement per large-flow CCA, and
+    # the large flow is not meaningfully slowed down.
+    for cc in kwargs["large_ccas"]:
+        avg = table1_stability.average_improvement(cells, cc)
+        assert avg > 0.05, f"{cc}: only {avg:.1%}"
+    regressions = [cell.large_regression for cell in cells.values()]
+    assert max(regressions) < 0.15

@@ -1,0 +1,25 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the same rows/series the paper reports.  Simulations are
+deterministic, so each experiment is run exactly once per benchmark
+(``rounds=1``) — the timing measures the cost of regenerating the result.
+
+Scale: by default the benchmarks use moderately reduced iteration counts
+and sweep subsets so the whole suite finishes in minutes.  Set
+``REPRO_BENCH_FULL=1`` to run paper-scale sweeps.
+"""
+
+import os
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+def iterations(default_fast: int, default_full: int) -> int:
+    return default_full if FULL else default_fast

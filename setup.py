@@ -1,0 +1,8 @@
+"""Shim for environments without the ``wheel`` package (offline installs).
+
+``pip install -e . --no-build-isolation`` needs ``wheel`` for the PEP 517
+editable path; ``python setup.py develop`` works with plain setuptools.
+"""
+from setuptools import setup
+
+setup()

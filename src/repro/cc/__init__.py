@@ -1,0 +1,39 @@
+"""Congestion-control algorithms and their registry."""
+
+from repro.cc.base import AckInfo, CongestionControl, available, create, register
+from repro.cc.bbr import Bbr
+from repro.cc.bbr2 import Bbr2
+from repro.cc.cubic import Cubic
+from repro.cc.filters import WindowedFilter, windowed_max, windowed_min
+from repro.cc.hystart import HyStart
+from repro.cc.hystart_pp import HyStartPP
+from repro.cc.reno import Reno
+from repro.cc.slowstart_variants import (
+    Halfback,
+    InitialSpreadingCubic,
+    JumpStart,
+    LargeIwCubic,
+    StatefulCubic,
+)
+
+__all__ = [
+    "AckInfo",
+    "CongestionControl",
+    "available",
+    "create",
+    "register",
+    "Bbr",
+    "Bbr2",
+    "Cubic",
+    "HyStart",
+    "HyStartPP",
+    "Reno",
+    "WindowedFilter",
+    "windowed_max",
+    "windowed_min",
+    "Halfback",
+    "InitialSpreadingCubic",
+    "JumpStart",
+    "LargeIwCubic",
+    "StatefulCubic",
+]

@@ -1,0 +1,60 @@
+"""Windowed min/max filters (the kernel's ``win_minmax`` analogue).
+
+BBR tracks the maximum delivery rate over a sliding window of delivery
+rounds and the minimum RTT over a sliding window of time.  These filters
+keep every candidate sample inside the window, which is simple and exact;
+window sizes here are tiny (tens of entries), so the kernel's 3-sample
+approximation is unnecessary.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+
+class WindowedFilter:
+    """Tracks an extreme value of samples within a sliding key window."""
+
+    def __init__(self, window: float, is_max: bool) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self.is_max = is_max
+        self._samples: Deque[Tuple[float, float]] = deque()  # (key, value)
+
+    def update(self, key: float, value: float) -> None:
+        """Add a sample at monotonically non-decreasing ``key``."""
+        lo = key - self.window
+        while self._samples and self._samples[0][0] < lo:
+            self._samples.popleft()
+        # Drop samples dominated by the new value: they can never be the
+        # extreme again (the new sample is newer and at least as extreme).
+        if self.is_max:
+            while self._samples and self._samples[-1][1] <= value:
+                self._samples.pop()
+        else:
+            while self._samples and self._samples[-1][1] >= value:
+                self._samples.pop()
+        self._samples.append((key, value))
+
+    def get(self, key: Optional[float] = None) -> Optional[float]:
+        """Current extreme, expiring entries older than ``key - window``."""
+        if key is not None:
+            lo = key - self.window
+            while self._samples and self._samples[0][0] < lo:
+                self._samples.popleft()
+        if not self._samples:
+            return None
+        return self._samples[0][1]
+
+    def reset(self) -> None:
+        self._samples.clear()
+
+
+def windowed_max(window: float) -> WindowedFilter:
+    return WindowedFilter(window, is_max=True)
+
+
+def windowed_min(window: float) -> WindowedFilter:
+    return WindowedFilter(window, is_max=False)

@@ -1,0 +1,107 @@
+"""HyStart: safe slow-start exit (Ha & Rhee 2011), as used by Linux CUBIC.
+
+HyStart stops cwnd's exponential growth when either heuristic fires:
+
+* **ACK train** (Condition 1 in the SUSS paper): ACKs that arrive closely
+  spaced form a train; once the train's length — the time from the round
+  start to the latest closely-spaced ACK — reaches ``minRTT / 2``, the
+  window has grown large enough that a full round of ACKs occupies half
+  the path, and growth should stop.
+* **Delay increase** (Condition 2): once the minimum RTT observed in the
+  current round exceeds ``1.125 × minRTT``, queueing delay signals the
+  onset of congestion.
+
+The thresholds mirror the paper's formulation (Section 3); Linux's extra
+clamping of the delay threshold is intentionally omitted so that the
+implementation matches the equations SUSS builds on.  SUSS's *modified*
+HyStart (Section 5) subclasses this with ratio-scaled elapsed time and a
+cwnd cap; see :mod:`repro.core.hystart_mod`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: ACKs closer together than this extend the ACK train (Linux: 2 ms).
+ACK_DELTA = 0.002
+#: Minimum window (in segments) before HyStart heuristics engage.
+LOW_WINDOW_SEGMENTS = 16
+#: RTT samples per round used for the delay heuristic (Linux: 8).
+MIN_DELAY_SAMPLES = 8
+
+
+class HyStart:
+    """Per-connection HyStart state machine.
+
+    The owner calls :meth:`on_round_start` at each round boundary and
+    :meth:`on_ack` per ACK while in slow start; ``on_ack`` returns True when
+    exponential growth must stop (the owner then sets ``ssthresh = cwnd``).
+    """
+
+    def __init__(self, ack_train_fraction: float = 0.5,
+                 delay_factor: float = 1.125,
+                 ack_delta: float = ACK_DELTA,
+                 low_window_segments: int = LOW_WINDOW_SEGMENTS,
+                 min_delay_samples: int = MIN_DELAY_SAMPLES) -> None:
+        self.ack_train_fraction = ack_train_fraction
+        self.delay_factor = delay_factor
+        self.ack_delta = ack_delta
+        self.low_window_segments = low_window_segments
+        self.min_delay_samples = min_delay_samples
+
+        self.round_start = 0.0
+        self.last_ack_time = 0.0
+        self.train_length = 0.0
+        self.mo_rtt: Optional[float] = None  # min observed RTT this round
+        self.delay_samples = 0
+        self.found = False  # exit already signalled
+
+    # ------------------------------------------------------------------
+    def on_round_start(self, now: float) -> None:
+        self.round_start = now
+        self.last_ack_time = now
+        self.train_length = 0.0
+        self.mo_rtt = None
+        self.delay_samples = 0
+
+    # ------------------------------------------------------------------
+    def elapsed_since_round_start(self, now: float) -> float:
+        """Elapsed time used by the ACK-train test (hook for SUSS scaling)."""
+        return now - self.round_start
+
+    def _ack_train_exceeds(self, now: float, min_rtt: float) -> bool:
+        if now - self.last_ack_time <= self.ack_delta:
+            self.train_length = self.elapsed_since_round_start(now)
+        self.last_ack_time = now
+        return self.train_length >= self.ack_train_fraction * min_rtt
+
+    def _delay_exceeds(self, rtt_sample: Optional[float], min_rtt: float) -> bool:
+        if rtt_sample is None:
+            return False
+        if self.mo_rtt is None or rtt_sample < self.mo_rtt:
+            self.mo_rtt = rtt_sample
+        self.delay_samples += 1
+        if self.delay_samples < self.min_delay_samples:
+            return False
+        return self.mo_rtt > self.delay_factor * min_rtt
+
+    # ------------------------------------------------------------------
+    def on_ack(self, now: float, rtt_sample: Optional[float],
+               min_rtt: Optional[float], cwnd_segments: float) -> bool:
+        """Process an ACK during slow start; True means 'stop growth now'."""
+        if self.found:
+            return True
+        if min_rtt is None or cwnd_segments < self.low_window_segments:
+            return False
+        if self._ack_train_exceeds(now, min_rtt) or \
+                self._delay_exceeds(rtt_sample, min_rtt):
+            self.found = True
+            return True
+        return False
+
+    def reset(self) -> None:
+        """Re-arm HyStart (after a timeout returns the flow to slow start)."""
+        self.found = False
+        self.train_length = 0.0
+        self.mo_rtt = None
+        self.delay_samples = 0

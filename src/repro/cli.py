@@ -1,0 +1,200 @@
+"""Command-line interface: run scenarios, sweeps, and paper experiments.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro list-scenarios
+    python -m repro list-cc
+    python -m repro run --scenario google-tokyo/wired --cc cubic+suss \
+        --size 2000000
+    python -m repro sweep --scenario google-tokyo/4g \
+        --ccs cubic,cubic+suss --sizes 1000000,2000000 --iterations 3
+    python -m repro experiment fig10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cc import available
+from repro.experiments.report import pct, render_table
+from repro.experiments.runner import fct_summary, run_single_flow
+from repro.trace.csvout import write_multi_timeseries
+from repro.workloads import INTERNET_SCENARIOS, MB, MBPS
+
+
+def _scenario(name: str):
+    if name not in INTERNET_SCENARIOS:
+        known = ", ".join(sorted(INTERNET_SCENARIOS))
+        raise SystemExit(f"unknown scenario {name!r}; known: {known}")
+    return INTERNET_SCENARIOS[name]
+
+
+# ----------------------------------------------------------------------
+def cmd_list_scenarios(args: argparse.Namespace) -> int:
+    rows = []
+    for name, sc in sorted(INTERNET_SCENARIOS.items()):
+        rows.append([name, f"{sc.rtt * 1000:.0f} ms",
+                     f"{sc.btl_bw / MBPS:.0f} Mbps",
+                     f"{sc.bw_variation:.2f}", f"{sc.jitter * 1000:.1f} ms",
+                     f"{sc.buffer_bdp:.2f} BDP", sc.client_location])
+    print(render_table(
+        ["scenario", "RTT", "BtlBw", "bw var", "jitter", "buffer",
+         "client"], rows,
+        title="Internet-scale scenarios (paper Figs. 17-18)"))
+    return 0
+
+
+def cmd_list_cc(args: argparse.Namespace) -> int:
+    for name in available():
+        print(name)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    scenario = _scenario(args.scenario)
+    result = run_single_flow(scenario, args.cc, args.size, seed=args.seed,
+                             collect=bool(args.csv))
+    if not result.completed:
+        print("flow did not complete within the deadline", file=sys.stderr)
+        return 1
+    print(f"scenario:        {scenario.name}")
+    print(f"cc:              {args.cc}")
+    print(f"size:            {args.size} bytes")
+    print(f"fct:             {result.fct:.4f} s")
+    print(f"goodput:         {args.size / result.fct * 8 / 1e6:.2f} Mbit/s")
+    print(f"loss rate:       {result.loss_rate * 100:.3f}%")
+    print(f"retransmissions: {result.retransmissions}")
+    print(f"timeouts:        {result.rto_count}")
+    if args.csv:
+        trace = result.telemetry.flow(1)
+        with open(args.csv, "w") as out:
+            write_multi_timeseries(out, {"cwnd": trace.cwnd,
+                                         "rtt": trace.rtt,
+                                         "delivered": trace.delivered},
+                                   interval=args.csv_interval)
+        print(f"trace written:   {args.csv}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    scenario = _scenario(args.scenario)
+    ccs = args.ccs.split(",")
+    sizes = [int(s) for s in args.sizes.split(",")]
+    rows = []
+    summaries = {}
+    for size in sizes:
+        row: List[object] = [size / MB]
+        for cc in ccs:
+            summary = fct_summary(scenario, cc, size, args.iterations,
+                                  args.seed)
+            summaries[(cc, size)] = summary
+            row.append(f"{summary.mean:.3f}±{summary.std:.3f}")
+        if "cubic" in ccs and "cubic+suss" in ccs:
+            base = summaries[("cubic", size)].mean
+            suss = summaries[("cubic+suss", size)].mean
+            row.append(pct((base - suss) / base))
+        rows.append(row)
+    headers = ["size (MB)"] + [f"{cc} FCT (s)" for cc in ccs]
+    if "cubic" in ccs and "cubic+suss" in ccs:
+        headers.append("SUSS improvement")
+    print(render_table(headers, rows,
+                       title=f"FCT sweep — {scenario.name} "
+                             f"({args.iterations} iterations)"))
+    return 0
+
+
+#: experiment name -> (module path, run kwargs builder)
+EXPERIMENTS = {
+    "fig01": "fig01_motivation",
+    "fig02": "fig02_competition",
+    "fig09": "fig09_cwnd_rtt",
+    "fig10": "fig10_delivered",
+    "fig11": "fig11_12_fct",
+    "fig13": "fig13_large_flow",
+    "fig14": "fig14_loss",
+    "fig15": "fig15_fairness",
+    "fig16": "fig16_stability_trace",
+    "table1": "table1_stability",
+    "fig18": "fig17_18_all_scenarios",
+    "kmax": "ablation_kmax",
+    "btlbw": "ablation_btlbw",
+    "aqm": "ablation_aqm",
+    "delack": "ablation_delack",
+    "related-work": "ext_related_work",
+    "burstiness": "ext_burstiness",
+    "crosstraffic": "ext_crosstraffic",
+    "traffic-mix": "ext_traffic_mix",
+}
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+    module_name = EXPERIMENTS.get(args.name)
+    if module_name is None:
+        raise SystemExit(f"unknown experiment {args.name!r}; "
+                         f"known: {', '.join(sorted(EXPERIMENTS))}")
+    module = importlib.import_module(f"repro.experiments.{module_name}")
+    if args.name == "fig02":
+        results = module.run_comparison()
+    elif args.name == "fig18":
+        results = module.run_matrix()
+        print(module.format_fct_report(results))
+        print()
+        print(module.format_loss_report(results))
+        return 0
+    else:
+        results = module.run()
+    print(module.format_report(results))
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SUSS (SIGCOMM 2024) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-scenarios",
+                   help="print the 28 internet-scale scenarios") \
+        .set_defaults(func=cmd_list_scenarios)
+    sub.add_parser("list-cc",
+                   help="print registered congestion controls") \
+        .set_defaults(func=cmd_list_cc)
+
+    run_p = sub.add_parser("run", help="run one download")
+    run_p.add_argument("--scenario", required=True,
+                       help="scenario name, e.g. google-tokyo/wired")
+    run_p.add_argument("--cc", default="cubic+suss")
+    run_p.add_argument("--size", type=int, default=2 * MB,
+                       help="flow size in bytes")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--csv", help="write cwnd/rtt/delivered trace CSV")
+    run_p.add_argument("--csv-interval", type=float, default=0.05)
+    run_p.set_defaults(func=cmd_run)
+
+    sweep_p = sub.add_parser("sweep", help="FCT sweep over sizes and CCAs")
+    sweep_p.add_argument("--scenario", required=True)
+    sweep_p.add_argument("--ccs", default="cubic,cubic+suss")
+    sweep_p.add_argument("--sizes", default="1000000,2000000,4000000")
+    sweep_p.add_argument("--iterations", type=int, default=3)
+    sweep_p.add_argument("--seed", type=int, default=0)
+    sweep_p.set_defaults(func=cmd_sweep)
+
+    exp_p = sub.add_parser("experiment",
+                           help="regenerate a paper figure/table")
+    exp_p.add_argument("name", choices=sorted(EXPERIMENTS))
+    exp_p.set_defaults(func=cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

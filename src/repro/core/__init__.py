@@ -1,0 +1,41 @@
+"""SUSS — the paper's primary contribution.
+
+* :mod:`repro.core.growth` — growth-factor theory (Conditions 1-2,
+  Algorithm 1, Appendix A generalisation).
+* :mod:`repro.core.pacing_plan` — clocking/pacing/guard geometry
+  (Eqs. 9-12, Lemma 1).
+* :mod:`repro.core.hystart_mod` — SUSS's modified HyStart.
+* :mod:`repro.core.suss` — the CUBIC+SUSS congestion control.
+"""
+
+from repro.core.growth import (
+    ACK_TRAIN_FRACTION,
+    DEFAULT_K_MAX,
+    DELAY_FACTOR,
+    condition1,
+    condition2,
+    estimate_ack_train,
+    growth_factor,
+    predict_mo_rtt,
+)
+from repro.core.hystart_mod import SussHyStart
+from repro.core.pacing_plan import PacingPlan, lemma1_lower_bound, make_pacing_plan
+from repro.core.suss import SussCubic
+from repro.core.suss_bbr import SussBbr
+
+__all__ = [
+    "ACK_TRAIN_FRACTION",
+    "DELAY_FACTOR",
+    "DEFAULT_K_MAX",
+    "condition1",
+    "condition2",
+    "estimate_ack_train",
+    "growth_factor",
+    "predict_mo_rtt",
+    "SussHyStart",
+    "PacingPlan",
+    "make_pacing_plan",
+    "lemma1_lower_bound",
+    "SussCubic",
+    "SussBbr",
+]

@@ -1,0 +1,134 @@
+"""SUSS growth-factor theory (paper Section 3 and Appendix A).
+
+Pure functions implementing the equations SUSS uses to decide whether the
+exponential growth of ``cwnd`` will persist, and by how much growth may
+therefore be accelerated in the *current* round:
+
+* Eq. 9  — estimate the full ACK-train duration from its blue part;
+* Eq. 7/18 — extrapolate next-round(s) minimum observed RTT;
+* Eq. 6/17 — Condition 1 over ``k`` future rounds;
+* Eq. 8/19 — Condition 2 over ``k`` future rounds;
+* Algorithm 1 — pick the largest admissible ``k`` and return
+  ``G = 2**(k+1)``.
+
+All functions are stateless so they can be property-tested directly.
+
+Note on Algorithm 1: as printed in the paper the loop increments ``k`` past
+the last *verified* look-ahead before computing ``G = 2**(k+1)``, which
+would yield ``G = 8`` from a one-round look-ahead — contradicting the main
+design (Eq. 6: quadrupling requires ``Δt ≤ minRTT/4``, and ``G ∈ {2, 4}``
+with one round of look-ahead).  We therefore implement the semantics the
+derivation defines: ``G = 2**(k+1)`` where ``k`` is the largest value in
+``[0, k_max]`` such that Conditions 1 and 2 hold for *every* look-ahead
+``1..k``; ``k = 0`` (traditional slow start, ``G = 2``) always holds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: HyStart ACK-train threshold: growth continues while the ACK train fits
+#: within this fraction of minRTT (Condition 1 uses minRTT/2).
+ACK_TRAIN_FRACTION = 0.5
+#: HyStart delay threshold factor (Condition 2 uses 1.125 x minRTT).
+DELAY_FACTOR = 1.125
+#: Default look-ahead: the paper's main design extrapolates one round
+#: (G in {2, 4}); Appendix A generalises to k_max > 1.
+DEFAULT_K_MAX = 1
+
+
+def estimate_ack_train(dt_bat: float, data_train_bytes: int,
+                       blue_bytes: int) -> float:
+    """Eq. 9: scale the blue ACK-train duration up to the full train.
+
+    Args:
+        dt_bat: measured time to receive the ACKs for the blue (clocked)
+            part of the previous round's data train.
+        data_train_bytes: total bytes of the previous round's data train
+            (``cwnd_{i-1}``).
+        blue_bytes: bytes of that train sent during the clocking period
+            (``S^Bdt_{i-1}``).
+
+    Returns:
+        Estimated duration of the full ACK train, ``Δt_i^at``.
+    """
+    if blue_bytes <= 0:
+        raise ValueError("blue_bytes must be positive")
+    if data_train_bytes < blue_bytes:
+        raise ValueError("data train cannot be smaller than its blue part")
+    if dt_bat < 0:
+        raise ValueError("dt_bat must be non-negative")
+    return (data_train_bytes / blue_bytes) * dt_bat
+
+
+def predict_mo_rtt(mo_rtt: float, min_rtt: float, r: int, k: int = 1) -> float:
+    """Eq. 7 / Eq. 18: extrapolate the minimum observed RTT ``k`` rounds ahead.
+
+    The queueing delay accumulated since minRTT was last updated, averaged
+    over the ``r`` rounds since then, is assumed to keep accruing per round.
+    """
+    if r <= 0:
+        raise ValueError("r must be positive (r == 0 is handled by the caller)")
+    return mo_rtt + k * (mo_rtt - min_rtt) / r
+
+
+def condition1(dt_at: float, min_rtt: float, k: int,
+               fraction: float = ACK_TRAIN_FRACTION) -> bool:
+    """Eq. 6 / Eq. 17: the ACK train leaves room for ``k`` more doublings.
+
+    ``Δt_i^at <= minRTT * fraction / 2**k`` — with the default fraction of
+    1/2 this is the paper's ``minRTT / 2**(k+1)``; ``k = 1`` recovers Eq. 6.
+    """
+    if min_rtt <= 0:
+        raise ValueError("min_rtt must be positive")
+    return dt_at <= min_rtt * fraction / (2 ** k)
+
+
+def condition2(mo_rtt: float, min_rtt: float, r: int, k: int,
+               delay_factor: float = DELAY_FACTOR) -> bool:
+    """Eq. 8 / Eq. 19: extrapolated queueing delay stays below threshold.
+
+    When ``r == 0`` (minRTT was updated this round) there is no queueing
+    trend to extrapolate and the condition holds (Algorithm 1, line 3).
+    """
+    if min_rtt <= 0:
+        raise ValueError("min_rtt must be positive")
+    if r == 0:
+        return True
+    return predict_mo_rtt(mo_rtt, min_rtt, r, k) <= delay_factor * min_rtt
+
+
+def growth_factor(dt_at: float, mo_rtt: Optional[float], min_rtt: float,
+                  r: int, k_max: int = DEFAULT_K_MAX,
+                  fraction: float = ACK_TRAIN_FRACTION,
+                  delay_factor: float = DELAY_FACTOR) -> int:
+    """Algorithm 1: the growth factor ``G_i = 2**(k+1)`` for the current round.
+
+    ``k`` counts how many extra doublings beyond the traditional one are
+    predicted safe; a look-ahead of ``k`` is safe when Condition 1
+    (Eq. 17) and Condition 2 (Eq. 19) both hold.  ``G == 2`` means
+    "behave exactly like traditional slow start".
+
+    ``mo_rtt`` may be None when no RTT sample was observed this round; the
+    delay condition then cannot be verified and (conservatively, unless
+    ``r == 0``) fails.
+    """
+    if k_max < 0:
+        raise ValueError("k_max must be non-negative")
+    if min_rtt <= 0:
+        raise ValueError("min_rtt must be positive")
+    k = 0
+    while k < k_max:
+        look_ahead = k + 1
+        cond1 = condition1(dt_at, min_rtt, look_ahead, fraction)
+        if r == 0:
+            cond2 = True
+        elif mo_rtt is None:
+            cond2 = False
+        else:
+            cond2 = condition2(mo_rtt, min_rtt, r, look_ahead, delay_factor)
+        if cond1 and cond2:
+            k += 1
+        else:
+            break
+    return 2 ** (k + 1)

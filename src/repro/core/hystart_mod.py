@@ -1,0 +1,89 @@
+"""SUSS's modified HyStart (paper Section 5, Fig. 8).
+
+Packet pacing makes the red part of the ACK train meaningless for path
+assessment, so SUSS scales the elapsed time the ACK-train heuristic sees by
+``ratio`` — the data train's size over its blue part — and evaluates the
+heuristics only over blue ACKs (the owner simply does not feed red ACKs to
+:meth:`on_ack`).
+
+Because a ratio-scaled measurement is an *estimate*, the flowchart defers
+the exit when the scaled train condition fires: instead of stopping growth
+immediately, it sets a **cap** on cwnd, and growth stops once cwnd exceeds
+the cap.  The cap value is supplied by a callback (SUSS uses the committed
+round target ``cwnd_i``, so data already scheduled for pacing completes;
+see DESIGN.md).  The delay condition keeps its immediate-exit semantics —
+it is based on unscaled RTT samples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.cc.hystart import HyStart
+
+
+class SussHyStart(HyStart):
+    """HyStart with ratio-scaled elapsed time and capped (deferred) exit.
+
+    ``cap_provider(cwnd_segments)`` supplies the cap when the scaled
+    ACK-train condition fires; it receives the cwnd (in segments) at that
+    moment.
+    """
+
+    def __init__(self, cap_provider: Callable[[float], float], **kwargs) -> None:
+        super().__init__(**kwargs)
+        #: data-train size over blue-part size for the current round
+        self.ratio = 1.0
+        #: deferred-exit cwnd cap (in cwnd segments), or None
+        self.cap: Optional[float] = None
+        self._cap_provider = cap_provider
+        self._fired_in_round = False
+
+    # ------------------------------------------------------------------
+    def elapsed_since_round_start(self, now: float) -> float:
+        """Eq. 9 applied to the elapsed time: scale the blue measurement."""
+        return (now - self.round_start) * self.ratio
+
+    def on_round_start(self, now: float) -> None:
+        super().on_round_start(now)
+        # ratio is set by the owner for each round.  A cap armed by a
+        # scaled-estimate trigger persists only while the trigger keeps
+        # re-firing: a whole quiet round means the signal was measurement
+        # noise (jitter stretching the blue train), so disarm.
+        if self.cap is not None and not self._fired_in_round:
+            self.cap = None
+        self._fired_in_round = False
+
+    # ------------------------------------------------------------------
+    def on_ack(self, now: float, rtt_sample: Optional[float],
+               min_rtt: Optional[float], cwnd_segments: float) -> bool:
+        if self.found:
+            return True
+        if min_rtt is None or cwnd_segments < self.low_window_segments:
+            return False
+        train = self._ack_train_exceeds(now, min_rtt)
+        delay = self._delay_exceeds(rtt_sample, min_rtt)
+        if train or delay:
+            self._fired_in_round = True
+        if self.cap is not None:
+            # Deferred exit already armed: stop once cwnd passes the cap,
+            # or immediately on a (reliable) delay signal.
+            if delay or cwnd_segments > self.cap:
+                self.found = True
+            return self.found
+        if delay:
+            self.found = True
+            return True
+        if train:
+            if self.ratio > 1.0:
+                # Scaled estimate: postpone the stop behind a cwnd cap.
+                self.cap = self._cap_provider(cwnd_segments)
+                return False
+            self.found = True
+            return True
+        return False
+
+    def reset(self) -> None:
+        super().reset()
+        self.cap = None
+        self.ratio = 1.0

@@ -1,0 +1,94 @@
+"""Pacing-period geometry for an accelerated SUSS round (Section 4).
+
+When the growth factor ``G_i > 2``, the round's data train is split into a
+blue part — sent by ACK clocking, exactly like traditional slow start — and
+a red part sent during a *pacing period* of carefully chosen start time,
+duration and rate, with a *guard interval* on each side (Fig. 5):
+
+* ``S_i^Rdt = cwnd_i - S_i^Bdt``                      (red data, Eq. 10)
+* pacing duration ``= (S_i^Rdt / cwnd_i) * minRTT``
+* sending rate ``= cwnd_i / minRTT``                  (Eq. 11)
+* ``guard_i = S_i^Bdt/(2*cwnd_i) * minRTT - Δt_i^Bat / 2``   (Eq. 12)
+
+Lemma 1 guarantees ``guard_i > 0`` whenever acceleration was admissible;
+:func:`make_pacing_plan` still clamps at zero to stay safe under noisy
+measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PacingPlan:
+    """The schedule for one accelerated round's pacing period.
+
+    Attributes:
+        cwnd_target: ``cwnd_i = G_i * cwnd_{i-1}`` in bytes.
+        s_bdt: bytes sent in the round's clocking period (``S_i^Bdt``).
+        s_rdt: bytes to send during the pacing period (``S_i^Rdt``).
+        rate: pacing-period sending rate in bytes/second (Eq. 11).
+        duration: pacing-period length in seconds.
+        guard: guard-interval length in seconds (Eq. 12, clamped at 0).
+        start_offset: delay from the *end of the blue ACK train*
+            (time ``t_i^s + Δt_i^Bat``) to the start of the pacing period;
+            equals ``guard``.
+    """
+
+    cwnd_target: int
+    s_bdt: int
+    s_rdt: int
+    rate: float
+    duration: float
+    guard: float
+
+    @property
+    def start_offset(self) -> float:
+        return self.guard
+
+
+def make_pacing_plan(cwnd_prev: int, s_bdt_prev: int, growth: int,
+                     min_rtt: float, dt_bat: float) -> PacingPlan:
+    """Compute the pacing plan for the current round.
+
+    Args:
+        cwnd_prev: ``cwnd_{i-1}`` in bytes (the previous round's window /
+            data-train size).
+        s_bdt_prev: blue bytes of the previous round (``S^Bdt_{i-1}``); the
+            current round's clocking period sends twice this.
+        growth: the growth factor ``G_i`` (must be > 2 for a pacing period
+            to exist).
+        min_rtt: current minimum RTT in seconds.
+        dt_bat: measured blue-ACK-train duration ``Δt_i^Bat`` in seconds.
+
+    Raises:
+        ValueError: if ``growth <= 2`` (no pacing period exists) or inputs
+            are degenerate.
+    """
+    if growth <= 2:
+        raise ValueError("a pacing period only exists when G > 2")
+    if cwnd_prev <= 0 or s_bdt_prev <= 0:
+        raise ValueError("window sizes must be positive")
+    if s_bdt_prev > cwnd_prev:
+        raise ValueError("blue part cannot exceed the data train")
+    if min_rtt <= 0:
+        raise ValueError("min_rtt must be positive")
+    if dt_bat < 0:
+        raise ValueError("dt_bat must be non-negative")
+
+    cwnd_target = growth * cwnd_prev
+    s_bdt = 2 * s_bdt_prev
+    s_rdt = cwnd_target - s_bdt
+    if s_rdt <= 0:
+        raise ValueError("no red data to pace (S^Rdt <= 0)")
+    rate = cwnd_target / min_rtt
+    duration = (s_rdt / cwnd_target) * min_rtt
+    guard = (s_bdt / (2.0 * cwnd_target)) * min_rtt - dt_bat / 2.0
+    return PacingPlan(cwnd_target=cwnd_target, s_bdt=s_bdt, s_rdt=s_rdt,
+                      rate=rate, duration=duration, guard=max(guard, 0.0))
+
+
+def lemma1_lower_bound(plan: PacingPlan, min_rtt: float) -> float:
+    """Lemma 1's guaranteed lower bound on the guard interval."""
+    return (plan.s_bdt / (4.0 * plan.cwnd_target)) * min_rtt

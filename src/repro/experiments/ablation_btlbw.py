@@ -1,0 +1,87 @@
+"""Appendix B ablation — impact of BtlBw variation on SUSS.
+
+The paper argues a BtlBw drop is safe for SUSS: if it happens while cwnd
+is far below cwnd*, the buffer absorbs the (at most quadrupled) window; if
+near cwnd*, the stretched ACK train and rising delay veto acceleration and
+SUSS degenerates to traditional slow start.  The ablation drops the
+bottleneck bandwidth by half at different points of the slow-start ramp
+and compares SUSS-on/off FCT and loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.report import pct, render_table
+from repro.experiments.runner import run_single_flow
+from repro.metrics.summary import improvement, summarize
+from repro.net.netem import SteppedBandwidth
+from repro.net.topology import bdp_bytes
+from repro.workloads.flows import MB
+from repro.workloads.scenarios import MBPS, PathScenario, get_scenario
+
+
+def _stepped_scenario(base: PathScenario, drop_time: float,
+                      drop_factor: float) -> PathScenario:
+    profile = SteppedBandwidth([(0.0, base.btl_bw),
+                                (drop_time, base.btl_bw * drop_factor)])
+
+    class _SteppedScenario(PathScenario):
+        def bandwidth_profile(self, rng=None):
+            return profile
+
+    return _SteppedScenario(
+        name=f"{base.name}/drop@{drop_time:.2f}s", server=base.server,
+        link_type=base.link_type, client_location=base.client_location,
+        rtt=base.rtt, btl_bw=base.btl_bw, bw_variation=0.0,
+        jitter=base.jitter, loss_rate=base.loss_rate,
+        buffer_bdp=base.buffer_bdp)
+
+
+@dataclass
+class BtlBwDropResult:
+    drop_time: float
+    fct_off: float
+    fct_on: float
+    loss_off: float
+    loss_on: float
+
+    @property
+    def suss_improvement(self) -> float:
+        return improvement(self.fct_off, self.fct_on)
+
+    @property
+    def loss_regression(self) -> float:
+        """Loss-rate increase caused by SUSS (should be <= 0)."""
+        return self.loss_on - self.loss_off
+
+
+def run(drop_times: Sequence[float] = (0.5, 0.9, 1.3), size: int = 4 * MB,
+        drop_factor: float = 0.5, seed: int = 0,
+        base: PathScenario = None) -> List[BtlBwDropResult]:
+    if base is None:
+        base = get_scenario("google-tokyo", "wired")
+    results: List[BtlBwDropResult] = []
+    for drop_time in drop_times:
+        scenario = _stepped_scenario(base, drop_time, drop_factor)
+        off = run_single_flow(scenario, "cubic", size, seed=seed)
+        on = run_single_flow(scenario, "cubic+suss", size, seed=seed)
+        if off.fct is None or on.fct is None:
+            raise RuntimeError(f"btlbw-drop flow did not finish at "
+                               f"drop_time={drop_time}")
+        results.append(BtlBwDropResult(
+            drop_time=drop_time, fct_off=off.fct, fct_on=on.fct,
+            loss_off=off.loss_rate, loss_on=on.loss_rate))
+    return results
+
+
+def format_report(results: Sequence[BtlBwDropResult]) -> str:
+    rows = [[r.drop_time, f"{r.fct_off:.2f}", f"{r.fct_on:.2f}",
+             pct(r.suss_improvement), f"{r.loss_off * 100:.3f}%",
+             f"{r.loss_on * 100:.3f}%"]
+            for r in results]
+    return render_table(
+        ["drop at (s)", "FCT off", "FCT on", "improvement",
+         "loss off", "loss on"], rows,
+        title="Appendix B ablation — bottleneck bandwidth halves mid-ramp")

@@ -1,0 +1,66 @@
+"""Appendix A ablation — generalised SUSS with deeper look-ahead.
+
+``k_max = 1`` is the paper's main design (G ∈ {2, 4}); Appendix A extends
+the conditions to ``k_max`` rounds of look-ahead (G up to ``2**(k_max+1)``)
+under the assumption of stable network conditions.  The ablation sweeps
+``k_max`` on a clean long-fat path and on a jittery wireless path: deeper
+look-ahead helps on the former and is (deliberately) rarely granted on the
+latter — matching the paper's rationale for limiting the main design to
+one round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.report import pct, render_table
+from repro.experiments.runner import fct_summary
+from repro.metrics.summary import Summary, improvement
+from repro.workloads.flows import MB
+from repro.workloads.scenarios import PathScenario, get_scenario
+
+KMAX_SCHEMES: Tuple[Tuple[str, int], ...] = (
+    ("cubic", 0),          # baseline (no acceleration)
+    ("cubic+suss", 1),     # main design
+    ("cubic+suss-k2", 2),
+    ("cubic+suss-k3", 3),
+)
+
+
+@dataclass
+class KmaxResult:
+    scenario: PathScenario
+    size: int
+    fct: Dict[str, Summary]
+
+    def improvement_over_cubic(self, scheme: str) -> float:
+        return improvement(self.fct["cubic"].mean, self.fct[scheme].mean)
+
+
+def run(scenarios: Sequence[PathScenario] = (), size: int = 2 * MB,
+        iterations: int = 3, base_seed: int = 0) -> List[KmaxResult]:
+    if not scenarios:
+        scenarios = (get_scenario("google-tokyo", "wired"),
+                     get_scenario("google-tokyo", "4g"))
+    results: List[KmaxResult] = []
+    for scenario in scenarios:
+        fct = {scheme: fct_summary(scenario, scheme, size, iterations,
+                                   base_seed)
+               for scheme, _ in KMAX_SCHEMES}
+        results.append(KmaxResult(scenario=scenario, size=size, fct=fct))
+    return results
+
+
+def format_report(results: Sequence[KmaxResult]) -> str:
+    rows = []
+    for result in results:
+        for scheme, k_max in KMAX_SCHEMES:
+            s = result.fct[scheme]
+            imp = "-" if scheme == "cubic" else pct(
+                result.improvement_over_cubic(scheme))
+            rows.append([result.scenario.name, k_max, scheme,
+                         f"{s.mean:.2f}±{s.std:.2f}", imp])
+    return render_table(
+        ["scenario", "k_max", "scheme", "FCT (s)", "vs CUBIC"], rows,
+        title="Appendix A ablation — look-ahead depth k_max")

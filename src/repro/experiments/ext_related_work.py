@@ -1,0 +1,93 @@
+"""Extension — head-to-head with the Section-2 slow-start schemes.
+
+The paper argues (Section 2) that existing end-to-end accelerators either
+burst uncontrolled data (large IW, JumpStart, Halfback), disrupt HyStart
+by pacing everything (initial spreading), or rely on stale history
+(Stateful-TCP).  This experiment, not in the paper's evaluation, races
+all of them against SUSS on two contrasting paths:
+
+* a clean long-fat path (aggression is cheap — everyone looks good);
+* the same path with a shallow buffer (aggression drops packets).
+
+SUSS's expected signature: near-best FCT on the clean path *and* no
+loss blow-up on the constrained one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence
+
+from repro.experiments.report import render_table
+from repro.experiments.runner import run_single_flow
+from repro.metrics.summary import Summary, summarize
+from repro.workloads.flows import MB
+from repro.workloads.scenarios import PathScenario, get_scenario
+
+SCHEMES = ("cubic", "cubic+suss", "cubic-iw32", "cubic-spread-iw32",
+           "jumpstart", "halfback", "cubic-stateful")
+
+
+@dataclass
+class RelatedWorkRow:
+    scenario: PathScenario
+    scheme: str
+    fct: Summary
+    loss: Summary
+    retransmit_rate: float
+
+
+def _paths() -> List[PathScenario]:
+    clean = get_scenario("google-tokyo", "wired")
+    # Short-RTT path: its BDP (~260 segments) is far below a 2 MB flow,
+    # so skipping slow start overflows the shallow buffer.
+    shallow = replace(get_scenario("oracle-london", "wired"),
+                      name="oracle-london/wired-shallow", buffer_bdp=0.35)
+    return [clean, shallow]
+
+
+def run(size: int = 2 * MB, iterations: int = 3, base_seed: int = 0,
+        schemes: Sequence[str] = SCHEMES,
+        scenarios: Sequence[PathScenario] = ()) -> List[RelatedWorkRow]:
+    from repro.cc.slowstart_variants import StatefulCubic
+
+    rows: List[RelatedWorkRow] = []
+    for scenario in (scenarios or _paths()):
+        # Stateful-TCP's per-destination cache must not leak across
+        # scenarios (hosts share names between built topologies).
+        StatefulCubic.reset_history()
+        for scheme in schemes:
+            fcts, losses, retx = [], [], []
+            for i in range(iterations):
+                result = run_single_flow(scenario, scheme, size,
+                                         seed=base_seed + i)
+                if result.fct is None:
+                    raise RuntimeError(
+                        f"{scheme} did not finish on {scenario.name}")
+                fcts.append(result.fct)
+                losses.append(result.loss_rate)
+                retx.append(result.retransmissions
+                            / max(result.data_packets_sent, 1))
+            rows.append(RelatedWorkRow(
+                scenario=scenario, scheme=scheme, fct=summarize(fcts),
+                loss=summarize(losses),
+                retransmit_rate=sum(retx) / len(retx)))
+    return rows
+
+
+def best_scheme(rows: Sequence[RelatedWorkRow], scenario_name: str) -> str:
+    candidates = [r for r in rows if r.scenario.name == scenario_name]
+    return min(candidates, key=lambda r: r.fct.mean).scheme
+
+
+def format_report(rows: Sequence[RelatedWorkRow]) -> str:
+    table_rows = []
+    for row in rows:
+        table_rows.append([row.scenario.name, row.scheme,
+                           f"{row.fct.mean:.3f}±{row.fct.std:.3f}",
+                           f"{row.loss.mean * 100:.2f}%",
+                           f"{row.retransmit_rate * 100:.1f}%"])
+    return render_table(
+        ["path", "scheme", "FCT (s)", "loss", "retransmit rate"],
+        table_rows,
+        title="Extension — SUSS vs Section-2 slow-start schemes")

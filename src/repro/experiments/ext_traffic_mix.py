@@ -1,0 +1,95 @@
+"""Extension — SUSS's benefit over a realistic internet traffic mix.
+
+The paper's deployment argument: since most internet flows are small
+(Section 1, citing campus-traffic measurements), a slow-start improvement
+moves the *distribution* of completion times, not just a benchmark point.
+This experiment samples flows from the campus flow-size CDF, runs each
+over a scenario path with SUSS off/on, and reports the improvement
+distribution (mean / median / p90) plus the fraction of flows improved.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.experiments.report import pct, render_table
+from repro.experiments.runner import run_single_flow
+from repro.workloads.distributions import CAMPUS_FLOW_CDF
+from repro.workloads.scenarios import PathScenario, get_scenario
+
+
+@dataclass
+class MixResult:
+    scenario: PathScenario
+    sizes: List[int]
+    improvements: List[float]
+
+    def _sorted(self) -> List[float]:
+        return sorted(self.improvements)
+
+    @property
+    def mean_improvement(self) -> float:
+        return sum(self.improvements) / len(self.improvements)
+
+    @property
+    def median_improvement(self) -> float:
+        values = self._sorted()
+        return values[len(values) // 2]
+
+    def percentile(self, q: float) -> float:
+        values = self._sorted()
+        index = min(int(len(values) * q / 100.0), len(values) - 1)
+        return values[index]
+
+    @property
+    def fraction_improved(self) -> float:
+        return (sum(1 for imp in self.improvements if imp > 0)
+                / len(self.improvements))
+
+
+def run(n_flows: int = 40, seed: int = 0,
+        scenario: PathScenario = None,
+        max_size: int = 20_000_000) -> MixResult:
+    """Sample ``n_flows`` sizes and measure per-flow SUSS improvement.
+
+    Each flow runs in isolation (the paper's single-download methodology);
+    sizes above ``max_size`` are clamped to bound runtime.
+    """
+    if scenario is None:
+        scenario = get_scenario("google-tokyo", "wired")
+    rng = random.Random(seed)
+    sizes = [min(s, max_size)
+             for s in CAMPUS_FLOW_CDF.sample_sizes(n_flows, rng)]
+    improvements: List[float] = []
+    for i, size in enumerate(sizes):
+        off = run_single_flow(scenario, "cubic", size, seed=seed + i)
+        on = run_single_flow(scenario, "cubic+suss", size, seed=seed + i)
+        if off.fct is None or on.fct is None:
+            raise RuntimeError(f"mix flow of {size} B did not finish")
+        improvements.append((off.fct - on.fct) / off.fct)
+    return MixResult(scenario=scenario, sizes=sizes,
+                     improvements=improvements)
+
+
+def format_report(result: MixResult) -> str:
+    small = [imp for size, imp in zip(result.sizes, result.improvements)
+             if size <= 1_000_000]
+    big = [imp for size, imp in zip(result.sizes, result.improvements)
+           if size > 1_000_000]
+    rows = [
+        ["flows sampled", len(result.sizes)],
+        ["median flow size", f"{sorted(result.sizes)[len(result.sizes) // 2] / 1e3:.0f} kB"],
+        ["mean improvement", pct(result.mean_improvement)],
+        ["median improvement", pct(result.median_improvement)],
+        ["p90 improvement", pct(result.percentile(90))],
+        ["fraction improved", f"{result.fraction_improved * 100:.0f}%"],
+        ["mean improvement (<=1 MB flows)",
+         pct(sum(small) / len(small)) if small else "-"],
+        ["mean improvement (>1 MB flows)",
+         pct(sum(big) / len(big)) if big else "-"],
+    ]
+    return render_table(["metric", "value"], rows,
+                        title=f"Extension — campus traffic mix over "
+                              f"{result.scenario.name}")

@@ -1,0 +1,82 @@
+"""Fig. 1 — slow-start under-utilisation on a long path (motivation).
+
+A file is downloaded from a US cloud server to a PC in New Zealand with
+CUBIC and with BBRv2.  θ is the delivery rate at the optimal congestion
+window (estimated, as in the paper, from the steady-state delivery rate);
+the "optimal from the outset" line is ``θ · t``.  The result quantifies
+how much less data slow start delivers in the early seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+from repro.experiments.report import render_table
+from repro.experiments.runner import run_single_flow
+from repro.metrics.timeseries import TimeSeries
+from repro.workloads.scenarios import MBPS, get_scenario
+
+
+def fig1_scenario():
+    """US cloud server -> wired PC in New Zealand (about 150 ms RTT)."""
+    base = get_scenario("google-us-east", "wired")
+    return replace(base, name="google-us-east/nz-wired", rtt=0.150,
+                   client_location="nz")
+
+
+@dataclass
+class Fig1Result:
+    """Per-CCA motivation measurements."""
+
+    cc: str
+    fct: float
+    theta: float                      # steady-state delivery rate (bytes/s)
+    delivered: TimeSeries             # cumulative delivered bytes
+    checkpoints: List[Tuple[float, float, float]]  # (t, actual, optimal)
+
+    @property
+    def early_deficit(self) -> float:
+        """Fraction of the optimal-line data missing at the 2 s checkpoint."""
+        for t, actual, optimal in self.checkpoints:
+            if abs(t - 2.0) < 1e-9 and optimal > 0:
+                return 1.0 - actual / optimal
+        return 0.0
+
+
+def run(size_bytes: int = 25_000_000, seed: int = 0,
+        ccas: Tuple[str, ...] = ("cubic", "bbr2"),
+        checkpoint_times: Tuple[float, ...] = (1.0, 2.0, 4.0)
+        ) -> Dict[str, Fig1Result]:
+    """Run the Fig. 1 measurement for each CCA."""
+    scenario = fig1_scenario()
+    results: Dict[str, Fig1Result] = {}
+    for cc in ccas:
+        res = run_single_flow(scenario, cc, size_bytes, seed=seed,
+                              collect=True)
+        if res.fct is None:
+            raise RuntimeError(f"fig1 flow did not complete for {cc}")
+        delivered = res.telemetry.flow(1).delivered
+        # Steady-state delivery rate: growth over the second half of the
+        # transfer, which excludes the slow-start ramp.
+        theta = delivered.rate(res.fct / 2.0, res.fct)
+        checkpoints = []
+        for t in checkpoint_times:
+            actual = delivered.value_at(t) or 0.0
+            checkpoints.append((t, actual, theta * t))
+        results[cc] = Fig1Result(cc=cc, fct=res.fct, theta=theta,
+                                 delivered=delivered, checkpoints=checkpoints)
+    return results
+
+
+def format_report(results: Dict[str, Fig1Result]) -> str:
+    rows = []
+    for cc, r in results.items():
+        for t, actual, optimal in r.checkpoints:
+            rows.append([cc, f"{r.theta / MBPS:.1f} Mbps", t,
+                         actual / 1e6, optimal / 1e6,
+                         f"{(1 - actual / max(optimal, 1e-9)) * 100:.0f}%"])
+    return render_table(
+        ["cca", "theta", "t (s)", "delivered (MB)", "optimal (MB)",
+         "deficit"], rows,
+        title="Fig. 1 — slow-start under-utilisation (US -> NZ download)")

@@ -1,0 +1,64 @@
+"""Fig. 10 — total delivered data over time, SUSS on versus off.
+
+Same path as Fig. 9.  The paper's headline: two seconds in, CUBIC without
+SUSS had delivered 2 MB while CUBIC with SUSS had delivered three times
+more; after both reach cwnd*, the delivery curves run parallel at θ (SUSS
+does not overshoot the fair rate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.report import render_table
+from repro.experiments.runner import run_single_flow
+from repro.metrics.timeseries import TimeSeries
+from repro.workloads.scenarios import FIG9_SCENARIO, PathScenario
+
+
+@dataclass
+class Fig10Result:
+    cc: str
+    fct: float
+    delivered: TimeSeries
+    samples: List[Tuple[float, float]]   # (t, delivered bytes)
+    steady_rate: float                   # late-transfer delivery rate
+
+
+def run(scenario: PathScenario = FIG9_SCENARIO, size_bytes: int = 25_000_000,
+        seed: int = 0,
+        sample_times: Tuple[float, ...] = (0.5, 1.0, 2.0, 3.0, 4.0)
+        ) -> Dict[str, Fig10Result]:
+    results: Dict[str, Fig10Result] = {}
+    for cc in ("cubic", "cubic+suss"):
+        res = run_single_flow(scenario, cc, size_bytes, seed=seed,
+                              collect=True)
+        if res.fct is None:
+            raise RuntimeError(f"fig10 flow did not complete for {cc}")
+        delivered = res.telemetry.flow(1).delivered
+        samples = [(t, delivered.value_at(t) or 0.0) for t in sample_times]
+        steady = delivered.rate(res.fct * 0.6, res.fct)
+        results[cc] = Fig10Result(cc=cc, fct=res.fct, delivered=delivered,
+                                  samples=samples, steady_rate=steady)
+    return results
+
+
+def delivered_ratio_at(results: Dict[str, Fig10Result], t: float) -> float:
+    """SUSS-on delivered bytes over SUSS-off delivered bytes at time t."""
+    on = results["cubic+suss"].delivered.value_at(t) or 0.0
+    off = results["cubic"].delivered.value_at(t) or 0.0
+    return on / off if off > 0 else float("inf")
+
+
+def format_report(results: Dict[str, Fig10Result]) -> str:
+    rows = []
+    times = [t for t, _ in results["cubic"].samples]
+    for t in times:
+        off = results["cubic"].delivered.value_at(t) or 0.0
+        on = results["cubic+suss"].delivered.value_at(t) or 0.0
+        ratio = on / off if off else float("inf")
+        rows.append([t, off / 1e6, on / 1e6, f"{ratio:.2f}x"])
+    return render_table(
+        ["t (s)", "SUSS off (MB)", "SUSS on (MB)", "ratio"], rows,
+        title="Fig. 10 — delivered data over time")

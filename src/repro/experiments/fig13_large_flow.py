@@ -1,0 +1,86 @@
+"""Fig. 13 — SUSS has no impact on large TCP flows.
+
+A 100 MB transfer between two data centers (US-East -> Sydney).  The paper
+plots, per delivered-megabyte milestone, the improvement of SUSS-on over
+SUSS-off: large during the early megabytes, tapering to negligible — SUSS
+accelerates only the slow-start phase and never pushes cwnd past cwnd*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.report import pct, render_table
+from repro.experiments.runner import run_single_flow
+from repro.metrics.timeseries import TimeSeries
+from repro.workloads.flows import MB
+from repro.workloads.scenarios import FIG13_SCENARIO, PathScenario
+
+
+@dataclass
+class Fig13Result:
+    size_bytes: int
+    fct_on: float
+    fct_off: float
+    milestones: List[Tuple[float, float, float, float]]
+    # (delivered MB, t_off, t_on, improvement)
+
+    @property
+    def total_improvement(self) -> float:
+        return (self.fct_off - self.fct_on) / self.fct_off
+
+    @property
+    def early_improvement(self) -> float:
+        """Improvement at the first milestone."""
+        return self.milestones[0][3]
+
+    @property
+    def late_improvement(self) -> float:
+        """Improvement at the last milestone (should be near zero)."""
+        return self.milestones[-1][3]
+
+
+def _time_to_deliver(series: TimeSeries, target: float) -> Optional[float]:
+    for t, v in series:
+        if v >= target:
+            return t
+    return None
+
+
+def run(size_bytes: int = 100 * MB, seed: int = 0,
+        scenario: PathScenario = FIG13_SCENARIO,
+        milestones_mb: Tuple[float, ...] = (1, 2, 5, 10, 20, 40, 60, 80, 100)
+        ) -> Fig13Result:
+    series: Dict[str, TimeSeries] = {}
+    fct: Dict[str, float] = {}
+    for cc in ("cubic", "cubic+suss"):
+        res = run_single_flow(scenario, cc, size_bytes, seed=seed,
+                              collect=True)
+        if res.fct is None:
+            raise RuntimeError(f"fig13 flow did not complete for {cc}")
+        series[cc] = res.telemetry.flow(1).delivered
+        fct[cc] = res.fct
+    milestones: List[Tuple[float, float, float, float]] = []
+    for mb in milestones_mb:
+        target = mb * MB
+        if target > size_bytes:
+            continue
+        t_off = _time_to_deliver(series["cubic"], target)
+        t_on = _time_to_deliver(series["cubic+suss"], target)
+        if t_off is None or t_on is None:
+            continue
+        milestones.append((mb, t_off, t_on, (t_off - t_on) / t_off))
+    return Fig13Result(size_bytes=size_bytes, fct_on=fct["cubic+suss"],
+                       fct_off=fct["cubic"], milestones=milestones)
+
+
+def format_report(result: Fig13Result) -> str:
+    rows = [[mb, f"{t_off:.2f}", f"{t_on:.2f}", pct(imp)]
+            for mb, t_off, t_on, imp in result.milestones]
+    table = render_table(
+        ["delivered (MB)", "SUSS off (s)", "SUSS on (s)", "improvement"],
+        rows, title="Fig. 13 — per-milestone improvement, 100 MB DC-to-DC flow")
+    tail = (f"\ntotal FCT: off={result.fct_off:.2f}s on={result.fct_on:.2f}s "
+            f"({pct(result.total_improvement)})")
+    return table + tail

@@ -1,0 +1,68 @@
+"""Fig. 14 — packet loss rate versus flow size (Oracle London -> 5G Sweden).
+
+The paper: CUBIC with SUSS experiences *less* loss than without, because
+pacing spreads the packets that accelerated cwnd growth would otherwise
+burst into the bottleneck buffer; the two curves converge as flow size
+grows (losses become dominated by the steady-state phase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+from repro.experiments.report import render_table
+from repro.experiments.runner import loss_rate_summary
+from repro.metrics.summary import Summary
+from repro.workloads.flows import MB
+from repro.workloads.scenarios import FIG14_SCENARIO, PathScenario
+
+DEFAULT_SIZES = (2 * MB, 4 * MB, 8 * MB, 16 * MB, 28 * MB, 40 * MB)
+
+
+@dataclass
+class Fig14Result:
+    scenario: PathScenario
+    sizes: Tuple[int, ...]
+    loss: Dict[str, Dict[int, Summary]] = field(default_factory=dict)
+
+    def converged(self, tolerance: float = 0.5,
+                  abs_tolerance: float = 0.002) -> bool:
+        """True when on/off loss rates converge at the largest size.
+
+        Convergence means the gap closed either relatively (``tolerance``
+        of the larger value) or absolutely (``abs_tolerance``, i.e. both
+        rates are within a fifth of a percent — the paper's curves meet
+        near zero once steady-state losses dominate).
+        """
+        size = self.sizes[-1]
+        off = self.loss["cubic"][size].mean
+        on = self.loss["cubic+suss"][size].mean
+        gap = abs(off - on)
+        return gap <= max(tolerance * max(off, on), abs_tolerance)
+
+
+def run(scenario: PathScenario = FIG14_SCENARIO,
+        sizes: Sequence[int] = DEFAULT_SIZES, iterations: int = 5,
+        base_seed: int = 0,
+        schemes: Sequence[str] = ("cubic", "cubic+suss")) -> Fig14Result:
+    result = Fig14Result(scenario=scenario, sizes=tuple(sizes))
+    for scheme in schemes:
+        result.loss[scheme] = {}
+        for size in sizes:
+            result.loss[scheme][size] = loss_rate_summary(
+                scenario, scheme, size, iterations, base_seed)
+    return result
+
+
+def format_report(result: Fig14Result) -> str:
+    rows = []
+    for size in result.sizes:
+        row = [size / MB]
+        for scheme in ("cubic", "cubic+suss"):
+            s = result.loss[scheme][size]
+            row.append(f"{s.mean * 100:.3f}%")
+        rows.append(row)
+    return render_table(
+        ["size (MB)", "loss, SUSS off", "loss, SUSS on"], rows,
+        title=f"Fig. 14 — packet loss rate ({result.scenario.name})")

@@ -1,0 +1,103 @@
+"""Fig. 15 — fairness convergence when a fifth flow joins (Jain's index).
+
+Local testbed, 50 Mbps bottleneck, CUBIC everywhere.  Four flows start at
+2-second intervals; once they share the link, a fifth flow joins.  Jain's
+index over goodput drops at the join and recovers; the paper shows the
+recovery is markedly faster with SUSS on, across minRTT ∈ {25, 50, 100,
+200 ms} and buffer ∈ {1, 1.5, 2} BDP — more pronounced with longer RTTs
+and larger buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.report import render_table
+from repro.experiments.runner import run_local_testbed
+from repro.metrics.fairness import fairness_over_time
+from repro.workloads.flows import FlowSpec
+from repro.workloads.scenarios import LocalTestbedConfig
+
+DEFAULT_RTTS = (0.025, 0.050, 0.100, 0.200)
+DEFAULT_BUFFERS = (1.0, 1.5, 2.0)
+
+
+@dataclass
+class Fig15Cell:
+    """One sub-figure: a (minRTT, buffer) configuration, SUSS on or off."""
+
+    rtt: float
+    buffer_bdp: float
+    suss: bool
+    fairness: List[Tuple[float, float]]      # (t, Jain index)
+    join_time: float
+    recovery_time: Optional[float]           # seconds to F >= threshold after join
+
+    @property
+    def min_fairness_after_join(self) -> float:
+        post = [f for t, f in self.fairness if t >= self.join_time]
+        return min(post) if post else 1.0
+
+
+def run_cell(rtt: float, buffer_bdp: float, suss: bool,
+             bottleneck_mbps: float = 50.0, join_time: float = 16.0,
+             horizon: float = 40.0, seed: int = 0,
+             recovery_threshold: float = 0.95,
+             window: float = 2.0) -> Fig15Cell:
+    cc = "cubic+suss" if suss else "cubic"
+    config = LocalTestbedConfig(bottleneck_mbps=bottleneck_mbps,
+                                rtts=(rtt,) * 5, buffer_bdp=buffer_bdp)
+    bulk = int(horizon * config.btl_bw)
+    specs = [FlowSpec(flow_id=i + 1, size_bytes=bulk, cc=cc,
+                      start_time=2.0 * i) for i in range(4)]
+    specs.append(FlowSpec(flow_id=5, size_bytes=bulk, cc=cc,
+                          start_time=join_time))
+    result = run_local_testbed(config, specs, until=horizon, seed=seed)
+    delivered = {fid: result.telemetry.flow(fid).delivered
+                 for fid in range(1, 6)}
+    points = fairness_over_time(delivered, t_start=join_time - window,
+                                t_end=horizon, window=window, step=0.25)
+    recovery: Optional[float] = None
+    dipped = False
+    for t, f in points:
+        if t < join_time:
+            continue
+        if f < recovery_threshold:
+            dipped = True
+        elif dipped and recovery is None:
+            recovery = t - join_time
+            break
+    return Fig15Cell(rtt=rtt, buffer_bdp=buffer_bdp, suss=suss,
+                     fairness=points, join_time=join_time,
+                     recovery_time=recovery)
+
+
+def run(rtts: Sequence[float] = DEFAULT_RTTS,
+        buffers: Sequence[float] = DEFAULT_BUFFERS,
+        **kwargs) -> Dict[Tuple[float, float, bool], Fig15Cell]:
+    """The full 4x3 grid, SUSS on and off (24 cells)."""
+    cells = {}
+    for buffer_bdp in buffers:
+        for rtt in rtts:
+            for suss in (False, True):
+                cells[(rtt, buffer_bdp, suss)] = run_cell(
+                    rtt, buffer_bdp, suss, **kwargs)
+    return cells
+
+
+def format_report(cells: Dict[Tuple[float, float, bool], Fig15Cell]) -> str:
+    rows = []
+    configs = sorted({(r, b) for r, b, _ in cells})
+    for rtt, buffer_bdp in configs:
+        off = cells[(rtt, buffer_bdp, False)]
+        on = cells[(rtt, buffer_bdp, True)]
+        fmt = lambda c: ("> horizon" if c.recovery_time is None
+                         else f"{c.recovery_time:.1f} s")
+        rows.append([f"{rtt * 1000:.0f} ms", buffer_bdp,
+                     f"{off.min_fairness_after_join:.3f}", fmt(off),
+                     f"{on.min_fairness_after_join:.3f}", fmt(on)])
+    return render_table(
+        ["minRTT", "buffer (BDP)", "min F (off)", "recovery (off)",
+         "min F (on)", "recovery (on)"], rows,
+        title="Fig. 15 — fairness convergence after a fifth flow joins")

@@ -1,0 +1,76 @@
+"""Fig. 16 — one large flow facing twelve sequential small flows (trace).
+
+Local testbed: a large flow (200 ms minRTT, CUBIC, 1 BDP buffer) transfers
+while twelve 2 MB flows with different minRTTs start at 2-second intervals.
+The trace shows the large flow ceding bandwidth to each small flow and
+reclaiming it afterwards; this is the workload behind Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.report import render_table
+from repro.experiments.runner import LocalRun, run_local_testbed
+from repro.workloads.flows import MB, stability_workload
+from repro.workloads.scenarios import LocalTestbedConfig
+
+#: minRTTs of the five dumbbell pairs: pair 0 hosts the large flow; small
+#: flows cycle over pairs 1-4 ("twelve 2 MB TCP flows with different
+#: minRTTs").
+PAIR_RTTS = (0.200, 0.030, 0.060, 0.120, 0.200)
+
+
+@dataclass
+class Fig16Result:
+    large_cc: str
+    small_cc: str
+    large_fct: Optional[float]
+    small_fcts: List[Optional[float]]
+    large_goodput: List[Tuple[float, float]]   # (t, bytes/s)
+
+    @property
+    def completed_small_flows(self) -> int:
+        return sum(1 for fct in self.small_fcts if fct is not None)
+
+
+def run(large_cc: str = "cubic", small_cc: str = "cubic+suss",
+        large_size: int = 100 * MB, small_size: int = 2 * MB,
+        n_small: int = 12, bottleneck_mbps: float = 50.0,
+        buffer_bdp: float = 1.0, large_rtt: float = 0.200,
+        horizon: float = 60.0, seed: int = 0) -> Fig16Result:
+    rtts = (large_rtt,) + PAIR_RTTS[1:]
+    config = LocalTestbedConfig(bottleneck_mbps=bottleneck_mbps, rtts=rtts,
+                                buffer_bdp=buffer_bdp,
+                                reference_rtt=large_rtt)
+    specs = stability_workload(large_size=large_size, large_cc=large_cc,
+                               small_size=small_size, small_cc=small_cc,
+                               n_small=n_small)
+    result = run_local_testbed(config, specs, until=horizon, seed=seed)
+    delivered = result.telemetry.flow(1).delivered
+    goodput: List[Tuple[float, float]] = []
+    t = 1.0
+    while t <= horizon:
+        goodput.append((t, delivered.rate(t - 1.0, t)))
+        t += 1.0
+    small_fcts = [result.fct_of(fid) for fid in range(2, 2 + n_small)]
+    return Fig16Result(large_cc=large_cc, small_cc=small_cc,
+                       large_fct=result.fct_of(1), small_fcts=small_fcts,
+                       large_goodput=goodput)
+
+
+def format_report(result: Fig16Result) -> str:
+    done = [f for f in result.small_fcts if f is not None]
+    mean_small = sum(done) / len(done) if done else float("nan")
+    peak = max((g for _, g in result.large_goodput), default=0.0)
+    dips = sum(1 for _, g in result.large_goodput if g < 0.5 * peak)
+    rows = [[result.large_cc, result.small_cc,
+             "-" if result.large_fct is None else f"{result.large_fct:.1f} s",
+             f"{mean_small:.2f} s",
+             f"{result.completed_small_flows}/{len(result.small_fcts)}",
+             dips]]
+    return render_table(
+        ["large CCA", "small CCA", "large FCT", "mean small FCT",
+         "small flows done", "seconds below half of peak rate"], rows,
+        title="Fig. 16 — large flow vs twelve sequential small flows")

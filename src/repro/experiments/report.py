@@ -1,0 +1,53 @@
+"""Plain-text table/series rendering for experiment output.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report; this module renders them in fixed-width text so the shape of the
+result is readable directly in test output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render a monospace table with auto-sized columns."""
+    str_rows: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(name: str, points: Sequence[tuple],
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """Render an (x, y) series as aligned rows."""
+    lines = [f"{name}  [{x_label} -> {y_label}]"]
+    for x, y in points:
+        lines.append(f"  {_fmt(x):>12}  {_fmt(y)}")
+    return "\n".join(lines)
+
+
+def pct(value: float) -> str:
+    """Format a ratio as a signed percentage string."""
+    return f"{value * 100:+.1f}%"
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell != 0 and (abs(cell) < 0.001 or abs(cell) >= 100000):
+            return f"{cell:.3e}"
+        return f"{cell:.4g}"
+    return str(cell)

@@ -1,0 +1,141 @@
+"""Experiment execution: single-flow and multi-flow scenario runs.
+
+Mirrors the paper's methodology (Section 6.1): each measurement downloads
+a file over a scenario path, repeated for N iterations with different
+random seeds (seeds drive jitter and bandwidth-variation streams), and the
+kernel-log-style telemetry is collected for analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.metrics.collector import Telemetry
+from repro.metrics.summary import Summary, summarize
+from repro.net.topology import Dumbbell
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.tcp.connection import Transfer, open_transfer
+from repro.workloads.flows import FlowSpec, launch_flows
+from repro.workloads.scenarios import LocalTestbedConfig, PathScenario
+
+
+@dataclass
+class FlowResult:
+    """Outcome of one single-flow run."""
+
+    scenario: str
+    cc: str
+    size_bytes: int
+    seed: int
+    fct: Optional[float]
+    completed: bool
+    retransmissions: int
+    rto_count: int
+    data_packets_sent: int
+    drops: int
+    telemetry: Optional[Telemetry] = None
+    transfer: Optional[Transfer] = None
+
+    @property
+    def loss_rate(self) -> float:
+        if self.data_packets_sent == 0:
+            return 0.0
+        return self.drops / self.data_packets_sent
+
+
+def _deadline(scenario: PathScenario, size_bytes: int) -> float:
+    """Generous wall-clock bound for a download on this path."""
+    ideal = size_bytes / scenario.btl_bw
+    return 60.0 + 40.0 * ideal + 200.0 * scenario.rtt
+
+
+def run_single_flow(scenario: PathScenario, cc: str, size_bytes: int,
+                    seed: int = 0, collect: bool = False,
+                    keep_transfer: bool = False,
+                    delayed_ack: bool = False,
+                    ecn: bool = False,
+                    net: Optional[Dumbbell] = None,
+                    sim: Optional[Simulator] = None) -> FlowResult:
+    """Download ``size_bytes`` over ``scenario`` with algorithm ``cc``.
+
+    A pre-built ``net``/``sim`` pair may be supplied to run over a
+    customised topology (e.g. a CoDel bottleneck) while keeping the
+    scenario's bookkeeping.
+    """
+    if (net is None) != (sim is None):
+        raise ValueError("supply both net and sim, or neither")
+    if sim is None:
+        sim = Simulator()
+        rng = RngRegistry(seed)
+        net = scenario.build(sim, rng)
+    telemetry = Telemetry() if collect else Telemetry(
+        sample_cwnd=False, sample_rtt=False, sample_delivered=False)
+    telemetry.attach_queue(net.bottleneck_queue)
+    transfer = open_transfer(sim, net.servers[0], net.clients[0], flow_id=1,
+                             size_bytes=size_bytes, cc=cc,
+                             delayed_ack=delayed_ack, ecn=ecn,
+                             telemetry=telemetry)
+    sim.run(until=_deadline(scenario, size_bytes))
+    sender = transfer.sender
+    return FlowResult(
+        scenario=scenario.name, cc=cc, size_bytes=size_bytes, seed=seed,
+        fct=transfer.fct, completed=transfer.completed,
+        retransmissions=sender.retransmissions, rto_count=sender.rto_count,
+        data_packets_sent=sender.data_packets_sent,
+        drops=telemetry.flow(1).drops,
+        telemetry=telemetry if collect else None,
+        transfer=transfer if keep_transfer else None)
+
+
+def fct_summary(scenario: PathScenario, cc: str, size_bytes: int,
+                iterations: int, base_seed: int = 0) -> Summary:
+    """Mean/std FCT over ``iterations`` seeded runs (paper: 50 iterations)."""
+    fcts: List[float] = []
+    for i in range(iterations):
+        result = run_single_flow(scenario, cc, size_bytes, seed=base_seed + i)
+        if result.fct is None:
+            raise RuntimeError(
+                f"flow did not complete: {scenario.name} cc={cc} "
+                f"size={size_bytes} seed={base_seed + i}")
+        fcts.append(result.fct)
+    return summarize(fcts)
+
+
+def loss_rate_summary(scenario: PathScenario, cc: str, size_bytes: int,
+                      iterations: int, base_seed: int = 0) -> Summary:
+    """Mean/std packet-loss rate over seeded runs."""
+    rates = []
+    for i in range(iterations):
+        result = run_single_flow(scenario, cc, size_bytes, seed=base_seed + i)
+        rates.append(result.loss_rate)
+    return summarize(rates)
+
+
+@dataclass
+class LocalRun:
+    """Outcome of one multi-flow local-testbed run."""
+
+    sim: Simulator
+    net: Dumbbell
+    transfers: Dict[int, Transfer]
+    telemetry: Telemetry
+
+    def fct_of(self, flow_id: int) -> Optional[float]:
+        return self.transfers[flow_id].fct
+
+
+def run_local_testbed(config: LocalTestbedConfig, specs: Sequence[FlowSpec],
+                      until: float, seed: int = 0,
+                      collect: bool = True) -> LocalRun:
+    """Run a multi-flow workload on the paper's dumbbell testbed."""
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    net = config.build(sim, rng)
+    telemetry = Telemetry() if collect else Telemetry(
+        sample_cwnd=False, sample_rtt=False, sample_delivered=False)
+    transfers = launch_flows(sim, net, specs, telemetry)
+    sim.run(until=until)
+    return LocalRun(sim=sim, net=net, transfers=transfers,
+                    telemetry=telemetry)

@@ -1,0 +1,19 @@
+"""Measurement and aggregation: telemetry, time series, fairness, summaries."""
+
+from repro.metrics.collector import FlowTrace, Telemetry
+from repro.metrics.fairness import fairness_over_time, jain_index
+from repro.metrics.queuemon import QueueMonitor
+from repro.metrics.summary import Summary, improvement, summarize
+from repro.metrics.timeseries import TimeSeries
+
+__all__ = [
+    "QueueMonitor",
+    "FlowTrace",
+    "Telemetry",
+    "fairness_over_time",
+    "jain_index",
+    "Summary",
+    "improvement",
+    "summarize",
+    "TimeSeries",
+]

@@ -1,0 +1,60 @@
+"""Fairness metrics (RFC 5166): Jain's fairness index over goodput.
+
+Used by the Fig. 15 reproduction: ``F = (Σx)² / (n·Σx²)`` computed over
+per-flow goodputs in sliding windows, so the index can be plotted against
+time while flows join a congested bottleneck.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.metrics.timeseries import TimeSeries
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index of ``values`` (goodputs); in (0, 1].
+
+    All-zero input returns 1.0 (no flow is being treated unfairly when
+    nothing is flowing); negative inputs are invalid.
+    """
+    if not values:
+        raise ValueError("need at least one value")
+    if any(v < 0 for v in values):
+        raise ValueError("goodput cannot be negative")
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    # squares can underflow to 0.0 for denormal goodputs even when the sum
+    # does not; treat that as "nothing meaningful is flowing".
+    if total == 0 or squares == 0:
+        return 1.0
+    return min((total * total) / (len(values) * squares), 1.0)
+
+
+def fairness_over_time(delivered: Dict[int, TimeSeries], t_start: float,
+                       t_end: float, window: float = 1.0,
+                       step: float = 0.5) -> List[Tuple[float, float]]:
+    """Jain's index over sliding goodput windows.
+
+    Args:
+        delivered: per-flow cumulative delivered-bytes series.
+        t_start, t_end: evaluation span.
+        window: goodput-averaging window (seconds).
+        step: evaluation step (seconds).
+
+    Returns:
+        List of (time, fairness) points; flows that have not started (or
+        have finished) contribute their actual — possibly zero — goodput,
+        which is exactly what makes a late-starting flow drag the index
+        down until it reaches its fair share.
+    """
+    if not delivered:
+        raise ValueError("need at least one flow")
+    points: List[Tuple[float, float]] = []
+    t = t_start + window
+    while t <= t_end:
+        goodputs = [series.rate(t - window, t)
+                    for series in delivered.values()]
+        points.append((t, jain_index(goodputs)))
+        t += step
+    return points

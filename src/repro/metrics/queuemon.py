@@ -1,0 +1,76 @@
+"""Bottleneck-queue occupancy monitoring.
+
+The paper's burstiness argument (Sections 4 and 6.3) is about queue
+pressure: bursty slow-start doubling piles packets into the bottleneck
+buffer, paced SUSS growth does not.  :class:`QueueMonitor` samples a
+queue's depth on a fixed grid so experiments can report peak/percentile
+occupancy directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.metrics.timeseries import TimeSeries
+from repro.net.queue import DropTailQueue
+from repro.sim.engine import EventHandle, Simulator
+
+
+class QueueMonitor:
+    """Periodically samples a queue's byte occupancy."""
+
+    def __init__(self, sim: Simulator, queue: DropTailQueue,
+                 interval: float = 0.005,
+                 max_duration: Optional[float] = 600.0) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.queue = queue
+        self.interval = interval
+        self.series = TimeSeries("queue_bytes")
+        self._deadline = (sim.now + max_duration
+                          if max_duration is not None else None)
+        self._handle: Optional[EventHandle] = None
+        self._stopped = False
+        self._tick()
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self.series.append(self.sim.now, self.queue.bytes_queued)
+        if self._deadline is not None and self.sim.now >= self._deadline:
+            return
+        self._handle = self.sim.schedule(self.interval, self._tick)
+
+    def stop(self) -> None:
+        """Stop sampling (pending tick is cancelled)."""
+        self._stopped = True
+        if self._handle is not None and self._handle.pending:
+            self._handle.cancel()
+
+    # -- summaries ---------------------------------------------------------
+    def peak(self, t_start: float = 0.0,
+             t_end: Optional[float] = None) -> float:
+        """Maximum occupancy in [t_start, t_end]."""
+        values = self._window(t_start, t_end)
+        return max(values) if values else 0.0
+
+    def percentile(self, q: float, t_start: float = 0.0,
+                   t_end: Optional[float] = None) -> float:
+        """q-th percentile (q in [0, 100]) of occupancy in the window."""
+        if not 0 <= q <= 100:
+            raise ValueError("q must be in [0, 100]")
+        values = sorted(self._window(t_start, t_end))
+        if not values:
+            return 0.0
+        index = min(int(len(values) * q / 100.0), len(values) - 1)
+        return values[index]
+
+    def mean(self, t_start: float = 0.0,
+             t_end: Optional[float] = None) -> float:
+        values = self._window(t_start, t_end)
+        return sum(values) / len(values) if values else 0.0
+
+    def _window(self, t_start: float, t_end: Optional[float]) -> List[float]:
+        return [v for t, v in self.series
+                if t >= t_start and (t_end is None or t <= t_end)]

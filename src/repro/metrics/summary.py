@@ -1,0 +1,49 @@
+"""Aggregate statistics helpers for experiment iterations.
+
+The paper reports means over 50 iterations with standard deviations shown
+as shaded areas; :class:`Summary` carries exactly those aggregates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / standard deviation / extremes of a sample set."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.std:.2g} (n={self.n})"
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary`; requires at least one sample."""
+    if not samples:
+        raise ValueError("need at least one sample")
+    n = len(samples)
+    mean = sum(samples) / n
+    if n > 1:
+        var = sum((x - mean) ** 2 for x in samples) / (n - 1)
+    else:
+        var = 0.0
+    return Summary(n=n, mean=mean, std=math.sqrt(var),
+                   minimum=min(samples), maximum=max(samples))
+
+
+def improvement(baseline: float, improved: float) -> float:
+    """Relative improvement of ``improved`` over ``baseline`` (0.2 = 20%).
+
+    Positive when ``improved`` is smaller (faster FCT, lower loss).
+    """
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return (baseline - improved) / baseline

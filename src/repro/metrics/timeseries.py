@@ -1,0 +1,79 @@
+"""Time-series container for sampled connection state.
+
+The paper's evaluation plots cwnd, RTT, and delivered data against time
+(Figs. 1, 9, 10, 16); a :class:`TimeSeries` is the stored form of those
+curves, with step-interpolation lookup and windowed-rate helpers used to
+compute goodput for the fairness analysis (Fig. 15).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Optional, Tuple
+
+
+class TimeSeries:
+    """Append-only (time, value) series with step semantics."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def append(self, t: float, value: float) -> None:
+        if self.times and t < self.times[-1]:
+            raise ValueError("time must be non-decreasing")
+        self.times.append(t)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        return iter(zip(self.times, self.values))
+
+    @property
+    def empty(self) -> bool:
+        return not self.times
+
+    def value_at(self, t: float) -> Optional[float]:
+        """Step-interpolated value at time ``t`` (last sample <= t)."""
+        idx = bisect.bisect_right(self.times, t) - 1
+        if idx < 0:
+            return None
+        return self.values[idx]
+
+    def window_delta(self, t0: float, t1: float) -> float:
+        """Change in value over [t0, t1] for cumulative series."""
+        if t1 <= t0:
+            raise ValueError("t1 must exceed t0")
+        v0 = self.value_at(t0) or 0.0
+        v1 = self.value_at(t1) or 0.0
+        return v1 - v0
+
+    def rate(self, t0: float, t1: float) -> float:
+        """Mean growth rate over [t0, t1] (goodput for delivered-bytes series)."""
+        return self.window_delta(t0, t1) / (t1 - t0)
+
+    def max_value(self) -> Optional[float]:
+        return max(self.values) if self.values else None
+
+    def min_value(self) -> Optional[float]:
+        return min(self.values) if self.values else None
+
+    def resample(self, interval: float, t_end: Optional[float] = None
+                 ) -> "TimeSeries":
+        """Step-resample at fixed ``interval`` (useful for plotting/export)."""
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        out = TimeSeries(self.name)
+        if self.empty:
+            return out
+        t = self.times[0]
+        end = t_end if t_end is not None else self.times[-1]
+        while t <= end:
+            value = self.value_at(t)
+            if value is not None:
+                out.append(t, value)
+            t += interval
+        return out

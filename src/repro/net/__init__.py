@@ -1,0 +1,44 @@
+"""Network substrate: packets, queues, links, nodes, topologies, impairments."""
+
+from repro.net.link import Link
+from repro.net.netem import (
+    BandwidthProfile,
+    ConstantBandwidth,
+    JitterModel,
+    LossModel,
+    RandomWalkBandwidth,
+    SteppedBandwidth,
+)
+from repro.net.node import Host, Router
+from repro.net.packet import DEFAULT_MSS, HEADER_BYTES, Packet, PacketKind
+from repro.net.queue import CoDelQueue, DropTailQueue
+from repro.net.topology import (
+    BOTTLENECK_PROP_DELAY,
+    Dumbbell,
+    bdp_bytes,
+    build_dumbbell,
+    build_path,
+)
+
+__all__ = [
+    "Link",
+    "BandwidthProfile",
+    "ConstantBandwidth",
+    "SteppedBandwidth",
+    "RandomWalkBandwidth",
+    "JitterModel",
+    "LossModel",
+    "Host",
+    "Router",
+    "Packet",
+    "PacketKind",
+    "DEFAULT_MSS",
+    "HEADER_BYTES",
+    "DropTailQueue",
+    "CoDelQueue",
+    "Dumbbell",
+    "bdp_bytes",
+    "build_dumbbell",
+    "build_path",
+    "BOTTLENECK_PROP_DELAY",
+]

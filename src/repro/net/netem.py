@@ -1,0 +1,162 @@
+"""netem-style impairment models for links.
+
+The paper's local testbed shapes the bottleneck with Linux ``tc netem``
+(rate, delay, jitter, buffer) and its internet-scale testbed exhibits
+natural bandwidth variation on wireless last hops (Appendix B).  This
+module provides the equivalent knobs:
+
+* :class:`ConstantBandwidth` / :class:`SteppedBandwidth` /
+  :class:`RandomWalkBandwidth` — ``BtlBw`` over time;
+* :class:`JitterModel` — per-packet propagation-delay jitter;
+* :class:`LossModel` — random (Bernoulli) packet loss.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+
+class BandwidthProfile:
+    """Base class: bottleneck bandwidth (bytes/second) as a function of time."""
+
+    def rate_at(self, now: float) -> float:
+        raise NotImplementedError
+
+    def mean_rate(self) -> float:
+        """Nominal long-run average rate (used to size BDP-relative buffers)."""
+        raise NotImplementedError
+
+
+class ConstantBandwidth(BandwidthProfile):
+    """Fixed bandwidth (wired links, shaped testbed bottleneck)."""
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.rate = float(rate)
+
+    def rate_at(self, now: float) -> float:
+        return self.rate
+
+    def mean_rate(self) -> float:
+        return self.rate
+
+
+class SteppedBandwidth(BandwidthProfile):
+    """Piecewise-constant bandwidth defined by (start_time, rate) steps."""
+
+    def __init__(self, steps: Sequence[Tuple[float, float]]) -> None:
+        if not steps:
+            raise ValueError("at least one step required")
+        self.steps: List[Tuple[float, float]] = sorted((float(t), float(r)) for t, r in steps)
+        if self.steps[0][0] > 0:
+            raise ValueError("first step must start at or before t=0")
+        if any(r <= 0 for _, r in self.steps):
+            raise ValueError("rates must be positive")
+
+    def rate_at(self, now: float) -> float:
+        rate = self.steps[0][1]
+        for start, r in self.steps:
+            if start <= now:
+                rate = r
+            else:
+                break
+        return rate
+
+    def mean_rate(self) -> float:
+        return sum(r for _, r in self.steps) / len(self.steps)
+
+
+class RandomWalkBandwidth(BandwidthProfile):
+    """Mean-reverting random-walk bandwidth (wireless last hops).
+
+    The rate is resampled every ``hold_time`` seconds as a multiplicative
+    step around ``base_rate``; excursions are clamped to
+    ``[base*(1-span), base*(1+span)]``.  Resampling is driven lazily by
+    query time so the profile needs no scheduled events, and the sequence
+    is fully determined by the supplied RNG.
+    """
+
+    def __init__(self, base_rate: float, span: float = 0.4,
+                 hold_time: float = 0.2, rng: Optional[random.Random] = None) -> None:
+        if base_rate <= 0:
+            raise ValueError("bandwidth must be positive")
+        if not 0 <= span < 1:
+            raise ValueError("span must be in [0, 1)")
+        if hold_time <= 0:
+            raise ValueError("hold_time must be positive")
+        self.base_rate = float(base_rate)
+        self.span = span
+        self.hold_time = hold_time
+        self.rng = rng or random.Random(0)
+        self._epoch = -1
+        self._rate = base_rate
+
+    def rate_at(self, now: float) -> float:
+        epoch = int(now / self.hold_time)
+        while self._epoch < epoch:
+            self._epoch += 1
+            # Mean-reverting multiplicative step.
+            drift = 0.5 * (self.base_rate - self._rate)
+            shock = self.rng.gauss(0.0, 0.25 * self.span * self.base_rate)
+            rate = self._rate + drift + shock
+            lo = self.base_rate * (1 - self.span)
+            hi = self.base_rate * (1 + self.span)
+            self._rate = min(max(rate, lo), hi)
+        return self._rate
+
+    def mean_rate(self) -> float:
+        return self.base_rate
+
+
+class JitterModel:
+    """Slowly-varying extra path delay (cellular/WiFi delay jitter).
+
+    Real last-hop delay variation comes from scheduling and queueing and is
+    strongly correlated across consecutive packets — it is a drifting delay
+    *offset*, not i.i.d. per-packet noise (i.i.d. noise would destroy
+    inter-packet spacing and, with FIFO clamping, fabricate ACK-train gaps
+    that never occur on real paths).  This model evolves the offset as a
+    mean-reverting (Ornstein-Uhlenbeck-like) process with time constant
+    ``tau``; ``jitter`` sets both the mean extra delay and the excursion
+    scale, and samples stay within ``[0, 4 * jitter]``.
+    """
+
+    def __init__(self, jitter: float, rng: Optional[random.Random] = None,
+                 tau: float = 0.1) -> None:
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        if tau <= 0:
+            raise ValueError("tau must be positive")
+        self.jitter = jitter
+        self.tau = tau
+        self.rng = rng or random.Random(0)
+        self._value = jitter
+        self._last_time = 0.0
+
+    def sample(self, now: float = 0.0) -> float:
+        """Extra delay for a packet departing at time ``now``."""
+        if self.jitter == 0:
+            return 0.0
+        dt = max(now - self._last_time, 0.0)
+        self._last_time = now
+        alpha = min(dt / self.tau, 1.0)
+        drift = alpha * (self.jitter - self._value)
+        shock = self.rng.gauss(0.0, self.jitter * (alpha ** 0.5))
+        self._value = min(max(self._value + drift + shock, 0.0),
+                          4.0 * self.jitter)
+        return self._value
+
+
+class LossModel:
+    """Bernoulli random loss (netem ``loss <p>%``)."""
+
+    def __init__(self, loss_rate: float, rng: Optional[random.Random] = None) -> None:
+        if not 0 <= loss_rate < 1:
+            raise ValueError("loss rate must be in [0, 1)")
+        self.loss_rate = loss_rate
+        self.rng = rng or random.Random(0)
+
+    def drops(self) -> bool:
+        return self.loss_rate > 0 and self.rng.random() < self.loss_rate

@@ -1,0 +1,83 @@
+"""Network nodes: hosts (endpoints) and routers (forwarders)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Protocol
+
+from repro.net.link import Link
+from repro.net.packet import Packet
+
+
+class Endpoint(Protocol):
+    """A transport endpoint attached to a host (TCP sender or receiver)."""
+
+    def on_packet(self, packet: Packet) -> None: ...
+
+
+class Host:
+    """An end host: owns an uplink and dispatches packets to endpoints.
+
+    Endpoints register with :meth:`attach` under their flow id; inbound
+    packets are delivered to the endpoint registered for their flow.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.uplink: Optional[Link] = None
+        self._endpoints: Dict[int, Endpoint] = {}
+        self.packets_received = 0
+        self.unroutable = 0
+
+    def attach(self, flow_id: int, endpoint: Endpoint) -> None:
+        if flow_id in self._endpoints:
+            raise ValueError(f"flow {flow_id} already attached to host {self.name}")
+        self._endpoints[flow_id] = endpoint
+
+    def detach(self, flow_id: int) -> None:
+        self._endpoints.pop(flow_id, None)
+
+    def transmit(self, packet: Packet) -> bool:
+        """Send a packet out of this host's uplink."""
+        if self.uplink is None:
+            raise RuntimeError(f"host {self.name} has no uplink")
+        return self.uplink.send(packet)
+
+    def receive(self, packet: Packet) -> None:
+        self.packets_received += 1
+        endpoint = self._endpoints.get(packet.flow_id)
+        if endpoint is None:
+            self.unroutable += 1
+            return
+        endpoint.on_packet(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Host {self.name}>"
+
+
+class Router:
+    """Static-routing packet forwarder.
+
+    ``add_route(dst_host_name, link)`` installs a next-hop link; packets
+    for unknown destinations fall back to ``default_route`` when set.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._routes: Dict[str, Link] = {}
+        self.default_route: Optional[Link] = None
+        self.packets_forwarded = 0
+        self.unroutable = 0
+
+    def add_route(self, dst: str, link: Link) -> None:
+        self._routes[dst] = link
+
+    def receive(self, packet: Packet) -> None:
+        link = self._routes.get(packet.dst, self.default_route)
+        if link is None:
+            self.unroutable += 1
+            return
+        self.packets_forwarded += 1
+        link.send(packet)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Router {self.name}>"

@@ -1,0 +1,164 @@
+"""Bottleneck buffer disciplines: drop-tail FIFO and CoDel.
+
+Queues sit in front of a :class:`repro.net.link.Link` and absorb bursts.
+``DropTailQueue`` is what the paper's testbed router (Linux + netem) uses;
+``CoDelQueue`` implements the RFC 8289 control law and is provided for the
+AQM-related discussion in Section 2.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.net.packet import Packet
+
+DropCallback = Callable[[Packet, str], None]
+
+
+class DropTailQueue:
+    """Byte-capacity FIFO queue that drops arriving packets when full."""
+
+    def __init__(self, capacity_bytes: int, name: str = "queue",
+                 on_drop: Optional[DropCallback] = None) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("queue capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.name = name
+        self.on_drop = on_drop
+        self._q: Deque[Packet] = deque()
+        self._bytes = 0
+        self.drops = 0
+        self.enqueued = 0
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    @property
+    def bytes_queued(self) -> int:
+        return self._bytes
+
+    @property
+    def occupancy(self) -> float:
+        """Fill level in [0, 1]."""
+        return self._bytes / self.capacity_bytes
+
+    def push(self, packet: Packet) -> bool:
+        """Enqueue ``packet``; returns False (and counts a drop) when full."""
+        if self._bytes + packet.size > self.capacity_bytes:
+            self.drops += 1
+            if self.on_drop is not None:
+                self.on_drop(packet, self.name)
+            return False
+        self._q.append(packet)
+        self._bytes += packet.size
+        self.enqueued += 1
+        return True
+
+    def pop(self, now: float = 0.0) -> Optional[Packet]:
+        """Dequeue the head packet, or None when empty."""
+        if not self._q:
+            return None
+        packet = self._q.popleft()
+        self._bytes -= packet.size
+        return packet
+
+
+class CoDelQueue(DropTailQueue):
+    """Controlled-delay AQM (RFC 8289) on top of a byte-capacity FIFO.
+
+    Packets are timestamped on entry; when the head packet has queued for
+    more than ``target`` during a whole ``interval``, CoDel enters dropping
+    state and drops head packets at increasing frequency
+    (``interval / sqrt(count)``).
+    """
+
+    def __init__(self, capacity_bytes: int, name: str = "codel",
+                 target: float = 0.005, interval: float = 0.100,
+                 ecn: bool = False,
+                 on_drop: Optional[DropCallback] = None) -> None:
+        super().__init__(capacity_bytes, name, on_drop)
+        self.target = target
+        self.interval = interval
+        #: mark ECN-capable packets (CE) instead of dropping them
+        self.ecn = ecn
+        self.marks = 0
+        self._enqueue_time: Deque[float] = deque()
+        self._first_above_time = 0.0
+        self._dropping = False
+        self._drop_next = 0.0
+        self._count = 0
+
+    def push(self, packet: Packet) -> bool:
+        ok = super().push(packet)
+        if ok:
+            self._enqueue_time.append(self._now_hint)
+        return ok
+
+    # CoDel needs the current time at enqueue; callers set this before push.
+    _now_hint: float = 0.0
+
+    def set_now(self, now: float) -> None:
+        self._now_hint = now
+
+    def _sojourn_ok(self, now: float) -> bool:
+        """Return True when the head packet should be delivered (not dropped)."""
+        if not self._q:
+            self._first_above_time = 0.0
+            return True
+        sojourn = now - self._enqueue_time[0]
+        if sojourn < self.target or self._bytes <= 2 * 1500:
+            self._first_above_time = 0.0
+            return True
+        if self._first_above_time == 0.0:
+            self._first_above_time = now + self.interval
+            return True
+        return now < self._first_above_time
+
+    def pop(self, now: float = 0.0) -> Optional[Packet]:
+        while self._q:
+            ok = self._sojourn_ok(now)
+            if not self._dropping:
+                if ok or (now < self._drop_next and self._count > 0):
+                    break
+                self._dropping = True
+                self._count = max(1, self._count - 2) if now - self._drop_next < self.interval else 1
+                self._drop_next = now + self.interval / math.sqrt(self._count)
+                if not self._drop_head(now):
+                    break  # head was CE-marked: deliver it
+                continue
+            # dropping state
+            if ok:
+                self._dropping = False
+                break
+            if now >= self._drop_next:
+                self._count += 1
+                self._drop_next = now + self.interval / math.sqrt(self._count)
+                if not self._drop_head(now):
+                    break
+                continue
+            break
+        packet = super().pop(now)
+        if packet is not None and self._enqueue_time:
+            self._enqueue_time.popleft()
+        return packet
+
+    def _drop_head(self, now: float) -> bool:
+        """Drop (or CE-mark) the head packet; True when it was removed."""
+        if not self._q:
+            return False
+        if self.ecn and self._q[0].ect:
+            # RFC 3168 / RFC 8289: mark instead of dropping when the
+            # transport is ECN-capable.  The control law proceeds as if a
+            # drop happened; the packet is delivered carrying CE.
+            self._q[0].ce = True
+            self.marks += 1
+            return False
+        packet = self._q.popleft()
+        self._enqueue_time.popleft()
+        self._bytes -= packet.size
+        self.drops += 1
+        if self.on_drop is not None:
+            self.on_drop(packet, self.name)
+        return True

@@ -1,0 +1,15 @@
+"""Discrete-event simulation core: event loop, timers, seeded RNG streams."""
+
+from repro.sim.engine import EventHandle, SimulationError, Simulator
+from repro.sim.process import Process, spawn
+from repro.sim.rng import RngRegistry, derive_seed
+
+__all__ = [
+    "EventHandle",
+    "SimulationError",
+    "Simulator",
+    "Process",
+    "spawn",
+    "RngRegistry",
+    "derive_seed",
+]

@@ -1,0 +1,174 @@
+"""Discrete-event simulation engine.
+
+The engine is a classic calendar queue built on a binary heap.  Everything
+else in the repository (links, routers, TCP endpoints, experiment harnesses)
+schedules work through a :class:`Simulator` instance, which guarantees:
+
+* events fire in non-decreasing time order;
+* events scheduled for the same instant fire in scheduling order (FIFO),
+  which makes runs fully deterministic for a fixed seed;
+* cancelled events are skipped without disturbing the ordering of the rest.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(Exception):
+    """Raised for invalid uses of the simulation engine."""
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`; supports cancellation.
+
+    A handle stays valid after the event fires; cancelling a fired event is
+    a harmless no-op so callers do not need to track firing themselves.
+    """
+
+    __slots__ = ("time", "callback", "args", "_cancelled", "_fired")
+
+    def __init__(self, time: float, callback: Callable[..., None], args: Tuple[Any, ...]):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self._cancelled = False
+        self._fired = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call more than once."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still waiting to fire."""
+        return not self._cancelled and not self._fired
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else ("fired" if self._fired else "pending")
+        return f"<EventHandle t={self.time:.6f} {state} {getattr(self.callback, '__name__', self.callback)}>"
+
+
+class Simulator:
+    """Event loop with a virtual clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.5, lambda: print("fires at t=1.5"))
+        sim.run()
+
+    The clock starts at ``0.0`` and only advances when :meth:`run` (or
+    :meth:`run_until` / :meth:`step`) processes events.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[Tuple[float, int, EventHandle]] = []
+        self._counter = itertools.count()
+        self._running = False
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events that have fired so far (cancelled ones excluded)."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (may include cancelled entries)."""
+        return sum(1 for _, _, h in self._heap if h.pending)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, when: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute simulation time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (when={when}, now={self._now})"
+            )
+        handle = EventHandle(when, callback, args)
+        heapq.heappush(self._heap, (when, next(self._counter), handle))
+        return handle
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next pending event.  Returns False if the queue is empty."""
+        while self._heap:
+            when, _, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = when
+            handle._fired = True
+            self._processed += 1
+            handle.callback(*handle.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains, ``until`` is reached, or ``max_events`` fire.
+
+        ``until`` is an absolute simulation time; events at exactly ``until``
+        still fire.  When the run stops because of ``until``, the clock is
+        advanced to ``until`` even if no event fired there, so repeated
+        ``run(until=...)`` calls behave like a progressing wall clock.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                when, _, handle = self._heap[0]
+                if handle.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and when > until:
+                    break
+                if max_events is not None and fired >= max_events:
+                    break
+                heapq.heappop(self._heap)
+                self._now = when
+                handle._fired = True
+                self._processed += 1
+                handle.callback(*handle.args)
+                fired += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+
+    def run_until(self, when: float) -> None:
+        """Alias for ``run(until=when)``."""
+        self.run(until=when)
+
+    def clear(self) -> None:
+        """Drop all pending events (the clock is left where it is)."""
+        self._heap.clear()

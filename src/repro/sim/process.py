@@ -1,0 +1,74 @@
+"""Generator-based simulation processes.
+
+Event callbacks are ideal for protocol machinery, but experiment scripts
+often read better as sequential processes ("wait 2 s, start a flow, wait
+for it, start the next").  :func:`spawn` runs a generator as such a
+process: the generator yields either a delay in seconds (float/int) or
+another :class:`Process` to join.
+
+Example::
+
+    def scenario(sim):
+        yield 2.0                      # sleep 2 simulated seconds
+        child = spawn(sim, worker(sim))
+        yield child                    # join the child process
+        print("done at", sim.now)
+
+    spawn(sim, scenario(sim))
+    sim.run()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Union
+
+from repro.sim.engine import Simulator
+
+Yieldable = Union[float, int, "Process"]
+
+
+class Process:
+    """Handle for a spawned generator process."""
+
+    def __init__(self, sim: Simulator,
+                 generator: Generator[Yieldable, Any, Any]) -> None:
+        self.sim = sim
+        self.generator = generator
+        self.finished = False
+        self.result: Any = None
+        self._waiters: List["Process"] = []
+
+    # ------------------------------------------------------------------
+    def _step(self, value: Any = None) -> None:
+        try:
+            yielded = self.generator.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        if isinstance(yielded, Process):
+            if yielded.finished:
+                self.sim.schedule(0.0, self._step, yielded.result)
+            else:
+                yielded._waiters.append(self)
+        elif isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise ValueError("cannot sleep a negative duration")
+            self.sim.schedule(float(yielded), self._step, None)
+        else:
+            raise TypeError(
+                f"process yielded {yielded!r}; expected a delay or Process")
+
+    def _finish(self, result: Any) -> None:
+        self.finished = True
+        self.result = result
+        for waiter in self._waiters:
+            self.sim.schedule(0.0, waiter._step, result)
+        self._waiters.clear()
+
+
+def spawn(sim: Simulator,
+          generator: Generator[Yieldable, Any, Any]) -> Process:
+    """Start ``generator`` as a process at the current simulation time."""
+    process = Process(sim, generator)
+    sim.schedule(0.0, process._step, None)
+    return process

@@ -1,0 +1,21 @@
+"""Simulated TCP stack: sender, receiver, RTT estimation, pacing, wiring."""
+
+from repro.tcp.connection import Transfer, open_transfer
+from repro.tcp.pacer import Pacer
+from repro.tcp.receiver import TcpReceiver
+from repro.tcp.rtt import RttEstimator
+from repro.tcp.sender import DEFAULT_IW_SEGMENTS, DUPACK_THRESHOLD, TcpSender
+from repro.tcp.stream import StreamingSource, open_stream
+
+__all__ = [
+    "StreamingSource",
+    "open_stream",
+    "Transfer",
+    "open_transfer",
+    "Pacer",
+    "TcpReceiver",
+    "RttEstimator",
+    "TcpSender",
+    "DEFAULT_IW_SEGMENTS",
+    "DUPACK_THRESHOLD",
+]

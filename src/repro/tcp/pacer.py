@@ -1,0 +1,44 @@
+"""Token-style packet pacer.
+
+Used by rate-based congestion controls (BBR) and available to any sender.
+The pacer answers two questions: *may I send now?* and *when may I next
+send?* — the sender schedules a wake-up for the latter.  A ``rate`` of
+``None`` disables pacing (pure ACK clocking, like default CUBIC).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Pacer:
+    """Serialises departures so they never exceed the configured rate."""
+
+    def __init__(self) -> None:
+        self.rate: Optional[float] = None
+        self._next_send_time = 0.0
+
+    def set_rate(self, rate: Optional[float]) -> None:
+        """Update the pacing rate (bytes/second); None disables pacing."""
+        if rate is not None and rate <= 0:
+            raise ValueError(f"pacing rate must be positive, got {rate}")
+        self.rate = rate
+
+    def can_send(self, now: float) -> bool:
+        return self.rate is None or now >= self._next_send_time
+
+    def next_send_time(self, now: float) -> float:
+        """Earliest time a packet may depart."""
+        if self.rate is None:
+            return now
+        return max(now, self._next_send_time)
+
+    def note_sent(self, now: float, nbytes: int) -> None:
+        """Account for a departure of ``nbytes`` at time ``now``."""
+        if self.rate is None:
+            return
+        start = max(now, self._next_send_time)
+        self._next_send_time = start + nbytes / self.rate
+
+    def reset(self) -> None:
+        self._next_send_time = 0.0

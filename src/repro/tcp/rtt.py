@@ -1,0 +1,71 @@
+"""RTT estimation (RFC 6298) and minimum-RTT tracking.
+
+Besides the smoothed RTT / RTO machinery every TCP needs, this module
+tracks the two quantities SUSS's theory depends on (Section 3 of the
+paper): ``minRTT`` — the minimum RTT since connection start — and the
+*round index* at which ``minRTT`` was last updated, from which SUSS derives
+``r`` (rounds since the last minRTT update) for Condition 2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Lower bound for the retransmission timeout (Linux uses 200 ms).
+RTO_MIN = 0.2
+#: Upper bound for the retransmission timeout.
+RTO_MAX = 60.0
+#: RTO before any RTT sample exists (RFC 6298 initial value, scaled down
+#: from 3 s to 1 s per the RFC 8961 discussion / Linux behaviour).
+RTO_INITIAL = 1.0
+
+
+class RttEstimator:
+    """SRTT/RTTVAR/RTO per RFC 6298 plus min-RTT bookkeeping."""
+
+    ALPHA = 1.0 / 8.0
+    BETA = 1.0 / 4.0
+    K = 4.0
+
+    def __init__(self) -> None:
+        self.srtt: Optional[float] = None
+        self.rttvar: Optional[float] = None
+        self.latest: Optional[float] = None
+        self.min_rtt: Optional[float] = None
+        self.min_rtt_round: int = 0
+        self.samples = 0
+
+    def update(self, sample: float, round_index: int = 0) -> None:
+        """Fold in a new RTT sample taken during delivery round ``round_index``."""
+        if sample <= 0:
+            raise ValueError(f"RTT sample must be positive, got {sample}")
+        self.latest = sample
+        self.samples += 1
+        if self.min_rtt is None or sample < self.min_rtt:
+            self.min_rtt = sample
+            self.min_rtt_round = round_index
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample / 2.0
+        else:
+            assert self.rttvar is not None
+            self.rttvar = (1 - self.BETA) * self.rttvar + self.BETA * abs(self.srtt - sample)
+            self.srtt = (1 - self.ALPHA) * self.srtt + self.ALPHA * sample
+
+    @property
+    def rto(self) -> float:
+        """Current retransmission timeout.
+
+        As in Linux (``tcp_rtt_estimator``), the variance term is floored
+        at RTO_MIN: ``rto = srtt + max(4 * rttvar, RTO_MIN)``.  Without the
+        floor, stable RTT samples drive rttvar toward zero and the RTO
+        toward one RTT — which spuriously fires during slow start's
+        natural ACK silence between rounds.
+        """
+        if self.srtt is None or self.rttvar is None:
+            return RTO_INITIAL
+        return min(self.srtt + max(self.K * self.rttvar, RTO_MIN), RTO_MAX)
+
+    def rounds_since_min_update(self, current_round: int) -> int:
+        """``r`` in the paper: rounds elapsed since minRTT was last lowered."""
+        return max(current_round - self.min_rtt_round, 0)

@@ -1,0 +1,466 @@
+"""TCP sender: windows, SACK-based loss recovery, timers, CC integration.
+
+The sender implements the transport machinery the paper's kernel patch
+relies on, in simulation form:
+
+* sequence tracking (``snd_una`` / ``snd_nxt``) for a one-way bulk transfer;
+* a simplified SYN/SYN-ACK handshake that seeds the RTT estimator — the
+  handshake RTT is TCP's first ``minRTT`` observation, which SUSS uses;
+* SACK-based fast recovery: the receiver reports out-of-order intervals,
+  the sender keeps a scoreboard and retransmits every hole as the window
+  allows (the kernel's behaviour with SACK enabled, which it is virtually
+  everywhere the paper measured);
+* RTO with go-back-N over un-SACKed sequence space;
+* delivery-rate samples per ACK (for BBR's bandwidth filter);
+* round accounting (a round ends when the first segment of the previous
+  round is cumulatively acknowledged), which CUBIC/HyStart/SUSS consume;
+* optional pacing driven by the congestion control's ``pacing_rate``.
+
+The receive window models a large client buffer and never constrains the
+transfers studied here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+from repro.cc.base import AckInfo, CongestionControl
+from repro.net.node import Host
+from repro.net.packet import DEFAULT_MSS, Packet, PacketKind
+from repro.sim.engine import EventHandle, Simulator
+from repro.tcp.pacer import Pacer
+from repro.tcp.rtt import RttEstimator
+
+DUPACK_THRESHOLD = 3
+#: Default initial window, RFC 6928 (10 segments).
+DEFAULT_IW_SEGMENTS = 10
+#: Exponential RTO backoff cap.
+MAX_RTO_BACKOFF = 64.0
+
+Interval = Tuple[int, int]
+
+
+def _merge_intervals(intervals: List[Interval]) -> List[Interval]:
+    """Merge possibly-overlapping [start, end) intervals (sorted output)."""
+    merged: List[Interval] = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+class TcpSender:
+    """Sending endpoint of a simulated TCP connection."""
+
+    def __init__(self, sim: Simulator, host: Host, peer: str, flow_id: int,
+                 total_bytes: int, cc: CongestionControl,
+                 mss: int = DEFAULT_MSS,
+                 iw_segments: int = DEFAULT_IW_SEGMENTS,
+                 rwnd: int = 1 << 30,
+                 ecn: bool = False,
+                 telemetry: Optional[object] = None,
+                 on_complete: Optional[Callable[["TcpSender"], None]] = None) -> None:
+        if total_bytes <= 0:
+            raise ValueError("total_bytes must be positive")
+        self.sim = sim
+        self.host = host
+        self.peer = peer
+        self.flow_id = flow_id
+        self.total_bytes = total_bytes
+        self.mss = mss
+        self.iw_bytes = iw_segments * mss
+        self.rwnd = rwnd
+        self.ecn = ecn
+        self.telemetry = telemetry
+        self.on_complete = on_complete
+
+        # ECN reaction state (react at most once per window, RFC 3168)
+        self._ecn_reacted_high = 0
+        self._cwr_pending = False
+        self.ecn_reductions = 0
+
+        self.rtt = RttEstimator()
+        self.pacer = Pacer()
+
+        # sequence state
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self.max_sent_seq = 0
+        self.dup_acks = 0
+
+        # SACK scoreboard: merged [start, end) intervals above snd_una that
+        # the receiver holds, plus which holes were already retransmitted
+        # in the current recovery episode.
+        self.sacked: List[Interval] = []
+        self._retx_marked: set = set()
+        self._retx_outstanding = 0  # retransmitted bytes still in flight
+
+        # recovery state
+        self.in_recovery = False
+        self.recovery_point = 0
+
+        # rounds (paper Section 3: round(i) definitions)
+        self.round_index = 1
+        self.round_end_seq = 0
+
+        # delivery-rate bookkeeping (for BBR)
+        self.delivered = 0
+        self.delivered_time = 0.0
+        self._rate_records: Deque[Tuple[int, float, int, float]] = deque()
+        # entries: (end_seq, sent_time, delivered_at_send, delivered_time_at_send)
+
+        # timers
+        self._rto_handle: Optional[EventHandle] = None
+        self._rto_backoff = 1.0
+        self._pacer_wake: Optional[EventHandle] = None
+
+        #: False while a streaming application may still extend the flow
+        #: (see repro.tcp.stream); completion waits for it.
+        self.finished_writing = True
+
+        # statistics
+        self.started = False
+        self.handshake_done = False
+        self.completed = False
+        self.start_time: Optional[float] = None
+        self.data_start_time: Optional[float] = None
+        self.completion_time: Optional[float] = None
+        self.retransmissions = 0
+        self.rto_count = 0
+        self.fast_retransmits = 0
+        self.data_packets_sent = 0
+
+        self.cc = cc
+        cc.attach(self)
+        host.attach(flow_id, self)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Initiate the connection (sends the handshake)."""
+        if self.started:
+            raise RuntimeError("sender already started")
+        self.started = True
+        self.start_time = self.sim.now
+        syn = Packet(flow_id=self.flow_id, src=self.host.name, dst=self.peer,
+                     kind=PacketKind.SYN, sent_time=self.sim.now)
+        self.host.transmit(syn)
+        self._arm_rto()
+
+    @property
+    def fct(self) -> Optional[float]:
+        """Flow completion time (handshake included), or None if unfinished."""
+        if self.completion_time is None or self.start_time is None:
+            return None
+        return self.completion_time - self.start_time
+
+    @property
+    def sacked_bytes(self) -> int:
+        return sum(end - start for start, end in self.sacked)
+
+    @property
+    def bytes_in_flight(self) -> int:
+        """Conservative pipe estimate: sent minus cum-acked minus SACKed,
+        plus retransmissions believed still in the network."""
+        flight = self.snd_nxt - self.snd_una - self.sacked_bytes \
+            + self._retx_outstanding
+        return max(flight, 0)
+
+    @property
+    def app_limited(self) -> bool:
+        """True when the flow has no more new data to send."""
+        return self.snd_nxt >= self.total_bytes
+
+    # ------------------------------------------------------------------
+    # packet arrival
+    # ------------------------------------------------------------------
+    def on_packet(self, packet: Packet) -> None:
+        if self.completed:
+            return
+        if packet.kind is PacketKind.SYNACK:
+            self._on_synack(packet)
+        elif packet.kind is PacketKind.ACK:
+            self._on_ack(packet)
+
+    def _on_synack(self, packet: Packet) -> None:
+        if self.handshake_done:
+            return
+        self.handshake_done = True
+        assert self.start_time is not None
+        self.rtt.update(self.sim.now - self.start_time, self.round_index)
+        self.data_start_time = self.sim.now
+        self._rto_backoff = 1.0
+        self.cc.on_data_start(self.sim.now)
+        self._arm_rto()
+        self._maybe_send()
+
+    # ------------------------------------------------------------------
+    def _on_ack(self, packet: Packet) -> None:
+        now = self.sim.now
+        rtt_sample: Optional[float] = None
+        if packet.ts_echo is not None:
+            rtt_sample = now - packet.ts_echo
+            if rtt_sample > 0:
+                self.rtt.update(rtt_sample, self.round_index)
+                if self.telemetry is not None:
+                    self.telemetry.on_rtt(self.flow_id, now, rtt_sample)
+
+        self._merge_sack(packet)
+
+        if self.ecn and packet.ece and self.snd_una >= self._ecn_reacted_high:
+            # One multiplicative decrease per window of ECN signals.
+            self._ecn_reacted_high = self.snd_nxt
+            self._cwr_pending = True
+            self.ecn_reductions += 1
+            self.cc.on_ecn(now)
+
+        if packet.ack_seq > self.snd_una:
+            self._on_new_ack(packet, now, rtt_sample)
+        elif packet.ack_seq == self.snd_una and self.snd_nxt > self.snd_una:
+            self._on_dupack(now)
+        self._maybe_send()
+
+    def _merge_sack(self, packet: Packet) -> None:
+        floor = max(packet.ack_seq, self.snd_una)
+        blocks = [(max(s, floor), e) for s, e in (packet.sack or ())
+                  if e > floor]
+        if blocks:
+            self.sacked = _merge_intervals(self.sacked + blocks)
+        if self.sacked:
+            self.sacked = [(max(s, floor), e) for s, e in self.sacked
+                           if e > floor]
+
+    def _on_new_ack(self, packet: Packet, now: float,
+                    rtt_sample: Optional[float]) -> None:
+        acked = packet.ack_seq - self.snd_una
+        self.snd_una = packet.ack_seq
+        self.dup_acks = 0
+        self.delivered += acked
+        self.delivered_time = now
+        self._retx_outstanding = max(self._retx_outstanding
+                                     - min(acked, self.mss), 0)
+        rate_sample = self._take_rate_sample(packet.ack_seq, now)
+
+        # round bookkeeping: the ACK of the first segment of the previous
+        # round has arrived once snd_una passes that round's end marker.
+        if self.snd_una > self.round_end_seq:
+            self.round_index += 1
+            self.round_end_seq = self.snd_nxt
+            self.cc.on_round_start(now, self.round_index)
+
+        if self.in_recovery:
+            if self.snd_una >= self.recovery_point:
+                self.in_recovery = False
+                self._retx_marked = {s for s in self._retx_marked
+                                     if s >= self.snd_una}
+                self._retx_outstanding = 0
+                self.cc.on_recovery_exit(now)
+            else:
+                # Partial ACK: keep filling holes from the scoreboard.
+                self._retransmit_holes()
+
+        info = AckInfo(now=now, acked_bytes=acked, ack_seq=packet.ack_seq,
+                       rtt_sample=rtt_sample, flight=self.bytes_in_flight,
+                       delivery_rate=rate_sample, app_limited=self.app_limited,
+                       in_recovery=self.in_recovery)
+        self.cc.on_ack(info)
+
+        if self.telemetry is not None:
+            self.telemetry.on_cwnd(self.flow_id, now, self.cc.cwnd,
+                                   self.bytes_in_flight)
+
+        self._rto_backoff = 1.0
+        if self.snd_una >= self.total_bytes and self.finished_writing:
+            self._complete(now)
+        else:
+            self._arm_rto()
+
+    def _on_dupack(self, now: float) -> None:
+        self.dup_acks += 1
+        self.cc.on_dupack(now)
+        if not self.in_recovery and (
+                self.dup_acks >= DUPACK_THRESHOLD
+                or self.sacked_bytes > DUPACK_THRESHOLD * self.mss):
+            self.in_recovery = True
+            self.recovery_point = self.snd_nxt
+            self.fast_retransmits += 1
+            # Retransmit marks persist across episodes (pruned below
+            # snd_una) so back-to-back episodes do not re-send holes whose
+            # retransmissions are still in flight; a lost retransmission
+            # is recovered by the RTO.
+            self._retx_marked = {s for s in self._retx_marked
+                                 if s >= self.snd_una}
+            self.cc.on_loss(now)
+            self._retransmit_holes()
+        elif self.in_recovery:
+            # Each further SACK frees pipe; fill more holes if possible.
+            self._retransmit_holes()
+
+    # ------------------------------------------------------------------
+    # scoreboard
+    # ------------------------------------------------------------------
+    def _holes(self) -> List[Interval]:
+        """Un-SACKed gaps between snd_una and the highest SACKed byte."""
+        if not self.sacked:
+            return [(self.snd_una, min(self.snd_una + self.mss,
+                                       self.total_bytes))]
+        holes: List[Interval] = []
+        cursor = self.snd_una
+        for start, end in self.sacked:
+            if start > cursor:
+                holes.append((cursor, start))
+            cursor = max(cursor, end)
+        return holes
+
+    def _retransmit_holes(self) -> None:
+        """Retransmit scoreboard holes while the window allows."""
+        for hole_start, hole_end in self._holes():
+            seq = hole_start
+            while seq < hole_end:
+                size = min(self.mss, hole_end - seq,
+                           self.total_bytes - seq)
+                if size <= 0:
+                    return
+                if seq not in self._retx_marked:
+                    if self.bytes_in_flight + size > self.cc.cwnd:
+                        return
+                    self._retx_marked.add(seq)
+                    self._retx_outstanding += size
+                    self._send_segment(seq, size, retransmit=True)
+                    self._arm_rto()
+                seq += size
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+    def kick(self) -> None:
+        """Re-evaluate transmission opportunities (e.g. after a cwnd change
+        made by the congestion control outside of ACK processing)."""
+        self._maybe_send()
+
+    def _maybe_send(self) -> None:
+        if self.completed or not self.handshake_done:
+            return
+        self.pacer.set_rate(self.cc.pacing_rate)
+        while self.snd_nxt < self.total_bytes:
+            # Skip sequence space the receiver already holds (possible
+            # after an RTO rolled snd_nxt back).
+            if self._skip_sacked():
+                continue
+            seg = min(self.mss, self.total_bytes - self.snd_nxt)
+            window = min(self.cc.cwnd, self.rwnd)
+            if self.bytes_in_flight + seg > window:
+                break
+            now = self.sim.now
+            if not self.pacer.can_send(now):
+                self._schedule_pacer_wake(self.pacer.next_send_time(now))
+                break
+            is_retx = self.snd_nxt < self.max_sent_seq
+            self._send_segment(self.snd_nxt, seg, retransmit=is_retx)
+            self.snd_nxt += seg
+            self.max_sent_seq = max(self.max_sent_seq, self.snd_nxt)
+            self.pacer.note_sent(now, seg)
+        if self.bytes_in_flight > 0 and (self._rto_handle is None
+                                         or not self._rto_handle.pending):
+            self._arm_rto()
+
+    def _skip_sacked(self) -> bool:
+        """Advance snd_nxt over fully-SACKed space; True when it moved."""
+        for start, end in self.sacked:
+            if start <= self.snd_nxt < end:
+                self.snd_nxt = min(end, self.total_bytes)
+                self.max_sent_seq = max(self.max_sent_seq, self.snd_nxt)
+                return True
+        return False
+
+    def _send_segment(self, seq: int, size: int, retransmit: bool) -> None:
+        now = self.sim.now
+        pkt = Packet(flow_id=self.flow_id, src=self.host.name, dst=self.peer,
+                     kind=PacketKind.DATA, seq=seq, payload=size,
+                     sent_time=now, retransmit=retransmit,
+                     ect=self.ecn, cwr=self._cwr_pending)
+        self._cwr_pending = False
+        self.data_packets_sent += 1
+        if retransmit:
+            self.retransmissions += 1
+        else:
+            self._rate_records.append((seq + size, now, self.delivered,
+                                       self.delivered_time))
+        if self.telemetry is not None:
+            self.telemetry.on_send(self.flow_id, now, pkt, retransmit)
+        self.host.transmit(pkt)
+
+    def _schedule_pacer_wake(self, when: float) -> None:
+        if self._pacer_wake is not None and self._pacer_wake.pending:
+            return
+        self._pacer_wake = self.sim.schedule_at(when, self._maybe_send)
+
+    # ------------------------------------------------------------------
+    # delivery-rate sampling
+    # ------------------------------------------------------------------
+    def _take_rate_sample(self, ack_seq: int, now: float) -> Optional[float]:
+        record = None
+        while self._rate_records and self._rate_records[0][0] <= ack_seq:
+            record = self._rate_records.popleft()
+        if record is None:
+            return None
+        _, sent_time, delivered_at_send, _ = record
+        interval = now - sent_time
+        if interval <= 0:
+            return None
+        return (self.delivered - delivered_at_send) / interval
+
+    # ------------------------------------------------------------------
+    # timers
+    # ------------------------------------------------------------------
+    def _arm_rto(self) -> None:
+        if self._rto_handle is not None and self._rto_handle.pending:
+            self._rto_handle.cancel()
+        timeout = min(self.rtt.rto * self._rto_backoff, 120.0)
+        self._rto_handle = self.sim.schedule(timeout, self._on_rto)
+
+    def _on_rto(self) -> None:
+        if self.completed:
+            return
+        self.rto_count += 1
+        self._rto_backoff = min(self._rto_backoff * 2, MAX_RTO_BACKOFF)
+        if not self.handshake_done:
+            # Handshake packet lost: resend the SYN.
+            syn = Packet(flow_id=self.flow_id, src=self.host.name,
+                         dst=self.peer, kind=PacketKind.SYN,
+                         sent_time=self.sim.now)
+            self.host.transmit(syn)
+            self._arm_rto()
+            return
+        now = self.sim.now
+        self.cc.on_rto(now)
+        # Go-back-N over un-SACKed space: the kernel walks the retransmit
+        # queue from snd_una; _maybe_send skips SACKed intervals and the
+        # receiver's reassembly buffer makes the cumulative ACK jump.
+        self.in_recovery = False
+        self._retx_marked.clear()
+        self._retx_outstanding = 0
+        self.dup_acks = 0
+        self.snd_nxt = self.snd_una
+        self._rate_records.clear()
+        self.pacer.reset()
+        self._arm_rto()
+        self._maybe_send()
+
+    # ------------------------------------------------------------------
+    def _complete(self, now: float) -> None:
+        self.completed = True
+        self.completion_time = now
+        self.cc.on_flow_complete(now)
+        if self._rto_handle is not None:
+            self._rto_handle.cancel()
+        if self._pacer_wake is not None:
+            self._pacer_wake.cancel()
+        if self.telemetry is not None:
+            self.telemetry.on_flow_complete(self.flow_id, now)
+        if self.on_complete is not None:
+            self.on_complete(self)

@@ -1,0 +1,12 @@
+"""Structured tracing and CSV export."""
+
+from repro.trace.csvout import write_events, write_multi_timeseries, write_timeseries
+from repro.trace.events import EventLog, TraceEvent
+
+__all__ = [
+    "EventLog",
+    "TraceEvent",
+    "write_events",
+    "write_multi_timeseries",
+    "write_timeseries",
+]

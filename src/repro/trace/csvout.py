@@ -1,0 +1,52 @@
+"""CSV export for time series and event logs (for external plotting)."""
+
+from __future__ import annotations
+
+import csv
+from typing import Dict, Iterable, TextIO
+
+from repro.metrics.timeseries import TimeSeries
+from repro.trace.events import EventLog
+
+
+def write_timeseries(out: TextIO, series: TimeSeries,
+                     value_label: str = "value") -> None:
+    """Write one time series as ``time,<value_label>`` rows."""
+    writer = csv.writer(out)
+    writer.writerow(["time", value_label])
+    for t, v in series:
+        writer.writerow([f"{t:.6f}", repr(v)])
+
+
+def write_multi_timeseries(out: TextIO, series_by_name: Dict[str, TimeSeries],
+                           interval: float) -> None:
+    """Write several series step-resampled onto a common time grid."""
+    if not series_by_name:
+        raise ValueError("need at least one series")
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+    t_start = min(s.times[0] for s in series_by_name.values() if not s.empty)
+    t_end = max(s.times[-1] for s in series_by_name.values() if not s.empty)
+    names = sorted(series_by_name)
+    writer = csv.writer(out)
+    writer.writerow(["time"] + names)
+    t = t_start
+    while t <= t_end:
+        row = [f"{t:.6f}"]
+        for name in names:
+            value = series_by_name[name].value_at(t)
+            row.append("" if value is None else repr(value))
+        writer.writerow(row)
+        t += interval
+
+
+def write_events(out: TextIO, log: EventLog,
+                 field_names: Iterable[str] = ()) -> None:
+    """Write an event log as CSV with selected extra fields as columns."""
+    extra = list(field_names)
+    writer = csv.writer(out)
+    writer.writerow(["time", "flow_id", "kind"] + extra)
+    for event in log:
+        row = [f"{event.time:.6f}", event.flow_id, event.kind]
+        row.extend(event.fields.get(name, "") for name in extra)
+        writer.writerow(row)

@@ -1,0 +1,49 @@
+"""Structured event log — the "printk to the kernel log" analogue.
+
+The paper modifies the kernel to emit TCP state into the kernel log and
+parses it afterwards; :class:`EventLog` plays that role.  Components may
+record arbitrary tagged events; experiments filter by flow and kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One logged event."""
+
+    time: float
+    flow_id: int
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+
+class EventLog:
+    """Append-only event log with simple filtering."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def record(self, time: float, flow_id: int, kind: str, **fields: Any) -> None:
+        self.events.append(TraceEvent(time, flow_id, kind, fields))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def filter(self, flow_id: Optional[int] = None,
+               kind: Optional[str] = None) -> List[TraceEvent]:
+        out = self.events
+        if flow_id is not None:
+            out = [e for e in out if e.flow_id == flow_id]
+        if kind is not None:
+            out = [e for e in out if e.kind == kind]
+        return list(out)
+
+    def kinds(self) -> List[str]:
+        return sorted({e.kind for e in self.events})

@@ -1,0 +1,47 @@
+"""Workloads: flow specs, launch helpers, and the paper's scenario catalogue."""
+
+from repro.workloads.crosstraffic import CrossTraffic
+from repro.workloads.flows import (
+    MB,
+    FlowSpec,
+    launch_flows,
+    stability_workload,
+    staggered_joiners,
+)
+from repro.workloads.scenarios import (
+    FIG9_SCENARIO,
+    FIG11_SCENARIOS,
+    FIG13_SCENARIO,
+    FIG14_SCENARIO,
+    INTERNET_SCENARIOS,
+    LINK_NAMES,
+    LINK_TYPES,
+    MBPS,
+    SERVER_NAMES,
+    SERVERS,
+    LocalTestbedConfig,
+    PathScenario,
+    get_scenario,
+)
+
+__all__ = [
+    "CrossTraffic",
+    "MB",
+    "FlowSpec",
+    "launch_flows",
+    "stability_workload",
+    "staggered_joiners",
+    "FIG9_SCENARIO",
+    "FIG11_SCENARIOS",
+    "FIG13_SCENARIO",
+    "FIG14_SCENARIO",
+    "INTERNET_SCENARIOS",
+    "LINK_NAMES",
+    "LINK_TYPES",
+    "MBPS",
+    "SERVER_NAMES",
+    "SERVERS",
+    "LocalTestbedConfig",
+    "PathScenario",
+    "get_scenario",
+]

@@ -1,0 +1,105 @@
+"""Flow-size distributions for internet-like traffic mixes.
+
+The paper's motivation leans on measured flow-size distributions
+(Jurkiewicz et al. [19]): most TCP flows are small — web pages, images,
+short videos — and those flows live almost entirely in slow start.  This
+module provides samplers for composing such mixes:
+
+* :func:`web_object_sizes` — lognormal, typical of HTTP object sizes;
+* :func:`heavy_tailed_flow_sizes` — bounded Pareto, the classic
+  mice-and-elephants internet mix;
+* :class:`EmpiricalCdf` — sample any measured CDF given as breakpoints,
+  with :data:`CAMPUS_FLOW_CDF` approximating the campus-traffic shape the
+  paper cites (median in the tens of kilobytes, a long elephant tail).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from typing import List, Sequence, Tuple
+
+
+def web_object_sizes(n: int, rng: random.Random,
+                     median: float = 25_000.0, sigma: float = 1.6,
+                     max_size: int = 50_000_000) -> List[int]:
+    """Lognormal HTTP-object sizes (bytes), clamped to ``max_size``."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    mu = math.log(median)
+    return [min(max(int(rng.lognormvariate(mu, sigma)), 100), max_size)
+            for _ in range(n)]
+
+
+def heavy_tailed_flow_sizes(n: int, rng: random.Random,
+                            alpha: float = 1.2, minimum: int = 10_000,
+                            maximum: int = 100_000_000) -> List[int]:
+    """Bounded-Pareto flow sizes (bytes): many mice, few elephants."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not minimum < maximum:
+        raise ValueError("minimum must be below maximum")
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    lo, hi = float(minimum), float(maximum)
+    ratio = (lo / hi) ** alpha
+    sizes = []
+    for _ in range(n):
+        u = rng.random()
+        x = (-(u * (1.0 - ratio) - 1.0)) ** (-1.0 / alpha) * lo
+        sizes.append(int(min(max(x, lo), hi)))
+    return sizes
+
+
+class EmpiricalCdf:
+    """Inverse-transform sampler over a piecewise-linear CDF.
+
+    ``points`` are (value, cumulative_probability) pairs, sorted by
+    probability, starting at probability 0 and ending at 1.
+    """
+
+    def __init__(self, points: Sequence[Tuple[float, float]]) -> None:
+        if len(points) < 2:
+            raise ValueError("need at least two CDF points")
+        probs = [p for _, p in points]
+        if probs[0] != 0.0 or probs[-1] != 1.0:
+            raise ValueError("CDF must start at probability 0 and end at 1")
+        if probs != sorted(probs):
+            raise ValueError("CDF probabilities must be non-decreasing")
+        values = [v for v, _ in points]
+        if values != sorted(values):
+            raise ValueError("CDF values must be non-decreasing")
+        self.values = values
+        self.probs = probs
+
+    def sample(self, rng: random.Random) -> float:
+        u = rng.random()
+        idx = bisect.bisect_left(self.probs, u)
+        idx = min(max(idx, 1), len(self.probs) - 1)
+        p0, p1 = self.probs[idx - 1], self.probs[idx]
+        v0, v1 = self.values[idx - 1], self.values[idx]
+        if p1 == p0:
+            return v1
+        frac = (u - p0) / (p1 - p0)
+        return v0 + frac * (v1 - v0)
+
+    def sample_sizes(self, n: int, rng: random.Random) -> List[int]:
+        return [max(int(self.sample(rng)), 1) for _ in range(n)]
+
+
+#: Approximate campus internet flow-size CDF (log-domain breakpoints),
+#: matching the qualitative shape of Jurkiewicz et al.: ~50% of flows
+#: under 30 kB, ~90% under 1 MB, a heavy tail to 100 MB.
+CAMPUS_FLOW_CDF = EmpiricalCdf([
+    (1_000, 0.00),
+    (10_000, 0.25),
+    (30_000, 0.50),
+    (100_000, 0.70),
+    (300_000, 0.82),
+    (1_000_000, 0.90),
+    (3_000_000, 0.95),
+    (10_000_000, 0.98),
+    (30_000_000, 0.995),
+    (100_000_000, 1.00),
+])

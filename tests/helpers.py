@@ -1,0 +1,59 @@
+"""Shared test fixtures: tiny networks and instrumented transfers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.cc.base import CongestionControl
+from repro.metrics import Telemetry
+from repro.net import Dumbbell, bdp_bytes, build_path
+from repro.net.netem import BandwidthProfile
+from repro.sim import Simulator
+from repro.tcp import Transfer, open_transfer
+
+MSS = 1448
+
+
+@dataclass
+class Bench:
+    """A single-flow testbench."""
+
+    sim: Simulator
+    net: Dumbbell
+    transfer: Transfer
+    telemetry: Telemetry
+
+    @property
+    def sender(self):
+        return self.transfer.sender
+
+    @property
+    def receiver(self):
+        return self.transfer.receiver
+
+    @property
+    def cc(self):
+        return self.transfer.sender.cc
+
+    def run(self, until: float = 300.0) -> "Bench":
+        self.sim.run(until=until)
+        return self
+
+
+def make_transfer(cc: Union[str, CongestionControl] = "cubic",
+                  size: int = 500 * MSS, rate: float = 12_500_000,
+                  rtt: float = 0.1, buffer_bdp: float = 1.0,
+                  bandwidth: Optional[BandwidthProfile] = None,
+                  **kwargs) -> Bench:
+    """Build a single-path network with one transfer, ready to run."""
+    sim = Simulator()
+    buffer_bytes = max(int(buffer_bdp * bdp_bytes(rate, rtt)), 3000)
+    net = build_path(sim, bandwidth if bandwidth is not None else rate,
+                     rtt, buffer_bytes)
+    telemetry = Telemetry()
+    telemetry.attach_queue(net.bottleneck_queue)
+    transfer = open_transfer(sim, net.servers[0], net.clients[0], flow_id=1,
+                             size_bytes=size, cc=cc, telemetry=telemetry,
+                             **kwargs)
+    return Bench(sim=sim, net=net, transfer=transfer, telemetry=telemetry)

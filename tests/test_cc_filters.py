@@ -1,0 +1,62 @@
+"""Unit tests for windowed min/max filters."""
+
+from hypothesis import given, strategies as st
+
+from repro.cc import windowed_max, windowed_min
+
+
+class TestWindowedMax:
+    def test_tracks_maximum(self):
+        f = windowed_max(10)
+        for key, value in [(0, 5.0), (1, 3.0), (2, 8.0), (3, 2.0)]:
+            f.update(key, value)
+        assert f.get() == 8.0
+
+    def test_expiry(self):
+        f = windowed_max(10)
+        f.update(0, 100.0)
+        f.update(5, 50.0)
+        assert f.get(key=11) == 50.0  # 100 at key 0 expired (0 < 11-10)
+
+    def test_empty_returns_none(self):
+        assert windowed_max(5).get() is None
+
+    def test_reset(self):
+        f = windowed_max(5)
+        f.update(0, 1.0)
+        f.reset()
+        assert f.get() is None
+
+    @given(st.lists(st.tuples(st.integers(0, 100),
+                              st.floats(0, 1e6, allow_nan=False)),
+                    min_size=1, max_size=50))
+    def test_matches_naive_max(self, pairs):
+        pairs.sort(key=lambda kv: kv[0])
+        window = 10
+        f = windowed_max(window)
+        for key, value in pairs:
+            f.update(key, value)
+        last_key = pairs[-1][0]
+        naive = max(v for k, v in pairs if k >= last_key - window)
+        assert f.get() == naive
+
+
+class TestWindowedMin:
+    def test_tracks_minimum(self):
+        f = windowed_min(10)
+        for key, value in [(0, 5.0), (1, 3.0), (2, 8.0)]:
+            f.update(key, value)
+        assert f.get() == 3.0
+
+    @given(st.lists(st.tuples(st.integers(0, 100),
+                              st.floats(0, 1e6, allow_nan=False)),
+                    min_size=1, max_size=50))
+    def test_matches_naive_min(self, pairs):
+        pairs.sort(key=lambda kv: kv[0])
+        window = 7
+        f = windowed_min(window)
+        for key, value in pairs:
+            f.update(key, value)
+        last_key = pairs[-1][0]
+        naive = min(v for k, v in pairs if k >= last_key - window)
+        assert f.get() == naive

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListing:
+    def test_list_scenarios(self, capsys):
+        assert main(["list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "google-tokyo/wired" in out
+        assert "oracle-london/4g" in out
+        assert out.count("\n") >= 28
+
+    def test_list_cc(self, capsys):
+        assert main(["list-cc"]) == 0
+        out = capsys.readouterr().out
+        assert "cubic+suss" in out
+        assert "bbr" in out
+
+
+class TestRun:
+    def test_basic_run(self, capsys):
+        rc = main(["run", "--scenario", "google-tokyo/wired",
+                   "--cc", "cubic+suss", "--size", "500000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fct:" in out and "goodput:" in out
+
+    def test_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--scenario", "nowhere/wired"])
+
+    def test_csv_export(self, tmp_path, capsys):
+        csv_path = tmp_path / "trace.csv"
+        rc = main(["run", "--scenario", "google-tokyo/wired",
+                   "--size", "500000", "--csv", str(csv_path)])
+        assert rc == 0
+        content = csv_path.read_text()
+        assert content.startswith("time,")
+        assert "cwnd" in content.splitlines()[0]
+        assert len(content.splitlines()) > 5
+
+
+class TestSweep:
+    def test_sweep_with_improvement_column(self, capsys):
+        rc = main(["sweep", "--scenario", "google-tokyo/wired",
+                   "--ccs", "cubic,cubic+suss",
+                   "--sizes", "500000,1000000", "--iterations", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "SUSS improvement" in out
+        assert "0.5" in out
+
+    def test_sweep_single_cc(self, capsys):
+        rc = main(["sweep", "--scenario", "google-tokyo/wired",
+                   "--ccs", "bbr", "--sizes", "500000",
+                   "--iterations", "1"])
+        assert rc == 0
+        assert "SUSS improvement" not in capsys.readouterr().out
+
+
+class TestExperimentDispatch:
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,154 @@
+"""Unit and property tests for SUSS growth-factor theory (paper Section 3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.growth import (
+    condition1,
+    condition2,
+    estimate_ack_train,
+    growth_factor,
+    predict_mo_rtt,
+)
+
+
+class TestEstimateAckTrain:
+    def test_eq9_scaling(self):
+        # Data train twice its blue part -> full train twice the blue train.
+        assert estimate_ack_train(0.01, 2000, 1000) == pytest.approx(0.02)
+
+    def test_all_blue_is_identity(self):
+        assert estimate_ack_train(0.015, 5000, 5000) == pytest.approx(0.015)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_ack_train(0.01, 1000, 0)
+        with pytest.raises(ValueError):
+            estimate_ack_train(0.01, 500, 1000)
+        with pytest.raises(ValueError):
+            estimate_ack_train(-0.01, 1000, 1000)
+
+    @given(st.floats(0, 1, allow_nan=False), st.integers(1, 10 ** 9),
+           st.integers(1, 10 ** 9))
+    def test_monotone_in_ratio(self, dt, train, blue):
+        if blue > train:
+            train, blue = blue, train
+        est = estimate_ack_train(dt, train, blue)
+        assert est >= dt - 1e-12  # scaling never shrinks the estimate
+
+
+class TestPredictMoRtt:
+    def test_eq7_single_round(self):
+        # minRTT 100 ms, observed 110 ms, updated 2 rounds ago:
+        # +5 ms per round -> 115 ms next round.
+        assert predict_mo_rtt(0.110, 0.100, r=2) == pytest.approx(0.115)
+
+    def test_eq18_k_rounds(self):
+        assert predict_mo_rtt(0.110, 0.100, r=2, k=3) == pytest.approx(0.125)
+
+    def test_r_zero_rejected(self):
+        with pytest.raises(ValueError):
+            predict_mo_rtt(0.11, 0.1, r=0)
+
+    def test_no_queue_trend_is_flat(self):
+        assert predict_mo_rtt(0.1, 0.1, r=3, k=5) == pytest.approx(0.1)
+
+
+class TestCondition1:
+    def test_eq6_quadrupling_threshold(self):
+        """Condition 1 at k=1 is Eq. 6: dt_at <= minRTT / 4."""
+        assert condition1(0.024, 0.1, k=1)
+        assert not condition1(0.026, 0.1, k=1)
+
+    def test_k0_is_hystart_threshold(self):
+        assert condition1(0.049, 0.1, k=0)
+        assert not condition1(0.051, 0.1, k=0)
+
+    def test_deeper_lookahead_is_stricter(self):
+        dt = 0.02
+        results = [condition1(dt, 0.1, k=k) for k in range(5)]
+        # Once False, stays False.
+        assert results == sorted(results, reverse=True)
+
+    def test_invalid_min_rtt(self):
+        with pytest.raises(ValueError):
+            condition1(0.01, 0.0, k=1)
+
+
+class TestCondition2:
+    def test_eq8_threshold(self):
+        # moRTT=110ms, minRTT=100ms, r=1: predicted 120ms <= 112.5? No.
+        assert not condition2(0.110, 0.100, r=1, k=1)
+        # moRTT=105ms: predicted 110ms <= 112.5 -> yes.
+        assert condition2(0.105, 0.100, r=1, k=1)
+
+    def test_r_zero_always_true(self):
+        assert condition2(10.0, 0.1, r=0, k=1)
+
+    def test_larger_k_stricter(self):
+        assert condition2(0.105, 0.100, r=1, k=1)
+        assert not condition2(0.105, 0.100, r=1, k=3)
+
+
+class TestAlgorithm1:
+    def test_traditional_when_train_too_long(self):
+        assert growth_factor(dt_at=0.03, mo_rtt=0.1, min_rtt=0.1, r=1) == 2
+
+    def test_quadruple_when_both_hold(self):
+        assert growth_factor(dt_at=0.02, mo_rtt=0.1, min_rtt=0.1, r=1) == 4
+
+    def test_k_max_caps_growth(self):
+        # A tiny ACK train would justify G=16, but k_max=1 limits to 4.
+        assert growth_factor(dt_at=0.001, mo_rtt=0.1, min_rtt=0.1, r=1,
+                             k_max=1) == 4
+        assert growth_factor(dt_at=0.001, mo_rtt=0.1, min_rtt=0.1, r=1,
+                             k_max=3) == 16
+
+    def test_condition2_vetoes(self):
+        # Queueing trend: moRTT already 12% above minRTT, growing.
+        assert growth_factor(dt_at=0.01, mo_rtt=0.112, min_rtt=0.1,
+                             r=1) == 2
+
+    def test_unknown_mo_rtt_conservative(self):
+        assert growth_factor(dt_at=0.01, mo_rtt=None, min_rtt=0.1, r=2) == 2
+
+    def test_unknown_mo_rtt_with_fresh_min(self):
+        # r == 0: Condition 2 holds by definition (Algorithm 1, line 3).
+        assert growth_factor(dt_at=0.01, mo_rtt=None, min_rtt=0.1, r=0) == 4
+
+    def test_k_max_zero_disables_suss(self):
+        assert growth_factor(dt_at=0.0001, mo_rtt=0.1, min_rtt=0.1, r=0,
+                             k_max=0) == 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            growth_factor(0.01, 0.1, 0.1, r=1, k_max=-1)
+        with pytest.raises(ValueError):
+            growth_factor(0.01, 0.1, 0.0, r=1)
+
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+           st.floats(min_value=1e-4, max_value=1.0, allow_nan=False),
+           st.floats(min_value=1e-4, max_value=2.0, allow_nan=False),
+           st.integers(min_value=0, max_value=10),
+           st.integers(min_value=0, max_value=6))
+    def test_growth_is_power_of_two_within_bounds(self, dt, min_rtt, mo_rtt,
+                                                  r, k_max):
+        g = growth_factor(dt, mo_rtt, min_rtt, r, k_max)
+        assert g >= 2
+        assert g <= 2 ** (k_max + 1)
+        assert g & (g - 1) == 0  # power of two
+
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+           st.floats(min_value=1e-4, max_value=1.0, allow_nan=False),
+           st.integers(min_value=0, max_value=10))
+    def test_growth_monotone_in_k_max(self, dt, min_rtt, r):
+        gs = [growth_factor(dt, min_rtt, min_rtt, r, k_max=k)
+              for k in range(5)]
+        assert gs == sorted(gs)
+
+    @given(st.floats(min_value=1e-6, max_value=1.0, allow_nan=False),
+           st.floats(min_value=1e-4, max_value=1.0, allow_nan=False))
+    def test_shorter_train_never_reduces_growth(self, dt, min_rtt):
+        g_long = growth_factor(dt, min_rtt, min_rtt, r=0, k_max=4)
+        g_short = growth_factor(dt / 2, min_rtt, min_rtt, r=0, k_max=4)
+        assert g_short >= g_long

@@ -1,0 +1,97 @@
+"""Unit tests for SUSS's modified HyStart (ratio scaling + capped exit)."""
+
+from repro.core.hystart_mod import SussHyStart
+
+
+def make(cap_factor=1.25):
+    return SussHyStart(cap_provider=lambda cwnd: cap_factor * cwnd)
+
+
+def feed(hs, start, acks, min_rtt, cwnd_segs=100, spacing=0.0005, rtt=None):
+    hs.on_round_start(start)
+    t = start
+    for _ in range(acks):
+        t += spacing
+        if hs.on_ack(t, rtt, min_rtt, cwnd_segs):
+            return True
+    return False
+
+
+class TestScaling:
+    def test_ratio_scales_elapsed_time(self):
+        hs = make()
+        hs.ratio = 4.0
+        hs.on_round_start(0.0)
+        assert hs.elapsed_since_round_start(0.01) == 0.04
+
+    def test_ratio_one_matches_plain_behaviour(self):
+        hs = make()
+        hs.ratio = 1.0
+        # 200 x 0.5 ms = 100 ms train >= minRTT/2 -> fires without a cap.
+        assert feed(hs, 0.0, 200, min_rtt=0.1)
+        assert hs.cap is None
+
+    def test_scaled_train_fires_earlier(self):
+        plain, scaled = make(), make()
+        scaled.ratio = 4.0
+        # 30 ACKs over 15 ms: unscaled train < 50 ms, scaled 60 ms >= 50 ms.
+        assert not feed(plain, 0.0, 30, min_rtt=0.1)
+        feed(scaled, 0.0, 30, min_rtt=0.1)
+        assert scaled.cap is not None  # armed the deferred exit
+
+
+class TestDeferredExit:
+    def test_cap_postpones_then_stops(self):
+        hs = make(cap_factor=1.25)
+        hs.ratio = 2.0
+        # Fire the scaled condition at cwnd = 100 segments.
+        fired = feed(hs, 0.0, 200, min_rtt=0.1, cwnd_segs=100)
+        assert not fired           # deferred, not stopped
+        assert hs.cap == 125.0
+        # Below the cap growth continues...
+        assert not hs.on_ack(1.0, None, 0.1, 120)
+        # ...past the cap it stops.
+        assert hs.on_ack(1.1, None, 0.1, 126)
+        assert hs.found
+
+    def test_cap_persists_across_rounds(self):
+        hs = make()
+        hs.ratio = 2.0
+        feed(hs, 0.0, 200, min_rtt=0.1, cwnd_segs=100)
+        assert hs.cap is not None
+        hs.on_round_start(5.0)
+        assert hs.cap is not None  # still armed
+
+    def test_delay_condition_overrides_cap(self):
+        """A (reliable, unscaled) delay signal exits immediately."""
+        hs = make()
+        hs.ratio = 2.0
+        feed(hs, 0.0, 200, min_rtt=0.1, cwnd_segs=100)  # cap armed
+        # Now feed inflated RTT samples, spaced beyond the train delta.
+        t, fired = 1.0, False
+        for _ in range(10):
+            t += 0.05
+            fired = fired or hs.on_ack(t, 0.15, 0.1, 50)
+        assert fired
+
+    def test_reset_clears_cap_and_ratio(self):
+        hs = make()
+        hs.ratio = 3.0
+        feed(hs, 0.0, 200, min_rtt=0.1)
+        hs.reset()
+        assert hs.cap is None
+        assert hs.ratio == 1.0
+        assert not hs.found
+
+
+class TestGating:
+    def test_low_window_gate_still_applies(self):
+        hs = make()
+        hs.ratio = 4.0
+        assert not feed(hs, 0.0, 500, min_rtt=0.1, cwnd_segs=8)
+        assert hs.cap is None
+
+    def test_no_min_rtt_no_fire(self):
+        hs = make()
+        hs.on_round_start(0.0)
+        assert not hs.on_ack(0.1, 0.1, None, 100)

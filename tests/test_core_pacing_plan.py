@@ -1,0 +1,126 @@
+"""Unit and property tests for the pacing plan (Eqs. 9-12, Lemma 1)."""
+
+import pytest
+from hypothesis import assume, given, strategies as st
+
+from repro.core.pacing_plan import (
+    PacingPlan,
+    lemma1_lower_bound,
+    make_pacing_plan,
+)
+
+
+class TestPaperExample:
+    """The Fig. 5/6 walkthrough with iw = 10 segments of 1000 B."""
+
+    IW = 10_000
+
+    def test_round2(self):
+        # round(2): cwnd_1 = iw, blue part of round 1 = iw, G_2 = 4.
+        plan = make_pacing_plan(cwnd_prev=self.IW, s_bdt_prev=self.IW,
+                                growth=4, min_rtt=0.1, dt_bat=0.005)
+        assert plan.cwnd_target == 4 * self.IW
+        assert plan.s_bdt == 2 * self.IW
+        assert plan.s_rdt == 2 * self.IW
+        # Red packets are half of cwnd_2 -> pacing lasts half of minRTT.
+        assert plan.duration == pytest.approx(0.05)
+        assert plan.rate == pytest.approx(4 * self.IW / 0.1)
+
+    def test_round3(self):
+        # round(3): cwnd_2 = 4iw, blue part of round 2 = 2iw, G_3 = 4.
+        plan = make_pacing_plan(cwnd_prev=4 * self.IW,
+                                s_bdt_prev=2 * self.IW,
+                                growth=4, min_rtt=0.1, dt_bat=0.005)
+        assert plan.cwnd_target == 16 * self.IW
+        assert plan.s_bdt == 4 * self.IW
+        assert plan.s_rdt == 12 * self.IW
+        # 12iw of 16iw -> three quarters of minRTT (paper text).
+        assert plan.duration == pytest.approx(0.075)
+
+    def test_guard_eq12(self):
+        plan = make_pacing_plan(cwnd_prev=self.IW, s_bdt_prev=self.IW,
+                                growth=4, min_rtt=0.1, dt_bat=0.005)
+        # guard = s_bdt/(2 cwnd) * minRTT - dt_bat/2
+        expected = (2 * self.IW) / (2 * 4 * self.IW) * 0.1 - 0.0025
+        assert plan.guard == pytest.approx(expected)
+        assert plan.start_offset == plan.guard
+
+
+class TestValidation:
+    def test_g2_has_no_pacing_period(self):
+        with pytest.raises(ValueError):
+            make_pacing_plan(10_000, 10_000, growth=2, min_rtt=0.1,
+                             dt_bat=0.01)
+
+    def test_blue_cannot_exceed_train(self):
+        with pytest.raises(ValueError):
+            make_pacing_plan(10_000, 20_000, growth=4, min_rtt=0.1,
+                             dt_bat=0.01)
+
+    def test_positive_min_rtt_required(self):
+        with pytest.raises(ValueError):
+            make_pacing_plan(10_000, 10_000, growth=4, min_rtt=0.0,
+                             dt_bat=0.01)
+
+    def test_guard_clamped_at_zero(self):
+        # A huge measured dt_bat (noise) must not produce a negative guard.
+        plan = make_pacing_plan(10_000, 10_000, growth=4, min_rtt=0.1,
+                                dt_bat=10.0)
+        assert plan.guard == 0.0
+
+
+class TestInvariants:
+    @given(st.integers(min_value=1_000, max_value=10 ** 8),
+           st.floats(min_value=0.1, max_value=1.0),
+           st.sampled_from([4, 8, 16]),
+           st.floats(min_value=1e-3, max_value=1.0, allow_nan=False),
+           st.floats(min_value=0.0, max_value=0.5, allow_nan=False))
+    def test_budget_conservation(self, cwnd_prev, blue_frac, growth,
+                                 min_rtt, dt_bat):
+        """S^Bdt + S^Rdt == cwnd_target, and all pieces positive."""
+        s_bdt_prev = max(int(cwnd_prev * blue_frac), 1)
+        plan = make_pacing_plan(cwnd_prev, s_bdt_prev, growth, min_rtt,
+                                dt_bat)
+        assert plan.s_bdt + plan.s_rdt == plan.cwnd_target
+        assert plan.s_rdt > 0
+        assert plan.duration > 0
+        assert plan.rate > 0
+        assert plan.guard >= 0
+
+    @given(st.integers(min_value=1_000, max_value=10 ** 8),
+           st.floats(min_value=0.2, max_value=1.0),
+           st.floats(min_value=1e-3, max_value=1.0, allow_nan=False))
+    def test_lemma1_guard_bound(self, cwnd_prev, blue_frac, min_rtt):
+        """When acceleration was admissible (Inequality 14 held), the guard
+        respects Lemma 1's lower bound."""
+        s_bdt_prev = max(int(cwnd_prev * blue_frac), 1)
+        growth = 4
+        cwnd_target = growth * cwnd_prev
+        s_bdt = 2 * s_bdt_prev
+        # Inequality (14): dt_bat <= (s_bdt / cwnd_target) * minRTT / 2
+        dt_bat = (s_bdt / cwnd_target) * min_rtt / 2 * 0.99
+        plan = make_pacing_plan(cwnd_prev, s_bdt_prev, growth, min_rtt,
+                                dt_bat)
+        bound = lemma1_lower_bound(plan, min_rtt)
+        assert plan.guard >= bound - 1e-12
+        assert bound > 0
+
+    @given(st.integers(min_value=10_000, max_value=10 ** 7),
+           st.floats(min_value=1e-2, max_value=1.0, allow_nan=False))
+    def test_sending_rate_is_eq11(self, cwnd_prev, min_rtt):
+        """Pacing rate equals cwnd_i / minRTT regardless of split."""
+        plan = make_pacing_plan(cwnd_prev, cwnd_prev, growth=4,
+                                min_rtt=min_rtt, dt_bat=min_rtt / 100)
+        assert plan.rate == pytest.approx(plan.cwnd_target / min_rtt)
+
+    @given(st.integers(min_value=10_000, max_value=10 ** 7),
+           st.floats(min_value=1e-2, max_value=1.0, allow_nan=False),
+           st.floats(min_value=0.0, max_value=1e-3, allow_nan=False))
+    def test_schedule_fits_inside_round(self, cwnd_prev, min_rtt, dt_bat):
+        """dt_bat + guard + duration + guard == minRTT (Fig. 5 geometry),
+        when the guard is not clamped."""
+        plan = make_pacing_plan(cwnd_prev, cwnd_prev, growth=4,
+                                min_rtt=min_rtt, dt_bat=dt_bat)
+        assume(plan.guard > 0)
+        total = dt_bat + plan.guard + plan.duration + plan.guard
+        assert total == pytest.approx(min_rtt, rel=1e-9)

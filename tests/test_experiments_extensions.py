@@ -1,0 +1,52 @@
+"""Tests for the extension experiments (related work, AQM, delayed ACK)."""
+
+import pytest
+
+from repro.experiments import ablation_aqm, ablation_delack, ext_related_work
+from repro.workloads import MB, get_scenario
+
+
+class TestRelatedWork:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ext_related_work.run(size=2 * MB, iterations=1)
+
+    def test_all_schemes_all_paths(self, rows):
+        assert len(rows) == 2 * len(ext_related_work.SCHEMES)
+
+    def test_suss_wins_constrained_path(self, rows):
+        assert ext_related_work.best_scheme(
+            rows, "oracle-london/wired-shallow") == "cubic+suss"
+
+    def test_jumpstart_lossy_on_constrained_path(self, rows):
+        by = {(r.scenario.name, r.scheme): r for r in rows}
+        assert by[("oracle-london/wired-shallow", "jumpstart")].loss.mean \
+            > 0.05
+
+    def test_report_renders(self, rows):
+        out = ext_related_work.format_report(rows)
+        assert "jumpstart" in out and "cubic+suss" in out
+
+
+class TestAqm:
+    def test_gain_survives_codel(self):
+        cells = ablation_aqm.run(size=3 * MB)
+        assert ablation_aqm.suss_improvement(cells, "codel") > 0.0
+        assert "CoDel" in ablation_aqm.format_report(cells)
+
+    def test_unknown_queue_kind(self):
+        with pytest.raises(ValueError):
+            ablation_aqm.run(size=1 * MB, queue_kinds=("red",))
+
+
+class TestDelAck:
+    def test_gain_survives_delayed_acks(self):
+        cells = ablation_delack.run(size=2 * MB)
+        assert ablation_delack.suss_improvement(cells, delayed=True) > 0.05
+        assert "delayed ACK" in ablation_delack.format_report(cells)
+
+    def test_delack_cells_complete(self):
+        cells = ablation_delack.run(
+            size=1 * MB, scenario=get_scenario("google-tokyo", "wifi"))
+        assert len(cells) == 4
+        assert all(c.fct > 0 for c in cells)

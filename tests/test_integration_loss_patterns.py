@@ -1,0 +1,84 @@
+"""Property tests: transfers survive arbitrary adversarial loss patterns.
+
+A deterministic loss model drops an arbitrary (hypothesis-chosen) set of
+forward-path packet transmissions; whatever the pattern, the transfer
+must complete, deliver exactly the flow's bytes, and keep its invariants.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from tests.helpers import MSS, make_transfer
+
+
+class IndexedLoss:
+    """Drops exactly the i-th, j-th, ... packets crossing the link."""
+
+    def __init__(self, drop_indices):
+        self.drop_indices = set(drop_indices)
+        self.count = 0
+
+    def drops(self) -> bool:
+        index = self.count
+        self.count += 1
+        return index in self.drop_indices
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.sets(st.integers(min_value=0, max_value=220), max_size=40))
+def test_cubic_completes_under_any_loss_pattern(drop_indices):
+    bench = make_transfer(cc="cubic", size=150 * MSS)
+    bench.net.bottleneck_fwd.loss = IndexedLoss(drop_indices)
+    bench.run(until=400.0)
+    assert bench.transfer.completed
+    assert bench.receiver.bytes_delivered == 150 * MSS
+    assert bench.sender.snd_una == 150 * MSS
+    assert bench.sender.bytes_in_flight >= 0
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.sets(st.integers(min_value=0, max_value=220), max_size=40))
+def test_suss_completes_under_any_loss_pattern(drop_indices):
+    bench = make_transfer(cc="cubic+suss", size=150 * MSS)
+    bench.net.bottleneck_fwd.loss = IndexedLoss(drop_indices)
+    bench.run(until=400.0)
+    assert bench.transfer.completed
+    assert bench.receiver.bytes_delivered == 150 * MSS
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.sets(st.integers(min_value=0, max_value=120), max_size=25))
+def test_bbr_completes_under_any_loss_pattern(drop_indices):
+    bench = make_transfer(cc="bbr", size=100 * MSS)
+    bench.net.bottleneck_fwd.loss = IndexedLoss(drop_indices)
+    bench.run(until=400.0)
+    assert bench.transfer.completed
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.sets(st.integers(min_value=0, max_value=150), max_size=30))
+def test_ack_loss_pattern_tolerated(drop_indices):
+    """Dropping arbitrary ACKs never stalls a transfer (cumulative ACKs)."""
+    bench = make_transfer(cc="cubic", size=120 * MSS)
+    bench.net.bottleneck_rev.loss = IndexedLoss(drop_indices)
+    bench.run(until=400.0)
+    assert bench.transfer.completed
+
+
+def test_consecutive_burst_loss_recovers():
+    """An entire contiguous burst (a whole window's worth) is recovered."""
+    bench = make_transfer(cc="cubic", size=300 * MSS)
+    bench.net.bottleneck_fwd.loss = IndexedLoss(range(40, 80))
+    bench.run(until=400.0)
+    assert bench.transfer.completed
+    assert bench.sender.retransmissions >= 40
+
+
+def test_every_other_packet_lost_once():
+    bench = make_transfer(cc="cubic", size=200 * MSS)
+    bench.net.bottleneck_fwd.loss = IndexedLoss(range(0, 100, 2))
+    bench.run(until=400.0)
+    assert bench.transfer.completed

@@ -1,0 +1,108 @@
+"""Unit tests for telemetry collection and summary statistics."""
+
+import pytest
+
+from repro.metrics import Summary, Telemetry, improvement, summarize
+from repro.net import DropTailQueue, Packet, PacketKind
+
+from tests.helpers import MSS, make_transfer
+
+
+def pkt(flow=1):
+    return Packet(flow_id=flow, src="a", dst="b", kind=PacketKind.DATA,
+                  payload=MSS)
+
+
+class TestTelemetryUnit:
+    def test_flow_created_on_demand(self):
+        tel = Telemetry()
+        trace = tel.flow(7)
+        assert trace.flow_id == 7
+        assert tel.flow(7) is trace
+
+    def test_series_recorded(self):
+        tel = Telemetry()
+        tel.on_cwnd(1, 0.5, 14480, 7240)
+        tel.on_rtt(1, 0.5, 0.1)
+        tel.on_delivered(1, 0.5, 2896)
+        trace = tel.flow(1)
+        assert trace.cwnd.value_at(0.5) == 14480
+        assert trace.inflight.value_at(0.5) == 7240
+        assert trace.rtt.value_at(0.5) == 0.1
+        assert trace.delivered.value_at(0.5) == 2896
+
+    def test_sampling_can_be_disabled(self):
+        tel = Telemetry(sample_cwnd=False, sample_rtt=False,
+                        sample_delivered=False)
+        tel.on_cwnd(1, 0.5, 1, 1)
+        tel.on_rtt(1, 0.5, 0.1)
+        tel.on_delivered(1, 0.5, 1)
+        trace = tel.flow(1)
+        assert trace.cwnd.empty and trace.rtt.empty and trace.delivered.empty
+
+    def test_send_and_drop_counters(self):
+        tel = Telemetry()
+        tel.on_send(1, 0.0, pkt(), retransmit=False)
+        tel.on_send(1, 0.1, pkt(), retransmit=True)
+        tel.on_drop(pkt(), "btl")
+        trace = tel.flow(1)
+        assert trace.data_packets_sent == 2
+        assert trace.retransmit_packets == 1
+        assert trace.drops == 1
+        assert trace.loss_rate == 0.5
+        assert trace.retransmit_rate == 0.5
+        assert tel.total_drops == 1
+
+    def test_loss_rate_zero_when_nothing_sent(self):
+        assert Telemetry().flow(1).loss_rate == 0.0
+
+    def test_attach_queue_routes_drops(self):
+        tel = Telemetry()
+        q = DropTailQueue(1000)
+        tel.attach_queue(q)
+        q.push(pkt())  # too big -> dropped
+        assert tel.flow(1).drops == 1
+
+    def test_completion_time(self):
+        tel = Telemetry()
+        tel.on_flow_complete(1, 3.25)
+        assert tel.flow(1).completion_time == 3.25
+
+
+class TestTelemetryIntegration:
+    def test_delivered_matches_flow_size(self):
+        bench = make_transfer(size=100 * MSS).run()
+        trace = bench.telemetry.flow(1)
+        assert trace.delivered.max_value() == 100 * MSS
+        assert trace.completion_time == bench.sender.completion_time
+
+    def test_cwnd_series_nondecreasing_time(self):
+        bench = make_transfer(size=300 * MSS).run()
+        times = bench.telemetry.flow(1).cwnd.times
+        assert times == sorted(times)
+
+
+class TestSummary:
+    def test_basic_stats(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.n == 3
+        assert s.mean == 2.0
+        assert s.std == pytest.approx(1.0)
+        assert (s.minimum, s.maximum) == (1.0, 3.0)
+
+    def test_single_sample(self):
+        s = summarize([5.0])
+        assert s.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_improvement(self):
+        assert improvement(2.0, 1.5) == pytest.approx(0.25)
+        assert improvement(2.0, 2.5) == pytest.approx(-0.25)
+        with pytest.raises(ValueError):
+            improvement(0.0, 1.0)
+
+    def test_str(self):
+        assert "n=3" in str(summarize([1.0, 2.0, 3.0]))

@@ -1,0 +1,78 @@
+"""Unit and property tests for fairness metrics (RFC 5166 / Jain's index)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics import TimeSeries, fairness_over_time, jain_index
+
+
+class TestJainIndex:
+    def test_perfect_fairness(self):
+        assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_flow_is_fair(self):
+        assert jain_index([42.0]) == pytest.approx(1.0)
+
+    def test_total_starvation(self):
+        # One of n flows gets everything -> F = 1/n.
+        assert jain_index([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_all_zero_defined_as_fair(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_scale_invariant(self):
+        a = jain_index([1.0, 2.0, 3.0])
+        b = jain_index([10.0, 20.0, 30.0])
+        assert a == pytest.approx(b)
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+        with pytest.raises(ValueError):
+            jain_index([1.0, -1.0])
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e9,
+                              allow_nan=False), min_size=1, max_size=40))
+    def test_bounds(self, xs):
+        f = jain_index(xs)
+        assert 1.0 / len(xs) - 1e-9 <= f <= 1.0 + 1e-9
+
+    @given(st.lists(st.floats(min_value=1e-3, max_value=1e6,
+                              allow_nan=False), min_size=2, max_size=20))
+    def test_equalizing_increases_fairness(self, xs):
+        """Replacing all values by their mean yields F = 1 >= original."""
+        assert jain_index(xs) <= 1.0 + 1e-9
+
+
+class TestFairnessOverTime:
+    def cumulative(self, rate, t_end, step=0.1, start=0.0):
+        ts = TimeSeries()
+        t, total = start, 0.0
+        ts.append(t, 0.0)
+        while t < t_end:
+            t += step
+            total += rate * step
+            ts.append(t, total)
+        return ts
+
+    def test_equal_flows_fair(self):
+        delivered = {1: self.cumulative(100, 10), 2: self.cumulative(100, 10)}
+        points = fairness_over_time(delivered, 0.0, 10.0, window=1.0)
+        assert all(f == pytest.approx(1.0) for _, f in points)
+
+    def test_late_joiner_dips_index(self):
+        delivered = {
+            1: self.cumulative(100, 10),
+            2: self.cumulative(100, 10),
+            3: self.cumulative(100, 10, start=5.0),  # joins at t=5
+        }
+        points = dict(fairness_over_time(delivered, 0.0, 10.0, window=1.0,
+                                         step=1.0))
+        before = points[4.0]
+        after_join = points[7.0]
+        assert before < 1.0  # flow 3 idle -> unfair
+        assert after_join == pytest.approx(1.0, abs=0.05)
+
+    def test_requires_flows(self):
+        with pytest.raises(ValueError):
+            fairness_over_time({}, 0.0, 1.0)

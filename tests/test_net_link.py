@@ -1,0 +1,146 @@
+"""Unit tests for links: serialisation, propagation, queueing, impairments."""
+
+import random
+
+from repro.net import (
+    ConstantBandwidth,
+    DropTailQueue,
+    JitterModel,
+    Link,
+    LossModel,
+    Packet,
+    PacketKind,
+    SteppedBandwidth,
+)
+from repro.sim import Simulator
+
+
+class Sink:
+    def __init__(self):
+        self.packets = []
+        self.times = []
+
+    def receive(self, packet):
+        self.packets.append(packet)
+
+    def receive_with_time(self, sim):
+        outer = self
+
+        class _S:
+            def receive(self, packet):
+                outer.packets.append(packet)
+                outer.times.append(sim.now)
+
+        return _S()
+
+
+def pkt(payload=1448, flow=1):
+    return Packet(flow_id=flow, src="a", dst="b", kind=PacketKind.DATA,
+                  payload=payload)
+
+
+class TestSerialization:
+    def test_arrival_time_is_tx_plus_propagation(self):
+        sim = Simulator()
+        sink = Sink()
+        dst = sink.receive_with_time(sim)
+        link = Link(sim, dst, ConstantBandwidth(1500.0), delay=0.1)
+        link.send(pkt(payload=1448))  # 1500 B at 1500 B/s = 1 s
+        sim.run()
+        assert len(sink.packets) == 1
+        assert abs(sink.times[0] - 1.1) < 1e-9
+
+    def test_back_to_back_packets_serialize(self):
+        sim = Simulator()
+        sink = Sink()
+        dst = sink.receive_with_time(sim)
+        link = Link(sim, dst, ConstantBandwidth(1500.0), delay=0.0)
+        link.send(pkt())
+        link.send(pkt())
+        sim.run()
+        assert abs(sink.times[0] - 1.0) < 1e-9
+        assert abs(sink.times[1] - 2.0) < 1e-9
+
+    def test_fifo_delivery_order(self):
+        sim = Simulator()
+        sink = Sink()
+        link = Link(sim, sink, ConstantBandwidth(1e6), delay=0.01)
+        sent = [pkt() for _ in range(10)]
+        for p in sent:
+            link.send(p)
+        sim.run()
+        assert sink.packets == sent
+
+    def test_bandwidth_change_affects_tx_time(self):
+        sim = Simulator()
+        sink = Sink()
+        dst = sink.receive_with_time(sim)
+        profile = SteppedBandwidth([(0.0, 1500.0), (0.5, 3000.0)])
+        link = Link(sim, dst, profile, delay=0.0)
+        link.send(pkt())
+        sim.run()  # sent at t=0 with rate 1500 -> arrives at 1.0
+        assert abs(sink.times[0] - 1.0) < 1e-9
+        link.send(pkt())  # now t=1.0, rate 3000 -> 0.5 s
+        sim.run()
+        assert abs(sink.times[1] - 1.5) < 1e-9
+
+    def test_counters(self):
+        sim = Simulator()
+        sink = Sink()
+        link = Link(sim, sink, ConstantBandwidth(1e6), delay=0.0)
+        for _ in range(3):
+            link.send(pkt())
+        sim.run()
+        assert link.packets_sent == 3
+        assert link.bytes_sent == 3 * 1500
+
+
+class TestQueueing:
+    def test_full_queue_drops(self):
+        sim = Simulator()
+        sink = Sink()
+        queue = DropTailQueue(2 * 1500)
+        link = Link(sim, sink, ConstantBandwidth(1500.0), delay=0.0,
+                    queue=queue)
+        results = [link.send(pkt()) for _ in range(5)]
+        # First packet starts transmitting (leaves queue), two queue slots.
+        assert results[0] and results[1] and results[2]
+        assert not all(results)
+        sim.run()
+        assert len(sink.packets) + queue.drops == 5
+
+
+class TestImpairments:
+    def test_random_loss_drops_packets(self):
+        sim = Simulator()
+        sink = Sink()
+        link = Link(sim, sink, ConstantBandwidth(1e9), delay=0.0,
+                    loss=LossModel(0.5, rng=random.Random(3)))
+        for _ in range(200):
+            link.send(pkt())
+        sim.run()
+        assert 40 < len(sink.packets) < 160
+        assert link.packets_lost == 200 - len(sink.packets)
+
+    def test_jitter_never_reorders(self):
+        sim = Simulator()
+        sink = Sink()
+        dst = sink.receive_with_time(sim)
+        link = Link(sim, dst, ConstantBandwidth(1e7), delay=0.01,
+                    jitter=JitterModel(0.01, rng=random.Random(5)))
+        sent = [pkt() for _ in range(100)]
+        for p in sent:
+            link.send(p)
+        sim.run()
+        assert sink.packets == sent
+        assert sink.times == sorted(sink.times)
+
+    def test_jitter_adds_delay(self):
+        sim = Simulator()
+        sink = Sink()
+        dst = sink.receive_with_time(sim)
+        link = Link(sim, dst, ConstantBandwidth(1e9), delay=0.01,
+                    jitter=JitterModel(0.02, rng=random.Random(1)))
+        link.send(pkt())
+        sim.run()
+        assert sink.times[0] > 0.01

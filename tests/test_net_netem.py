@@ -1,0 +1,131 @@
+"""Unit tests for netem-style impairment models."""
+
+import random
+
+import pytest
+
+from repro.net import (
+    ConstantBandwidth,
+    JitterModel,
+    LossModel,
+    RandomWalkBandwidth,
+    SteppedBandwidth,
+)
+
+
+class TestConstantBandwidth:
+    def test_rate_is_constant(self):
+        bw = ConstantBandwidth(1e6)
+        assert bw.rate_at(0.0) == bw.rate_at(100.0) == 1e6
+        assert bw.mean_rate() == 1e6
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ConstantBandwidth(0)
+
+
+class TestSteppedBandwidth:
+    def test_steps_apply_in_order(self):
+        bw = SteppedBandwidth([(0.0, 100.0), (10.0, 50.0)])
+        assert bw.rate_at(5.0) == 100.0
+        assert bw.rate_at(10.0) == 50.0
+        assert bw.rate_at(99.0) == 50.0
+
+    def test_unsorted_steps_accepted(self):
+        bw = SteppedBandwidth([(10.0, 50.0), (0.0, 100.0)])
+        assert bw.rate_at(0.0) == 100.0
+
+    def test_must_cover_time_zero(self):
+        with pytest.raises(ValueError):
+            SteppedBandwidth([(5.0, 100.0)])
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            SteppedBandwidth([(0.0, -1.0)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SteppedBandwidth([])
+
+
+class TestRandomWalkBandwidth:
+    def test_stays_within_span(self):
+        bw = RandomWalkBandwidth(1000.0, span=0.4, hold_time=0.1,
+                                 rng=random.Random(1))
+        rates = [bw.rate_at(t * 0.05) for t in range(500)]
+        assert all(600.0 <= r <= 1400.0 for r in rates)
+
+    def test_deterministic_for_seed(self):
+        a = RandomWalkBandwidth(1000.0, rng=random.Random(7))
+        b = RandomWalkBandwidth(1000.0, rng=random.Random(7))
+        ts = [i * 0.3 for i in range(50)]
+        assert [a.rate_at(t) for t in ts] == [b.rate_at(t) for t in ts]
+
+    def test_holds_within_epoch(self):
+        bw = RandomWalkBandwidth(1000.0, hold_time=1.0, rng=random.Random(3))
+        assert bw.rate_at(0.1) == bw.rate_at(0.9)
+
+    def test_actually_varies(self):
+        bw = RandomWalkBandwidth(1000.0, span=0.4, hold_time=0.1,
+                                 rng=random.Random(5))
+        rates = {bw.rate_at(t * 0.2) for t in range(100)}
+        assert len(rates) > 10
+
+    def test_mean_rate_is_base(self):
+        assert RandomWalkBandwidth(1234.0).mean_rate() == 1234.0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            RandomWalkBandwidth(0.0)
+        with pytest.raises(ValueError):
+            RandomWalkBandwidth(1.0, span=1.0)
+        with pytest.raises(ValueError):
+            RandomWalkBandwidth(1.0, hold_time=0.0)
+
+
+class TestJitterModel:
+    def test_zero_jitter_is_zero(self):
+        jm = JitterModel(0.0)
+        assert jm.sample(1.0) == 0.0
+
+    def test_samples_bounded(self):
+        jm = JitterModel(0.005, rng=random.Random(2))
+        samples = [jm.sample(i * 0.01) for i in range(1000)]
+        assert all(0.0 <= s <= 0.020 for s in samples)
+
+    def test_correlated_over_short_times(self):
+        """Consecutive packets see nearly the same delay offset."""
+        jm = JitterModel(0.010, rng=random.Random(4), tau=0.1)
+        jm.sample(0.0)
+        a = jm.sample(1.0)
+        b = jm.sample(1.0001)
+        assert abs(a - b) < 0.004
+
+    def test_deterministic_for_seed(self):
+        a = JitterModel(0.005, rng=random.Random(9))
+        b = JitterModel(0.005, rng=random.Random(9))
+        ts = [i * 0.02 for i in range(100)]
+        assert [a.sample(t) for t in ts] == [b.sample(t) for t in ts]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            JitterModel(-0.001)
+        with pytest.raises(ValueError):
+            JitterModel(0.001, tau=0.0)
+
+
+class TestLossModel:
+    def test_zero_loss_never_drops(self):
+        lm = LossModel(0.0)
+        assert not any(lm.drops() for _ in range(1000))
+
+    def test_loss_rate_approximate(self):
+        lm = LossModel(0.1, rng=random.Random(11))
+        drops = sum(lm.drops() for _ in range(20000))
+        assert 0.08 < drops / 20000 < 0.12
+
+    def test_rejects_invalid_rate(self):
+        with pytest.raises(ValueError):
+            LossModel(1.0)
+        with pytest.raises(ValueError):
+            LossModel(-0.1)

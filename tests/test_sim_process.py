@@ -1,0 +1,123 @@
+"""Tests for generator-based simulation processes."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.process import Process, spawn
+
+
+class TestSpawn:
+    def test_sequential_sleeps(self):
+        sim = Simulator()
+        times = []
+
+        def proc():
+            times.append(sim.now)
+            yield 1.0
+            times.append(sim.now)
+            yield 2.5
+            times.append(sim.now)
+
+        spawn(sim, proc())
+        sim.run()
+        assert times == [0.0, 1.0, 3.5]
+
+    def test_return_value_captured(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1.0
+            return 42
+
+        p = spawn(sim, proc())
+        sim.run()
+        assert p.finished and p.result == 42
+
+    def test_join_child_process(self):
+        sim = Simulator()
+        log = []
+
+        def child():
+            yield 2.0
+            log.append(("child-done", sim.now))
+            return "payload"
+
+        def parent():
+            c = spawn(sim, child())
+            got = yield c
+            log.append(("parent-resumed", sim.now, got))
+
+        spawn(sim, parent())
+        sim.run()
+        assert log[0] == ("child-done", 2.0)
+        assert log[1][0] == "parent-resumed"
+        assert log[1][2] == "payload"
+
+    def test_join_already_finished(self):
+        sim = Simulator()
+        done = []
+
+        def child():
+            return "x"
+            yield  # pragma: no cover
+
+        def parent(c):
+            yield 1.0
+            got = yield c  # c long finished
+            done.append(got)
+
+        c = spawn(sim, child())
+        spawn(sim, parent(c))
+        sim.run()
+        assert done == ["x"]
+
+    def test_multiple_waiters(self):
+        sim = Simulator()
+        resumed = []
+
+        def child():
+            yield 1.0
+
+        def waiter(tag, c):
+            yield c
+            resumed.append(tag)
+
+        c = spawn(sim, child())
+        spawn(sim, waiter("a", c))
+        spawn(sim, waiter("b", c))
+        sim.run()
+        assert sorted(resumed) == ["a", "b"]
+
+    def test_bad_yield_type(self):
+        sim = Simulator()
+
+        def proc():
+            yield "soon"
+
+        spawn(sim, proc())
+        with pytest.raises(TypeError):
+            sim.run()
+
+    def test_negative_sleep_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield -1.0
+
+        spawn(sim, proc())
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_interleaving_with_events(self):
+        sim = Simulator()
+        order = []
+
+        def proc():
+            order.append("p0")
+            yield 2.0
+            order.append("p2")
+
+        sim.schedule(1.0, lambda: order.append("e1"))
+        spawn(sim, proc())
+        sim.run()
+        assert order == ["p0", "e1", "p2"]

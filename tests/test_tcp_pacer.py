@@ -1,0 +1,63 @@
+"""Unit tests for the token pacer."""
+
+import pytest
+
+from repro.tcp import Pacer
+
+
+class TestPacer:
+    def test_unpaced_always_allows(self):
+        pacer = Pacer()
+        assert pacer.can_send(0.0)
+        pacer.note_sent(0.0, 10 ** 9)
+        assert pacer.can_send(0.0)
+
+    def test_rate_spaces_departures(self):
+        pacer = Pacer()
+        pacer.set_rate(1000.0)
+        assert pacer.can_send(0.0)
+        pacer.note_sent(0.0, 500)
+        assert not pacer.can_send(0.0)
+        assert pacer.next_send_time(0.0) == 0.5
+        assert pacer.can_send(0.5)
+
+    def test_consecutive_sends_accumulate(self):
+        pacer = Pacer()
+        pacer.set_rate(1000.0)
+        pacer.note_sent(0.0, 500)
+        pacer.note_sent(0.0, 500)
+        assert pacer.next_send_time(0.0) == 1.0
+
+    def test_idle_time_does_not_bank_credit(self):
+        pacer = Pacer()
+        pacer.set_rate(1000.0)
+        pacer.note_sent(10.0, 500)
+        assert pacer.next_send_time(10.0) == 10.5
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            Pacer().set_rate(0.0)
+
+    def test_disable_pacing(self):
+        pacer = Pacer()
+        pacer.set_rate(1000.0)
+        pacer.note_sent(0.0, 5000)
+        pacer.set_rate(None)
+        assert pacer.can_send(0.0)
+
+    def test_reset(self):
+        pacer = Pacer()
+        pacer.set_rate(1000.0)
+        pacer.note_sent(0.0, 5000)
+        pacer.reset()
+        assert pacer.can_send(0.0)
+
+    def test_achieved_rate_close_to_configured(self):
+        pacer = Pacer()
+        pacer.set_rate(10_000.0)
+        t, sent = 0.0, 0
+        while sent < 100_000:
+            t = pacer.next_send_time(t)
+            pacer.note_sent(t, 1000)
+            sent += 1000
+        assert abs(sent / t - 10_000.0) < 1e-6 * 10_000 + 1200

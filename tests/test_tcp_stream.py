@@ -1,0 +1,112 @@
+"""Tests for application-driven streaming transfers."""
+
+import pytest
+
+from repro.net import bdp_bytes, build_path
+from repro.sim import Simulator
+from repro.tcp.stream import open_stream
+
+from tests.helpers import MSS
+
+
+def stream_bench(cc="cubic", rate=12_500_000, rtt=0.1):
+    sim = Simulator()
+    net = build_path(sim, rate, rtt, bdp_bytes(rate, rtt))
+    source, transfer = open_stream(sim, net.servers[0], net.clients[0],
+                                   flow_id=1, cc=cc)
+    return sim, source, transfer
+
+
+class TestStreaming:
+    def test_write_then_close_delivers_exactly(self):
+        sim, source, transfer = stream_bench()
+        source.write(50 * MSS)
+        source.write(30 * MSS)
+        source.close()
+        sim.run(until=60.0)
+        assert transfer.completed
+        assert transfer.receiver.bytes_delivered == 80 * MSS
+
+    def test_no_completion_while_open(self):
+        sim, source, transfer = stream_bench()
+        source.write(5 * MSS)
+        sim.run(until=10.0)
+        assert not transfer.completed          # stream still open
+        assert transfer.sender.snd_una == 5 * MSS  # but data delivered
+        source.close()
+        sim.run(until=20.0)
+        assert transfer.completed
+
+    def test_scheduled_writes(self):
+        """Chunks written by timers (a segmented-video server)."""
+        sim, source, transfer = stream_bench()
+        for i in range(5):
+            sim.schedule(0.5 * i, source.write, 100 * MSS)
+        sim.schedule(3.0, source.close)
+        sim.run(until=60.0)
+        assert transfer.completed
+        assert transfer.receiver.bytes_delivered == 500 * MSS
+
+    def test_close_with_everything_acked(self):
+        sim, source, transfer = stream_bench()
+        source.write(2 * MSS)
+        sim.run(until=5.0)     # all data delivered and ACKed
+        source.close()
+        sim.run(until=6.0)
+        assert transfer.completed
+
+    def test_write_after_close_rejected(self):
+        sim, source, transfer = stream_bench()
+        source.write(MSS)
+        source.close()
+        with pytest.raises(RuntimeError):
+            source.write(MSS)
+
+    def test_invalid_write(self):
+        sim, source, transfer = stream_bench()
+        with pytest.raises(ValueError):
+            source.write(0)
+
+    def test_backlog_accounting(self):
+        sim, source, transfer = stream_bench()
+        source.write(1000 * MSS)
+        assert source.backlog == 1000 * MSS  # handshake not done yet
+        sim.run(until=0.35)
+        assert source.backlog < 1000 * MSS
+
+    def test_double_close_is_noop(self):
+        sim, source, transfer = stream_bench()
+        source.write(MSS)
+        source.close()
+        source.close()
+        sim.run(until=5.0)
+        assert transfer.completed
+
+
+class TestStreamingWithSuss:
+    def test_trickle_stream_never_accelerates(self):
+        """An app-limited trickle gives SUSS nothing to accelerate."""
+        sim, source, transfer = stream_bench(cc="cubic+suss")
+        for i in range(20):
+            sim.schedule(0.2 * i, source.write, 2 * MSS)
+        sim.schedule(4.5, source.close)
+        sim.run(until=60.0)
+        assert transfer.completed
+        assert transfer.sender.cc.accelerated_rounds == 0
+
+    def test_bulk_stream_accelerates_like_a_file(self):
+        sim, source, transfer = stream_bench(cc="cubic+suss")
+        source.write(2000 * MSS)
+        source.close()
+        sim.run(until=60.0)
+        assert transfer.completed
+        assert transfer.sender.cc.accelerated_rounds >= 1
+
+    def test_bursty_stream_completes(self):
+        sim, source, transfer = stream_bench(cc="cubic+suss")
+        sim.schedule(0.0, source.write, 500 * MSS)
+        sim.schedule(2.0, source.write, 500 * MSS)  # idle gap between bursts
+        sim.schedule(2.0, source.close)
+        sim.run(until=60.0)
+        assert transfer.completed
+        assert transfer.receiver.bytes_delivered == 1000 * MSS

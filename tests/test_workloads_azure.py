@@ -1,0 +1,27 @@
+"""Tests for the Azure scenario set (paper Section 6.1: 'similar results')."""
+
+from repro.experiments.runner import run_single_flow
+from repro.workloads.scenarios import AZURE_SCENARIOS, INTERNET_SCENARIOS
+
+
+class TestAzureScenarios:
+    def test_eight_azure_scenarios(self):
+        assert len(AZURE_SCENARIOS) == 8
+        assert not set(AZURE_SCENARIOS) & set(INTERNET_SCENARIOS)
+
+    def test_not_in_the_paper_matrix(self):
+        """The Fig. 17/18 matrix stays at exactly 28 scenarios."""
+        assert len(INTERNET_SCENARIOS) == 28
+
+    def test_azure_results_similar_to_published(self):
+        """Section 6.1: Azure showed results similar to Google/Oracle —
+        SUSS beats plain CUBIC there too."""
+        scenario = AZURE_SCENARIOS["azure-virginia/wired"]
+        off = run_single_flow(scenario, "cubic", 1_000_000, seed=0)
+        on = run_single_flow(scenario, "cubic+suss", 1_000_000, seed=0)
+        assert on.fct < off.fct
+
+    def test_all_azure_paths_complete(self):
+        for name, scenario in AZURE_SCENARIOS.items():
+            result = run_single_flow(scenario, "cubic+suss", 300_000)
+            assert result.completed, name
