@@ -3,7 +3,7 @@
 from repro.experiments import fig17_18_all_scenarios
 from repro.workloads import LINK_NAMES, MB, SERVER_NAMES
 
-from conftest import FULL, iterations, run_once
+from conftest import FULL, campaign_kwargs, iterations, run_once
 
 
 def test_fig17_loss_matrix(benchmark):
@@ -12,7 +12,7 @@ def test_fig17_loss_matrix(benchmark):
     links = tuple(LINK_NAMES) if FULL else ("wired", "5g")
     rows = run_once(benchmark, fig17_18_all_scenarios.run_matrix,
                     servers=servers, links=links, sizes=(2 * MB,),
-                    iterations=iterations(2, 5))
+                    iterations=iterations(2, 5), **campaign_kwargs())
     print()
     print(fig17_18_all_scenarios.format_loss_report(rows))
     # Shape: SUSS never increases CUBIC's loss rate materially, and BBR's

@@ -7,7 +7,7 @@ to BBR in only one.
 from repro.experiments import fig17_18_all_scenarios
 from repro.workloads import LINK_NAMES, MB, SERVER_NAMES
 
-from conftest import FULL, iterations, run_once
+from conftest import FULL, campaign_kwargs, iterations, run_once
 
 
 def test_fig18_fct_matrix(benchmark):
@@ -16,7 +16,7 @@ def test_fig18_fct_matrix(benchmark):
     sizes = (1 * MB, 2 * MB, 4 * MB) if FULL else (2 * MB,)
     rows = run_once(benchmark, fig17_18_all_scenarios.run_matrix,
                     servers=servers, links=links, sizes=sizes,
-                    iterations=iterations(2, 10))
+                    iterations=iterations(2, 10), **campaign_kwargs())
     print()
     print(fig17_18_all_scenarios.format_fct_report(rows))
     beats_cubic, beats_bbr, total = fig17_18_all_scenarios.win_counts(rows)

@@ -7,7 +7,7 @@ BBRv2 large flows, with no meaningful large-flow regression.
 from repro.experiments import table1_stability
 from repro.workloads import MB
 
-from conftest import FULL, run_once
+from conftest import FULL, campaign_kwargs, run_once
 
 
 def test_table1_stability(benchmark):
@@ -20,7 +20,8 @@ def test_table1_stability(benchmark):
         kwargs = dict(large_ccas=("cubic",), buffers=(1.0, 2.0),
                       rtts=(0.05, 0.2), large_size=150 * MB,
                       bottleneck_mbps=50.0, horizon=60.0)
-    cells = run_once(benchmark, table1_stability.run, **kwargs)
+    cells = run_once(benchmark, table1_stability.run, **kwargs,
+                     **campaign_kwargs())
     print()
     print(table1_stability.format_report(cells))
     # Shape: clear average small-flow improvement per large-flow CCA, and

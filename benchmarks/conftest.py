@@ -14,6 +14,23 @@ import os
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
 
+#: Worker processes for campaign-aware benchmarks (``repro.campaign``).
+#: 1 keeps the historical serial timing; results are identical either way.
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1")
+
+#: Optional on-disk result cache shared across benchmark invocations.
+#: Unset = every benchmark recomputes from scratch (pure timing runs).
+CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE_DIR") or None
+
+
+def campaign_kwargs():
+    """jobs/store kwargs for benchmarks routed through repro.campaign."""
+    kwargs = {"jobs": JOBS}
+    if CACHE_DIR:
+        from repro.campaign import ResultStore
+        kwargs["store"] = ResultStore(CACHE_DIR)
+    return kwargs
+
 
 def run_once(benchmark, fn, *args, **kwargs):
     """Run ``fn`` exactly once under pytest-benchmark and return its result."""

@@ -1,0 +1,50 @@
+"""``repro.campaign`` — parallel, cached, fault-tolerant experiment campaigns.
+
+The paper's evaluation is thousands of independent seeded downloads; this
+package turns them into a schedulable job system:
+
+* :mod:`~repro.campaign.spec` — declarative :class:`JobSpec` with a
+  stable content hash;
+* :mod:`~repro.campaign.jobs` — registered job kinds and the worker
+  entry point (timeouts, fault injection);
+* :mod:`~repro.campaign.scheduler` — process-pool fan-out with bounded
+  retries, crash recovery, and deterministic result ordering;
+* :mod:`~repro.campaign.store` — content-addressed on-disk result cache
+  keyed by job hash + code fingerprint (also the resume mechanism);
+* :mod:`~repro.campaign.progress` — done/failed/cached counts, per-job
+  runtimes, and ETA for the CLI.
+"""
+
+from repro.campaign.jobs import JOB_KINDS, execute_job, register
+from repro.campaign.progress import ProgressReporter, stderr_reporter
+from repro.campaign.scheduler import (
+    CampaignResult,
+    campaign_stats,
+    collect_values,
+    run_campaign,
+)
+from repro.campaign.spec import (
+    JobSpec,
+    canonical_json,
+    single_flow_job,
+    stability_job,
+)
+from repro.campaign.store import ResultStore, code_fingerprint
+
+__all__ = [
+    "JOB_KINDS",
+    "CampaignResult",
+    "JobSpec",
+    "ProgressReporter",
+    "ResultStore",
+    "campaign_stats",
+    "canonical_json",
+    "code_fingerprint",
+    "collect_values",
+    "execute_job",
+    "register",
+    "run_campaign",
+    "single_flow_job",
+    "stability_job",
+    "stderr_reporter",
+]

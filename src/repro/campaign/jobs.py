@@ -1,0 +1,136 @@
+"""Job kinds and the worker-side entry point.
+
+``JOB_KINDS`` maps a :class:`~repro.campaign.spec.JobSpec` kind to a
+function ``params -> result dict``; results must be JSON-serialisable so
+they can cross the process boundary and land in the
+:class:`~repro.campaign.store.ResultStore` unchanged.
+
+:func:`execute_job` is the function worker processes actually run.  It
+enforces the per-job wall-clock timeout (``SIGALRM``) and interprets the
+fault-injection knobs (``_crash_attempts``, ``_fail_attempts``,
+``_sleep`` under ``params["knobs"]``) that the test suite uses to
+exercise the scheduler's retry and crash-recovery paths.  Experiment
+imports happen inside the job functions: the experiment layer depends on
+the campaign layer, not the other way round.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import signal
+import time
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional
+
+JOB_KINDS: Dict[str, Callable[[Mapping[str, Any]], Dict[str, Any]]] = {}
+
+
+def register(kind: str):
+    """Register a job runner under ``kind`` (decorator)."""
+    def decorate(fn):
+        JOB_KINDS[kind] = fn
+        return fn
+    return decorate
+
+
+@register("single_flow")
+def run_single_flow_job(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """One seeded download; mirrors :func:`repro.experiments.runner.run_single_flow`."""
+    from repro.experiments.runner import run_single_flow
+    from repro.workloads.scenarios import PathScenario
+
+    scenario = PathScenario(**params["scenario"])
+    result = run_single_flow(
+        scenario, params["cc"], params["size_bytes"], seed=params["seed"],
+        delayed_ack=params.get("delayed_ack", False),
+        ecn=params.get("ecn", False))
+    return {
+        "scenario": scenario.name,
+        "cc": result.cc,
+        "size_bytes": result.size_bytes,
+        "seed": result.seed,
+        "fct": result.fct,
+        "completed": result.completed,
+        "retransmissions": result.retransmissions,
+        "rto_count": result.rto_count,
+        "data_packets_sent": result.data_packets_sent,
+        "drops": result.drops,
+        "loss_rate": result.loss_rate,
+    }
+
+
+@register("stability")
+def run_stability_job(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """One seeded Table-1 run: a large flow vs twelve small flows."""
+    from repro.experiments.runner import run_local_testbed
+    from repro.workloads.flows import stability_workload
+    from repro.workloads.scenarios import LocalTestbedConfig
+
+    config = LocalTestbedConfig(
+        bottleneck_mbps=params["bottleneck_mbps"],
+        rtts=tuple(params["rtts"]),
+        buffer_bdp=params["buffer_bdp"],
+        reference_rtt=params["large_rtt"])
+    small_cc = "cubic+suss" if params["suss"] else "cubic"
+    specs = stability_workload(
+        large_size=params["large_size"], large_cc=params["large_cc"],
+        small_size=params["small_size"], small_cc=small_cc,
+        n_small=params["n_small"])
+    run = run_local_testbed(config, specs, until=params["horizon"],
+                            seed=params["seed"], collect=False)
+    n_small = params["n_small"]
+    small_fcts = [run.fct_of(fid) for fid in range(2, 2 + n_small)]
+    done = [f for f in small_fcts if f is not None]
+    return {
+        "large_cc": params["large_cc"],
+        "seed": params["seed"],
+        "large_fct": run.fct_of(1),
+        "small_fct_mean": (sum(done) / len(done)) if done else None,
+        "n_small_done": len(done),
+        "n_small": n_small,
+    }
+
+
+@contextlib.contextmanager
+def _wall_clock_limit(seconds: Optional[float]) -> Iterator[None]:
+    """Raise TimeoutError after ``seconds`` of wall-clock time (SIGALRM)."""
+    if not seconds or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(f"job exceeded wall-clock timeout of {seconds}s")
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def execute_job(payload: Mapping[str, Any], attempt: int,
+                timeout: Optional[float] = None) -> Dict[str, Any]:
+    """Worker entry: run one job, returning ``{"value": ..., "runtime": ...}``.
+
+    ``attempt`` is 1-based; fault-injection knobs compare against it so an
+    injected crash/failure clears after the configured number of attempts.
+    """
+    kind = payload["kind"]
+    params = payload["params"]
+    knobs = params.get("knobs") or {}
+    if attempt <= knobs.get("_crash_attempts", 0):
+        os._exit(13)  # hard worker death: exercises BrokenProcessPool recovery
+    if attempt <= knobs.get("_fail_attempts", 0):
+        raise RuntimeError(f"injected failure (attempt {attempt})")
+    runner = JOB_KINDS.get(kind)
+    if runner is None:
+        raise KeyError(f"unknown job kind {kind!r}; "
+                       f"known: {', '.join(sorted(JOB_KINDS))}")
+    start = time.perf_counter()
+    with _wall_clock_limit(timeout):
+        if knobs.get("_sleep"):
+            time.sleep(knobs["_sleep"])
+        value = runner(params)
+    return {"value": value, "runtime": time.perf_counter() - start}

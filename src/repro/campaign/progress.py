@@ -1,0 +1,99 @@
+"""Campaign telemetry: jobs done/failed/cached, per-job runtime, ETA.
+
+The reporter always *counts* (so the CLI can emit machine-readable stats
+even in quiet mode); it only *prints* when given a stream.  Lines are
+throttled to at most one per ``min_interval`` seconds, except for
+failures and the final job, which always print.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import IO, Any, Dict, List, Optional
+
+
+class ProgressReporter:
+    """Counts campaign events and narrates them to a stream."""
+
+    def __init__(self, stream: Optional[IO[str]] = None,
+                 min_interval: float = 0.0):
+        self.stream = stream
+        self.min_interval = min_interval
+        self.total = 0
+        self.jobs = 1
+        self.executed = 0
+        self.cached = 0
+        self.failed = 0
+        self.runtimes: List[float] = []
+        self._started_at: Optional[float] = None
+        self._last_print = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> int:
+        return self.executed + self.cached + self.failed
+
+    @property
+    def eta(self) -> Optional[float]:
+        """Estimated seconds left, from mean runtime and the worker count."""
+        if not self.runtimes or self.total <= 0:
+            return None
+        mean = sum(self.runtimes) / len(self.runtimes)
+        remaining = self.total - self.done
+        return mean * remaining / max(self.jobs, 1)
+
+    def stats(self) -> Dict[str, Any]:
+        elapsed = (time.monotonic() - self._started_at
+                   if self._started_at is not None else 0.0)
+        return {"total": self.total, "executed": self.executed,
+                "cached": self.cached, "failed": self.failed,
+                "elapsed": elapsed}
+
+    # ------------------------------------------------------------------
+    def start(self, total: int, jobs: int = 1) -> None:
+        self.total = total
+        self.jobs = jobs
+        self._started_at = time.monotonic()
+        self._emit(f"campaign: {total} jobs on {jobs} worker(s)", force=True)
+
+    def job_done(self, label: str, status: str, runtime: float,
+                 cached: bool = False, error: Optional[str] = None) -> None:
+        if cached:
+            self.cached += 1
+        elif status == "ok":
+            self.executed += 1
+            self.runtimes.append(runtime)
+        else:
+            self.failed += 1
+        tag = "cached" if cached else status
+        line = (f"[{self.done}/{self.total}] {tag:<6} {label}"
+                f" ({runtime:.2f}s)")
+        if error:
+            line += f" — {error}"
+        eta = self.eta
+        if eta is not None and self.done < self.total:
+            line += f" | eta {eta:.0f}s"
+        self._emit(line, force=(status != "ok" or self.done == self.total))
+
+    def finish(self) -> Dict[str, Any]:
+        stats = self.stats()
+        self._emit(
+            f"campaign done: executed={stats['executed']} "
+            f"cached={stats['cached']} failed={stats['failed']} "
+            f"elapsed={stats['elapsed']:.1f}s", force=True)
+        return stats
+
+    # ------------------------------------------------------------------
+    def _emit(self, line: str, force: bool = False) -> None:
+        if self.stream is None:
+            return
+        now = time.monotonic()
+        if not force and now - self._last_print < self.min_interval:
+            return
+        self._last_print = now
+        print(line, file=self.stream, flush=True)
+
+
+def stderr_reporter(min_interval: float = 0.0) -> ProgressReporter:
+    return ProgressReporter(stream=sys.stderr, min_interval=min_interval)

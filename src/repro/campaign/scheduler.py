@@ -1,0 +1,198 @@
+"""Fan jobs out across worker processes; collect deterministic results.
+
+The scheduler is the only stateful piece of the campaign subsystem.  Its
+contract:
+
+* **Deterministic ordering** — results come back in spec order whatever
+  the completion order, so a campaign's output is identical at any
+  ``jobs`` level (each job is a self-contained seeded simulation).
+* **Caching** — with a :class:`~repro.campaign.store.ResultStore`, hits
+  are returned without touching the pool and misses are persisted on
+  success; an interrupted campaign resumes by simply re-running it.
+* **Fault tolerance** — a job that raises is retried up to ``retries``
+  times; a *worker crash* (the pool breaks) requeues every in-flight job
+  against a fresh pool, with the same per-job attempt bound; per-job
+  wall-clock timeouts are enforced worker-side via ``SIGALRM``.
+* ``jobs <= 1`` runs inline in this process (no pool, no fork cost) and
+  must produce byte-identical summaries to any parallel run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.campaign.jobs import execute_job
+from repro.campaign.progress import ProgressReporter
+from repro.campaign.spec import JobSpec
+from repro.campaign.store import ResultStore
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one job: value on success, error string on failure."""
+
+    spec: JobSpec
+    status: str  # "ok" | "failed"
+    value: Optional[Dict[str, Any]]
+    error: Optional[str]
+    attempts: int
+    runtime: float
+    cached: bool
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def campaign_stats(results: Sequence[CampaignResult]) -> Dict[str, int]:
+    """Aggregate counts the way the CLI and CI smoke test report them."""
+    executed = sum(1 for r in results if r.ok and not r.cached)
+    cached = sum(1 for r in results if r.cached)
+    failed = sum(1 for r in results if not r.ok)
+    return {"total": len(results), "executed": executed,
+            "cached": cached, "failed": failed}
+
+
+def collect_values(results: Sequence[CampaignResult]) -> List[Dict[str, Any]]:
+    """Values in spec order; raises on the first failed job."""
+    values = []
+    for result in results:
+        if not result.ok:
+            raise RuntimeError(
+                f"campaign job failed after {result.attempts} attempt(s): "
+                f"{result.spec.label or result.spec.kind}: {result.error}")
+        values.append(result.value)
+    return values
+
+
+def run_campaign(specs: Iterable[JobSpec], *, jobs: int = 1,
+                 store: Optional[ResultStore] = None,
+                 timeout: Optional[float] = None, retries: int = 2,
+                 progress: Optional[ProgressReporter] = None
+                 ) -> List[CampaignResult]:
+    """Run every spec; return one :class:`CampaignResult` per spec, in order."""
+    spec_list = list(specs)
+    reporter = progress or ProgressReporter(stream=None)
+    reporter.start(len(spec_list), jobs=max(jobs, 1))
+    results: List[Optional[CampaignResult]] = [None] * len(spec_list)
+
+    pending: List[int] = []
+    for index, spec in enumerate(spec_list):
+        record = store.get(spec.job_hash) if store is not None else None
+        if record is not None:
+            results[index] = CampaignResult(
+                spec=spec, status="ok", value=record["value"], error=None,
+                attempts=0, runtime=record.get("runtime", 0.0), cached=True)
+            reporter.job_done(spec.label or spec.kind, "ok",
+                              results[index].runtime, cached=True)
+        else:
+            pending.append(index)
+
+    if pending:
+        runner = _run_inline if jobs <= 1 else _run_pool
+        runner(spec_list, pending, results, jobs, store, timeout, retries,
+               reporter)
+    reporter.finish()
+    return results  # type: ignore[return-value]  # every slot is filled
+
+
+# ----------------------------------------------------------------------
+def _finish(spec_list: List[JobSpec], results: List[Optional[CampaignResult]],
+            store: Optional[ResultStore], reporter: ProgressReporter,
+            index: int, status: str, value: Optional[Dict[str, Any]],
+            error: Optional[str], attempts: int, runtime: float) -> None:
+    spec = spec_list[index]
+    results[index] = CampaignResult(spec=spec, status=status, value=value,
+                                    error=error, attempts=attempts,
+                                    runtime=runtime, cached=False)
+    if status == "ok" and store is not None:
+        store.put(spec.job_hash, {"spec": spec.to_json(), "value": value,
+                                  "runtime": runtime, "attempts": attempts})
+    reporter.job_done(spec.label or spec.kind, status, runtime, error=error)
+
+
+def _run_inline(spec_list, pending, results, jobs, store, timeout, retries,
+                reporter) -> None:
+    for index in pending:
+        payload = spec_list[index].to_json()
+        attempts = 0
+        last_error = None
+        while attempts <= retries:
+            attempts += 1
+            try:
+                out = execute_job(payload, attempts, timeout)
+            except Exception as exc:  # noqa: BLE001 — worker faults are data
+                last_error = f"{type(exc).__name__}: {exc}"
+            else:
+                _finish(spec_list, results, store, reporter, index, "ok",
+                        out["value"], None, attempts, out["runtime"])
+                break
+        else:
+            _finish(spec_list, results, store, reporter, index, "failed",
+                    None, last_error, attempts, 0.0)
+
+
+def _run_pool(spec_list, pending, results, jobs, store, timeout, retries,
+              reporter) -> None:
+    if "fork" in multiprocessing.get_all_start_methods():
+        ctx = multiprocessing.get_context("fork")
+    else:  # pragma: no cover — non-POSIX fallback
+        ctx = multiprocessing.get_context()
+    queue = deque(pending)
+    attempts: Dict[int, int] = {index: 0 for index in pending}
+    executor: Optional[ProcessPoolExecutor] = None
+    in_flight: Dict[Future, int] = {}
+
+    def retry_or_fail(index: int, error: str) -> None:
+        if attempts[index] <= retries:
+            queue.append(index)
+        else:
+            _finish(spec_list, results, store, reporter, index, "failed",
+                    None, error, attempts[index], 0.0)
+
+    try:
+        while queue or in_flight:
+            if executor is None:
+                executor = ProcessPoolExecutor(max_workers=jobs,
+                                               mp_context=ctx)
+            # Keep the pool saturated with a small overcommit so workers
+            # never idle between waits.
+            while queue and len(in_flight) < 2 * jobs:
+                index = queue.popleft()
+                attempts[index] += 1
+                future = executor.submit(execute_job,
+                                         spec_list[index].to_json(),
+                                         attempts[index], timeout)
+                in_flight[future] = index
+            done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
+            pool_broken = False
+            for future in done:
+                index = in_flight.pop(future)
+                try:
+                    out = future.result()
+                except BrokenProcessPool:
+                    pool_broken = True
+                    retry_or_fail(index, "worker process crashed")
+                except Exception as exc:  # noqa: BLE001
+                    retry_or_fail(index, f"{type(exc).__name__}: {exc}")
+                else:
+                    _finish(spec_list, results, store, reporter, index, "ok",
+                            out["value"], None, attempts[index],
+                            out["runtime"])
+            if pool_broken:
+                # The whole pool is dead: every other in-flight job is
+                # doomed too.  Requeue them (bounded by the same per-job
+                # attempt budget) and start a fresh pool.
+                for future, index in list(in_flight.items()):
+                    retry_or_fail(index, "worker pool broke mid-job")
+                in_flight.clear()
+                executor.shutdown(wait=False, cancel_futures=True)
+                executor = None
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)

@@ -1,0 +1,116 @@
+"""Declarative experiment jobs with stable content hashes.
+
+A campaign is a list of :class:`JobSpec`\\ s.  Each spec is a pure-data
+description of one simulation — the job *kind* (which registered runner
+executes it, see :mod:`repro.campaign.jobs`) plus a JSON-serialisable
+``params`` mapping (scenario fields, cc, size, seed, knobs).  Because the
+spec is data, it can be shipped to a worker process, written next to its
+result on disk, and hashed: :attr:`JobSpec.job_hash` is a SHA-256 over
+the canonical JSON of ``(kind, params)``, so two specs collide exactly
+when they describe the same simulation.  The display ``label`` is
+excluded from the hash.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence, Union
+
+from repro.workloads.scenarios import INTERNET_SCENARIOS, PathScenario
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace, no NaN)."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One schedulable simulation job.
+
+    ``params`` must contain only JSON-serialisable values (numbers,
+    strings, bools, None, lists, dicts) — it is the unit of caching and
+    of inter-process transport.
+    """
+
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    label: str = ""  # human-readable; not part of the identity hash
+
+    @property
+    def job_hash(self) -> str:
+        payload = canonical_json({"kind": self.kind, "params": self.params})
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": self.params, "label": self.label}
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "JobSpec":
+        return cls(kind=data["kind"], params=dict(data["params"]),
+                   label=data.get("label", ""))
+
+
+def _resolve_scenario(scenario: Union[str, PathScenario]) -> PathScenario:
+    if isinstance(scenario, str):
+        if scenario not in INTERNET_SCENARIOS:
+            known = ", ".join(sorted(INTERNET_SCENARIOS))
+            raise KeyError(f"unknown scenario {scenario!r}; known: {known}")
+        return INTERNET_SCENARIOS[scenario]
+    return scenario
+
+
+def single_flow_job(scenario: Union[str, PathScenario], cc: str,
+                    size_bytes: int, seed: int = 0, *,
+                    delayed_ack: bool = False, ecn: bool = False,
+                    knobs: Optional[Mapping[str, Any]] = None) -> JobSpec:
+    """Spec for one seeded download (the :func:`run_single_flow` unit).
+
+    The scenario is embedded by value (its dataclass fields), so custom
+    ``replace()``-derived scenarios hash and replay correctly.
+    """
+    sc = _resolve_scenario(scenario)
+    params: Dict[str, Any] = {
+        "scenario": dataclasses.asdict(sc),
+        "cc": cc,
+        "size_bytes": int(size_bytes),
+        "seed": int(seed),
+        "delayed_ack": bool(delayed_ack),
+        "ecn": bool(ecn),
+    }
+    if knobs:
+        params["knobs"] = dict(knobs)
+    return JobSpec(kind="single_flow", params=params,
+                   label=f"{sc.name} {cc} {size_bytes}B seed={seed}")
+
+
+def stability_job(large_cc: str, buffer_bdp: float, large_rtt: float,
+                  suss: bool, large_size: int, small_size: int, n_small: int,
+                  bottleneck_mbps: float, horizon: float, seed: int,
+                  rtts: Sequence[float], *,
+                  knobs: Optional[Mapping[str, Any]] = None) -> JobSpec:
+    """Spec for one seeded Table-1 stability run (large flow + small flows)."""
+    params: Dict[str, Any] = {
+        "large_cc": large_cc,
+        "buffer_bdp": float(buffer_bdp),
+        "large_rtt": float(large_rtt),
+        "suss": bool(suss),
+        "large_size": int(large_size),
+        "small_size": int(small_size),
+        "n_small": int(n_small),
+        "bottleneck_mbps": float(bottleneck_mbps),
+        "horizon": float(horizon),
+        "seed": int(seed),
+        "rtts": [float(r) for r in rtts],
+    }
+    if knobs:
+        params["knobs"] = dict(knobs)
+    suss_tag = "suss-on" if suss else "suss-off"
+    return JobSpec(kind="stability", params=params,
+                   label=(f"table1 {large_cc} buf={buffer_bdp} "
+                          f"rtt={large_rtt * 1000:.0f}ms {suss_tag} "
+                          f"seed={seed}"))

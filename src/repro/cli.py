@@ -14,14 +14,31 @@ Usage (after ``pip install -e .``)::
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional
 
+from repro.campaign import ProgressReporter, ResultStore, stderr_reporter
 from repro.cc import available
 from repro.experiments.report import pct, render_table
-from repro.experiments.runner import fct_summary, run_single_flow
+from repro.experiments.runner import run_single_flow, sweep_summaries
 from repro.trace.csvout import write_multi_timeseries
 from repro.workloads import INTERNET_SCENARIOS, MB, MBPS
+from repro.workloads.scenarios import LINK_NAMES, SERVER_NAMES
+
+
+def _campaign_kwargs(args: argparse.Namespace) -> dict:
+    """Translate shared --jobs/--cache-dir/--quiet flags into runner kwargs."""
+    store = None
+    if getattr(args, "cache_dir", None):
+        store = ResultStore(args.cache_dir)
+    progress: Optional[ProgressReporter]
+    if getattr(args, "quiet", False):
+        progress = ProgressReporter(stream=None)
+    else:
+        progress = stderr_reporter(min_interval=0.5)
+    return {"jobs": args.jobs, "store": store, "progress": progress}
 
 
 def _scenario(name: str):
@@ -82,14 +99,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     scenario = _scenario(args.scenario)
     ccs = args.ccs.split(",")
     sizes = [int(s) for s in args.sizes.split(",")]
+    summaries = sweep_summaries(scenario, ccs, sizes, args.iterations,
+                                args.seed, **_campaign_kwargs(args))
     rows = []
-    summaries = {}
     for size in sizes:
         row: List[object] = [size / MB]
         for cc in ccs:
-            summary = fct_summary(scenario, cc, size, args.iterations,
-                                  args.seed)
-            summaries[(cc, size)] = summary
+            summary = summaries[(cc, size)]
             row.append(f"{summary.mean:.3f}±{summary.std:.3f}")
         if "cubic" in ccs and "cubic+suss" in ccs:
             base = summaries[("cubic", size)].mean
@@ -139,14 +155,62 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     if args.name == "fig02":
         results = module.run_comparison()
     elif args.name == "fig18":
-        results = module.run_matrix()
+        results = module.run_matrix(**_campaign_kwargs(args))
         print(module.format_fct_report(results))
         print()
         print(module.format_loss_report(results))
         return 0
+    elif args.name == "table1":
+        results = module.run(**_campaign_kwargs(args))
     else:
         results = module.run()
     print(module.format_report(results))
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Run a (sub-)matrix of the Fig. 17/18 evaluation as a cached campaign."""
+    from repro.experiments import fig17_18_all_scenarios
+
+    servers = args.servers.split(",")
+    links = args.links.split(",")
+    sizes = [int(s) for s in args.sizes.split(",")]
+    schemes = tuple(args.ccs.split(","))
+    for server in servers:
+        for link in links:
+            _scenario(f"{server}/{link}")
+
+    if args.resume and not os.path.isdir(args.cache_dir):
+        raise SystemExit(f"--resume: cache directory {args.cache_dir!r} "
+                         f"does not exist (nothing to resume)")
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+    progress = (ProgressReporter(stream=None) if args.quiet
+                else stderr_reporter(min_interval=0.5))
+    try:
+        rows = fig17_18_all_scenarios.run_matrix(
+            servers=servers, links=links, sizes=sizes, schemes=schemes,
+            iterations=args.iterations, base_seed=args.seed, jobs=args.jobs,
+            store=store, progress=progress, timeout=args.timeout,
+            retries=args.retries)
+    except RuntimeError as exc:
+        stats = progress.stats()
+        if args.stats_json:
+            with open(args.stats_json, "w", encoding="utf-8") as fh:
+                json.dump(stats, fh, sort_keys=True)
+        raise SystemExit(f"campaign failed: {exc}\n"
+                         f"(completed jobs stay cached; re-run with "
+                         f"--resume to retry only the rest)")
+    if all(s in rows[0].fct for s in ("cubic", "cubic+suss")):
+        print(fig17_18_all_scenarios.format_fct_report(rows))
+        print()
+    print(fig17_18_all_scenarios.format_loss_report(rows))
+    stats = progress.stats()
+    print(f"campaign: total={stats['total']} executed={stats['executed']} "
+          f"cached={stats['cached']} failed={stats['failed']} "
+          f"elapsed={stats['elapsed']:.1f}s")
+    if args.stats_json:
+        with open(args.stats_json, "w", encoding="utf-8") as fh:
+            json.dump(stats, fh, sort_keys=True)
     return 0
 
 
@@ -181,13 +245,53 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--sizes", default="1000000,2000000,4000000")
     sweep_p.add_argument("--iterations", type=int, default=3)
     sweep_p.add_argument("--seed", type=int, default=0)
+    _add_campaign_flags(sweep_p)
     sweep_p.set_defaults(func=cmd_sweep)
 
     exp_p = sub.add_parser("experiment",
                            help="regenerate a paper figure/table")
     exp_p.add_argument("name", choices=sorted(EXPERIMENTS))
+    _add_campaign_flags(exp_p)
     exp_p.set_defaults(func=cmd_experiment)
+
+    camp_p = sub.add_parser(
+        "campaign",
+        help="run a cached, parallel scenario-matrix campaign")
+    camp_p.add_argument("--servers", default=",".join(SERVER_NAMES))
+    camp_p.add_argument("--links", default=",".join(LINK_NAMES))
+    camp_p.add_argument("--sizes", default="1000000,2000000,4000000")
+    camp_p.add_argument("--ccs", default="bbr,cubic+suss,cubic")
+    camp_p.add_argument("--iterations", type=int, default=3)
+    camp_p.add_argument("--seed", type=int, default=0)
+    camp_p.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = run inline)")
+    camp_p.add_argument("--cache-dir", default=".repro-cache",
+                        help="result cache; re-runs only compute misses")
+    camp_p.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache entirely")
+    camp_p.add_argument("--resume", action="store_true",
+                        help="continue an interrupted campaign from "
+                             "--cache-dir (errors if it does not exist)")
+    camp_p.add_argument("--timeout", type=float, default=None,
+                        help="per-job wall-clock timeout in seconds")
+    camp_p.add_argument("--retries", type=int, default=2,
+                        help="retries per job after a failure/crash")
+    camp_p.add_argument("--quiet", action="store_true",
+                        help="suppress per-job progress on stderr")
+    camp_p.add_argument("--stats-json",
+                        help="write executed/cached/failed counts to a file")
+    camp_p.set_defaults(func=cmd_campaign)
     return parser
+
+
+def _add_campaign_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = run inline)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache results on disk; re-runs only compute "
+                             "misses")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-job progress on stderr")
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -27,8 +27,10 @@ from repro.experiments.runner import (
     LocalRun,
     fct_summary,
     loss_rate_summary,
+    run_flow_campaign,
     run_local_testbed,
     run_single_flow,
+    sweep_summaries,
 )
 
 __all__ = [
@@ -36,6 +38,8 @@ __all__ = [
     "LocalRun",
     "fct_summary",
     "loss_rate_summary",
+    "run_flow_campaign",
     "run_local_testbed",
     "run_single_flow",
+    "sweep_summaries",
 ]

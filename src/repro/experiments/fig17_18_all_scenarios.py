@@ -10,10 +10,13 @@ Oracle + high-speed-link paths.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.campaign.progress import ProgressReporter
+from repro.campaign.scheduler import collect_values, run_campaign
+from repro.campaign.spec import single_flow_job
+from repro.campaign.store import ResultStore
 from repro.experiments.report import pct, render_table
-from repro.experiments.runner import run_single_flow
 from repro.metrics.summary import Summary, improvement, summarize
 from repro.workloads.flows import MB
 from repro.workloads.scenarios import (
@@ -54,28 +57,44 @@ def run_matrix(servers: Sequence[str] = tuple(SERVER_NAMES),
                links: Sequence[str] = tuple(LINK_NAMES),
                sizes: Sequence[int] = DEFAULT_SIZES,
                iterations: int = 3, base_seed: int = 0,
-               schemes: Sequence[str] = SCHEMES) -> List[ScenarioRow]:
-    """Run the (sub-)matrix; default covers all 28 scenarios."""
+               schemes: Sequence[str] = SCHEMES, *,
+               jobs: int = 1, store: Optional[ResultStore] = None,
+               progress: Optional[ProgressReporter] = None,
+               timeout: Optional[float] = None,
+               retries: int = 2) -> List[ScenarioRow]:
+    """Run the (sub-)matrix; default covers all 28 scenarios.
+
+    The full matrix is flattened into one campaign (scenario × size ×
+    scheme × seed) and fanned out over ``jobs`` workers; with a ``store``
+    repeated/interrupted runs only compute cache misses.  Results are
+    assembled in deterministic matrix order, so the rows are identical at
+    any ``jobs`` level.
+    """
+    cells = [(get_scenario(server, link), size)
+             for server in servers for link in links for size in sizes]
+    specs = [single_flow_job(scenario, scheme, size, seed=base_seed + i)
+             for scenario, size in cells
+             for scheme in schemes
+             for i in range(iterations)]
+    values = collect_values(run_campaign(
+        specs, jobs=jobs, store=store, timeout=timeout, retries=retries,
+        progress=progress))
+
     rows: List[ScenarioRow] = []
-    for server in servers:
-        for link in links:
-            scenario = get_scenario(server, link)
-            for size in sizes:
-                row = ScenarioRow(scenario=scenario.name, size=size)
-                for scheme in schemes:
-                    fcts, losses = [], []
-                    for i in range(iterations):
-                        res = run_single_flow(scenario, scheme, size,
-                                              seed=base_seed + i)
-                        if res.fct is None:
-                            raise RuntimeError(
-                                f"{scenario.name} {scheme} {size} did not "
-                                f"complete (seed {base_seed + i})")
-                        fcts.append(res.fct)
-                        losses.append(res.loss_rate)
-                    row.fct[scheme] = summarize(fcts)
-                    row.loss[scheme] = summarize(losses)
-                rows.append(row)
+    cursor = 0
+    for scenario, size in cells:
+        row = ScenarioRow(scenario=scenario.name, size=size)
+        for scheme in schemes:
+            chunk = values[cursor:cursor + iterations]
+            cursor += iterations
+            for value in chunk:
+                if not value["completed"]:
+                    raise RuntimeError(
+                        f"{scenario.name} {scheme} {size} did not "
+                        f"complete (seed {value['seed']})")
+            row.fct[scheme] = summarize([v["fct"] for v in chunk])
+            row.loss[scheme] = summarize([v["loss_rate"] for v in chunk])
+        rows.append(row)
     return rows
 
 

@@ -9,8 +9,12 @@ kernel-log-style telemetry is collected for analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.campaign.progress import ProgressReporter
+from repro.campaign.scheduler import collect_values, run_campaign
+from repro.campaign.spec import single_flow_job
+from repro.campaign.store import ResultStore
 from repro.metrics.collector import Telemetry
 from repro.metrics.summary import Summary, summarize
 from repro.net.topology import Dumbbell
@@ -89,28 +93,82 @@ def run_single_flow(scenario: PathScenario, cc: str, size_bytes: int,
         transfer=transfer if keep_transfer else None)
 
 
-def fct_summary(scenario: PathScenario, cc: str, size_bytes: int,
-                iterations: int, base_seed: int = 0) -> Summary:
-    """Mean/std FCT over ``iterations`` seeded runs (paper: 50 iterations)."""
-    fcts: List[float] = []
-    for i in range(iterations):
-        result = run_single_flow(scenario, cc, size_bytes, seed=base_seed + i)
-        if result.fct is None:
+def run_flow_campaign(scenario: PathScenario, cc: str, size_bytes: int,
+                      iterations: int, base_seed: int = 0, *,
+                      jobs: int = 1, store: Optional[ResultStore] = None,
+                      progress: Optional[ProgressReporter] = None,
+                      timeout: Optional[float] = None,
+                      retries: int = 2) -> List[Dict[str, Any]]:
+    """The seeded-iteration loop as a campaign: one job per seed.
+
+    Returns the per-seed result dicts in seed order; raises if a flow did
+    not complete within its deadline (seeds identify the culprit).
+    """
+    specs = [single_flow_job(scenario, cc, size_bytes, seed=base_seed + i)
+             for i in range(iterations)]
+    results = run_campaign(specs, jobs=jobs, store=store, timeout=timeout,
+                           retries=retries, progress=progress)
+    values = collect_values(results)
+    for value in values:
+        if not value["completed"]:
             raise RuntimeError(
                 f"flow did not complete: {scenario.name} cc={cc} "
-                f"size={size_bytes} seed={base_seed + i}")
-        fcts.append(result.fct)
-    return summarize(fcts)
+                f"size={size_bytes} seed={value['seed']}")
+    return values
+
+
+def fct_summary(scenario: PathScenario, cc: str, size_bytes: int,
+                iterations: int, base_seed: int = 0, *,
+                jobs: int = 1, store: Optional[ResultStore] = None,
+                progress: Optional[ProgressReporter] = None) -> Summary:
+    """Mean/std FCT over ``iterations`` seeded runs (paper: 50 iterations)."""
+    values = run_flow_campaign(scenario, cc, size_bytes, iterations,
+                               base_seed, jobs=jobs, store=store,
+                               progress=progress)
+    return summarize([value["fct"] for value in values])
 
 
 def loss_rate_summary(scenario: PathScenario, cc: str, size_bytes: int,
-                      iterations: int, base_seed: int = 0) -> Summary:
-    """Mean/std packet-loss rate over seeded runs."""
-    rates = []
-    for i in range(iterations):
-        result = run_single_flow(scenario, cc, size_bytes, seed=base_seed + i)
-        rates.append(result.loss_rate)
-    return summarize(rates)
+                      iterations: int, base_seed: int = 0, *,
+                      jobs: int = 1, store: Optional[ResultStore] = None,
+                      progress: Optional[ProgressReporter] = None) -> Summary:
+    """Mean/std packet-loss rate over seeded runs.
+
+    Like :func:`fct_summary`, incomplete flows raise instead of silently
+    contributing a partial-transfer loss rate to the average.
+    """
+    values = run_flow_campaign(scenario, cc, size_bytes, iterations,
+                               base_seed, jobs=jobs, store=store,
+                               progress=progress)
+    return summarize([value["loss_rate"] for value in values])
+
+
+def sweep_summaries(scenario: PathScenario, ccs: Sequence[str],
+                    sizes: Sequence[int], iterations: int,
+                    base_seed: int = 0, *, jobs: int = 1,
+                    store: Optional[ResultStore] = None,
+                    progress: Optional[ProgressReporter] = None
+                    ) -> Dict[Tuple[str, int], Summary]:
+    """FCT summaries for every (cc, size) pair, fanned out as one campaign.
+
+    Flattening the whole sweep into a single campaign keeps every worker
+    busy across cell boundaries instead of synchronising per cell.
+    """
+    combos = [(cc, size) for size in sizes for cc in ccs]
+    specs = [single_flow_job(scenario, cc, size, seed=base_seed + i)
+             for cc, size in combos for i in range(iterations)]
+    results = run_campaign(specs, jobs=jobs, store=store, progress=progress)
+    values = collect_values(results)
+    summaries: Dict[Tuple[str, int], Summary] = {}
+    for slot, (cc, size) in enumerate(combos):
+        chunk = values[slot * iterations:(slot + 1) * iterations]
+        for value in chunk:
+            if not value["completed"]:
+                raise RuntimeError(
+                    f"flow did not complete: {scenario.name} cc={cc} "
+                    f"size={size} seed={value['seed']}")
+        summaries[(cc, size)] = summarize([v["fct"] for v in chunk])
+    return summaries
 
 
 @dataclass

@@ -13,12 +13,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.campaign.progress import ProgressReporter
+from repro.campaign.scheduler import collect_values, run_campaign
+from repro.campaign.spec import stability_job
+from repro.campaign.store import ResultStore
 from repro.experiments.fig16_stability_trace import PAIR_RTTS
 from repro.experiments.report import pct, render_table
-from repro.experiments.runner import run_local_testbed
 from repro.metrics.summary import summarize
-from repro.workloads.flows import MB, stability_workload
-from repro.workloads.scenarios import LocalTestbedConfig
+from repro.workloads.flows import MB
 
 DEFAULT_RTTS = (0.025, 0.050, 0.100, 0.200)
 DEFAULT_BUFFERS = (1.0, 2.0)
@@ -52,32 +54,17 @@ class Table1Cell:
         return (self.large_fct_on - self.large_fct_off) / self.large_fct_off
 
 
-def _run_config(large_cc: str, buffer_bdp: float, large_rtt: float,
-                suss: bool, large_size: int, small_size: int, n_small: int,
-                bottleneck_mbps: float, horizon: float,
-                iterations: int, base_seed: int) -> Tuple[float, float]:
-    """Mean (large FCT, mean small FCT) over iterations."""
-    small_cc = "cubic+suss" if suss else "cubic"
-    rtts = (large_rtt,) + PAIR_RTTS[1:]
-    config = LocalTestbedConfig(bottleneck_mbps=bottleneck_mbps, rtts=rtts,
-                                buffer_bdp=buffer_bdp,
-                                reference_rtt=large_rtt)
+def _aggregate(values: List[dict], horizon: float) -> Tuple[float, float]:
+    """Mean (large FCT, mean small FCT) over one config's iterations."""
     large_fcts: List[float] = []
     small_fcts: List[float] = []
-    for i in range(iterations):
-        specs = stability_workload(large_size=large_size, large_cc=large_cc,
-                                   small_size=small_size, small_cc=small_cc,
-                                   n_small=n_small)
-        run = run_local_testbed(config, specs, until=horizon,
-                                seed=base_seed + i, collect=False)
-        large = run.fct_of(1)
+    for value in values:
+        large = value["large_fct"]
         # An unfinished large flow counts as the horizon (conservative).
         large_fcts.append(large if large is not None else horizon)
-        done = [run.fct_of(fid) for fid in range(2, 2 + n_small)]
-        done = [f for f in done if f is not None]
-        if not done:
+        if value["small_fct_mean"] is None:
             raise RuntimeError("no small flow completed; horizon too short")
-        small_fcts.append(sum(done) / len(done))
+        small_fcts.append(value["small_fct_mean"])
     return summarize(large_fcts).mean, summarize(small_fcts).mean
 
 
@@ -87,21 +74,39 @@ def run(large_ccas: Sequence[str] = LARGE_CCAS,
         large_size: int = 150 * MB, small_size: int = 2 * MB,
         n_small: int = 12, bottleneck_mbps: float = 50.0,
         horizon: float = 60.0, iterations: int = 1,
-        base_seed: int = 0) -> Dict[Table1Key, Table1Cell]:
-    """Run the full Table 1 grid (3 x 2 x 4 configurations, on + off)."""
+        base_seed: int = 0, *, jobs: int = 1,
+        store: Optional[ResultStore] = None,
+        progress: Optional[ProgressReporter] = None) -> Dict[Table1Key, Table1Cell]:
+    """Run the full Table 1 grid (3 x 2 x 4 configurations, on + off).
+
+    Every (config, SUSS on/off, seed) combination is one campaign job, so
+    the whole grid fans out over ``jobs`` workers and caches per run.
+    """
+    configs = [(large_cc, buffer_bdp, rtt, suss)
+               for large_cc in large_ccas
+               for buffer_bdp in buffers
+               for rtt in rtts
+               for suss in (False, True)]
+    specs = [stability_job(large_cc, buffer_bdp, rtt, suss, large_size,
+                           small_size, n_small, bottleneck_mbps, horizon,
+                           base_seed + i, (rtt,) + PAIR_RTTS[1:])
+             for large_cc, buffer_bdp, rtt, suss in configs
+             for i in range(iterations)]
+    values = collect_values(run_campaign(specs, jobs=jobs, store=store,
+                                         progress=progress))
+
+    halves: Dict[Tuple[str, float, float, bool], Tuple[float, float]] = {}
+    for slot, config in enumerate(configs):
+        chunk = values[slot * iterations:(slot + 1) * iterations]
+        halves[config] = _aggregate(chunk, horizon)
+
     cells: Dict[Table1Key, Table1Cell] = {}
-    for large_cc in large_ccas:
-        for buffer_bdp in buffers:
-            for rtt in rtts:
-                lf_off, sf_off = _run_config(
-                    large_cc, buffer_bdp, rtt, False, large_size, small_size,
-                    n_small, bottleneck_mbps, horizon, iterations, base_seed)
-                lf_on, sf_on = _run_config(
-                    large_cc, buffer_bdp, rtt, True, large_size, small_size,
-                    n_small, bottleneck_mbps, horizon, iterations, base_seed)
-                cells[Table1Key(large_cc, buffer_bdp, rtt)] = Table1Cell(
-                    large_fct_off=lf_off, small_fct_off=sf_off,
-                    large_fct_on=lf_on, small_fct_on=sf_on)
+    for large_cc, buffer_bdp, rtt, _ in configs[::2]:
+        lf_off, sf_off = halves[(large_cc, buffer_bdp, rtt, False)]
+        lf_on, sf_on = halves[(large_cc, buffer_bdp, rtt, True)]
+        cells[Table1Key(large_cc, buffer_bdp, rtt)] = Table1Cell(
+            large_fct_off=lf_off, small_fct_off=sf_off,
+            large_fct_on=lf_on, small_fct_on=sf_on)
     return cells
 
 

@@ -1,0 +1,256 @@
+"""Tests for the ``repro.campaign`` subsystem.
+
+Covers the hard guarantees: stable content hashing, cache hit/miss and
+corruption handling, resume-after-interrupt, bounded retries on injected
+failures and real worker crashes, per-job timeouts, and byte-identical
+summaries at any ``--jobs`` level.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.campaign import (
+    JobSpec,
+    ProgressReporter,
+    ResultStore,
+    campaign_stats,
+    code_fingerprint,
+    collect_values,
+    run_campaign,
+    single_flow_job,
+    stability_job,
+)
+from repro.experiments import fig17_18_all_scenarios
+from repro.experiments.runner import (
+    fct_summary,
+    loss_rate_summary,
+    run_single_flow,
+    sweep_summaries,
+)
+from repro.workloads import get_scenario
+from repro.workloads.scenarios import PathScenario
+
+import dataclasses
+
+SCENARIO = get_scenario("google-tokyo", "wired")
+SIZE = 400_000
+
+
+@pytest.fixture(autouse=True)
+def _pinned_fingerprint(monkeypatch):
+    """Skip source-tree hashing in tests; one fixed cache generation."""
+    monkeypatch.setenv("REPRO_CAMPAIGN_FINGERPRINT", "test-fingerprint")
+
+
+def spec_for(seed: int, size: int = SIZE, **kwargs) -> JobSpec:
+    return single_flow_job(SCENARIO, "cubic", size, seed=seed, **kwargs)
+
+
+class TestJobSpec:
+    def test_hash_is_stable(self):
+        assert spec_for(1).job_hash == spec_for(1).job_hash
+
+    def test_hash_covers_params(self):
+        base = spec_for(1)
+        assert base.job_hash != spec_for(2).job_hash
+        assert base.job_hash != spec_for(1, size=SIZE + 1).job_hash
+        other_cc = single_flow_job(SCENARIO, "cubic+suss", SIZE, seed=1)
+        assert base.job_hash != other_cc.job_hash
+
+    def test_label_excluded_from_hash(self):
+        a = spec_for(1)
+        b = JobSpec(kind=a.kind, params=a.params, label="renamed")
+        assert a.job_hash == b.job_hash
+
+    def test_scenario_embedded_by_value(self):
+        custom = dataclasses.replace(SCENARIO, name="custom", rtt=0.123)
+        spec = single_flow_job(custom, "cubic", SIZE, seed=0)
+        assert spec.job_hash != spec_for(0).job_hash
+        rebuilt = PathScenario(**spec.params["scenario"])
+        assert rebuilt == custom
+
+    def test_roundtrip_json(self):
+        spec = spec_for(3)
+        assert JobSpec.from_json(spec.to_json()) == spec
+
+    def test_unknown_scenario_name_rejected(self):
+        with pytest.raises(KeyError):
+            single_flow_job("nowhere/wired", "cubic", SIZE)
+
+    def test_code_fingerprint_env_override(self):
+        assert code_fingerprint() == "test-fingerprint"
+
+
+class TestCache:
+    def test_miss_then_hit(self, tmp_path):
+        store = ResultStore(tmp_path)
+        specs = [spec_for(0), spec_for(1)]
+        first = run_campaign(specs, store=store)
+        assert campaign_stats(first) == {"total": 2, "executed": 2,
+                                         "cached": 0, "failed": 0}
+        second = run_campaign(specs, store=store)
+        assert campaign_stats(second) == {"total": 2, "executed": 0,
+                                          "cached": 2, "failed": 0}
+        assert collect_values(second) == collect_values(first)
+
+    def test_corrupt_record_degrades_to_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = spec_for(0)
+        first = run_campaign([spec], store=store)
+        store.path_for(spec.job_hash).write_text("{not json", encoding="utf-8")
+        second = run_campaign([spec], store=store)
+        assert campaign_stats(second)["executed"] == 1
+        assert collect_values(second) == collect_values(first)
+
+    def test_failures_are_not_cached(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = spec_for(0, knobs={"_fail_attempts": 99})
+        results = run_campaign([spec], store=store, retries=0)
+        assert not results[0].ok
+        assert len(store) == 0
+
+    def test_resume_after_interrupt(self, tmp_path):
+        """A campaign killed partway resumes from the store: completed
+        jobs come back as cache hits, only the remainder executes."""
+        store = ResultStore(tmp_path)
+        specs = [spec_for(seed) for seed in range(4)]
+        run_campaign(specs[:2], store=store)  # the "interrupted" first run
+        resumed = run_campaign(specs, store=store)
+        assert campaign_stats(resumed) == {"total": 4, "executed": 2,
+                                           "cached": 2, "failed": 0}
+        fresh = run_campaign(specs)  # no store: everything recomputed
+        assert collect_values(resumed) == collect_values(fresh)
+
+    def test_fingerprint_partitions_generations(self, tmp_path):
+        old = ResultStore(tmp_path, fingerprint="a" * 64)
+        new = ResultStore(tmp_path, fingerprint="b" * 64)
+        run_campaign([spec_for(0)], store=old)
+        assert len(old) == 1 and len(new) == 0
+        assert campaign_stats(run_campaign([spec_for(0)],
+                                           store=new))["executed"] == 1
+
+
+class TestFaultTolerance:
+    def test_retry_on_injected_failure(self):
+        spec = spec_for(0, knobs={"_fail_attempts": 1})
+        results = run_campaign([spec], retries=1)
+        assert results[0].ok and results[0].attempts == 2
+
+    def test_retries_are_bounded(self):
+        spec = spec_for(0, knobs={"_fail_attempts": 99})
+        results = run_campaign([spec], retries=2)
+        assert not results[0].ok
+        assert results[0].attempts == 3
+        assert "injected failure" in results[0].error
+        with pytest.raises(RuntimeError, match="injected failure"):
+            collect_values(results)
+
+    def test_retry_on_worker_crash(self):
+        """A hard worker death (os._exit) breaks the pool; the scheduler
+        rebuilds it and retries both the crashed and the in-flight jobs."""
+        crashing = spec_for(0, knobs={"_crash_attempts": 1})
+        innocent = spec_for(1)
+        results = run_campaign([crashing, innocent], jobs=2, retries=2)
+        assert all(r.ok for r in results)
+        assert results[0].attempts >= 2
+        assert collect_values(results)[1]["fct"] == \
+            run_single_flow(SCENARIO, "cubic", SIZE, seed=1).fct
+
+    def test_crash_without_retry_budget_fails(self):
+        spec = spec_for(0, knobs={"_crash_attempts": 99})
+        results = run_campaign([spec], jobs=2, retries=1)
+        assert not results[0].ok
+        assert "crash" in results[0].error or "broke" in results[0].error
+
+    def test_per_job_timeout(self):
+        spec = spec_for(0, knobs={"_sleep": 5.0})
+        results = run_campaign([spec], timeout=0.2, retries=0)
+        assert not results[0].ok
+        assert "timeout" in results[0].error.lower()
+
+
+class TestDeterminism:
+    def test_results_in_spec_order_at_any_jobs_level(self):
+        specs = [spec_for(seed) for seed in range(4)]
+        serial = collect_values(run_campaign(specs, jobs=1))
+        parallel = collect_values(run_campaign(specs, jobs=4))
+        assert serial == parallel
+        assert [v["seed"] for v in serial] == [0, 1, 2, 3]
+
+    def test_matrix_reports_byte_identical_jobs1_vs_jobs4(self):
+        kwargs = dict(servers=("google-tokyo",), links=("wired", "wifi"),
+                      sizes=(SIZE,), iterations=2)
+        rows1 = fig17_18_all_scenarios.run_matrix(jobs=1, **kwargs)
+        rows4 = fig17_18_all_scenarios.run_matrix(jobs=4, **kwargs)
+        assert fig17_18_all_scenarios.format_fct_report(rows1) == \
+            fig17_18_all_scenarios.format_fct_report(rows4)
+        assert fig17_18_all_scenarios.format_loss_report(rows1) == \
+            fig17_18_all_scenarios.format_loss_report(rows4)
+
+
+class TestRunnerIntegration:
+    def test_fct_summary_matches_direct_runs(self):
+        summary = fct_summary(SCENARIO, "cubic", SIZE, iterations=2)
+        direct = [run_single_flow(SCENARIO, "cubic", SIZE, seed=i).fct
+                  for i in range(2)]
+        assert summary.mean == sum(direct) / 2
+
+    def test_sweep_summaries_match_fct_summary(self, tmp_path):
+        store = ResultStore(tmp_path)
+        sweep = sweep_summaries(SCENARIO, ("cubic", "cubic+suss"), (SIZE,),
+                                iterations=2, jobs=2, store=store)
+        for cc in ("cubic", "cubic+suss"):
+            assert sweep[(cc, SIZE)] == fct_summary(SCENARIO, cc, SIZE,
+                                                    iterations=2)
+        # The sweep warmed the cache for the equivalent per-cell call.
+        reporter = ProgressReporter()
+        fct_summary(SCENARIO, "cubic", SIZE, iterations=2, store=store,
+                    progress=reporter)
+        assert reporter.stats()["cached"] == 2
+
+    def test_loss_rate_summary_flags_incomplete_flows(self):
+        # 60% random loss stalls the transfer far past its deadline, so
+        # the flow never completes; the summary must raise (matching
+        # fct_summary) instead of averaging a partial-transfer loss rate.
+        lossy = dataclasses.replace(SCENARIO, name="lossy-test",
+                                    loss_rate=0.6)
+        with pytest.raises(RuntimeError, match="did not complete"):
+            loss_rate_summary(lossy, "cubic", SIZE, iterations=1)
+        with pytest.raises(RuntimeError, match="did not complete"):
+            fct_summary(lossy, "cubic", SIZE, iterations=1)
+
+    def test_stability_job_roundtrip(self):
+        spec = stability_job("cubic", 1.0, 0.05, True, 4_000_000, 500_000,
+                             4, 50.0, 20.0, 0,
+                             (0.05, 0.030, 0.060, 0.120, 0.200))
+        results = run_campaign([spec])
+        value = collect_values(results)[0]
+        assert value["n_small_done"] > 0
+        assert value["small_fct_mean"] > 0
+
+
+class TestProgressReporter:
+    def test_counts_and_stream_output(self, tmp_path):
+        stream = io.StringIO()
+        reporter = ProgressReporter(stream=stream)
+        store = ResultStore(tmp_path)
+        run_campaign([spec_for(0)], store=store, progress=reporter)
+        stats = reporter.stats()
+        assert stats["executed"] == 1 and stats["failed"] == 0
+        out = stream.getvalue()
+        assert "campaign done" in out and "executed=1" in out
+
+    def test_quiet_reporter_still_counts(self):
+        reporter = ProgressReporter(stream=None)
+        run_campaign([spec_for(0, knobs={"_fail_attempts": 99})],
+                     retries=0, progress=reporter)
+        assert reporter.stats()["failed"] == 1
+
+    def test_eta_appears_once_runtimes_known(self):
+        reporter = ProgressReporter()
+        reporter.start(total=4, jobs=2)
+        assert reporter.eta is None
+        reporter.job_done("a", "ok", runtime=2.0)
+        assert reporter.eta == pytest.approx(2.0 * 3 / 2)

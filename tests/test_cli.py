@@ -1,8 +1,15 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+
+
+@pytest.fixture(autouse=True)
+def _pinned_fingerprint(monkeypatch):
+    monkeypatch.setenv("REPRO_CAMPAIGN_FINGERPRINT", "test-fingerprint")
 
 
 class TestListing:
@@ -59,6 +66,66 @@ class TestSweep:
                    "--iterations", "1"])
         assert rc == 0
         assert "SUSS improvement" not in capsys.readouterr().out
+
+
+class TestCampaign:
+    ARGS = ["campaign", "--servers", "google-tokyo", "--links", "wired",
+            "--sizes", "400000", "--ccs", "cubic,cubic+suss",
+            "--iterations", "1", "--quiet"]
+
+    def test_first_run_executes_second_run_cached(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        stats_path = tmp_path / "stats.json"
+        rc = main(self.ARGS + ["--cache-dir", cache,
+                               "--stats-json", str(stats_path)])
+        assert rc == 0
+        first_out = capsys.readouterr().out
+        assert "Fig. 18" in first_out and "Fig. 17" in first_out
+        assert "executed=2 cached=0" in first_out
+        stats = json.loads(stats_path.read_text())
+        assert stats["executed"] == 2 and stats["failed"] == 0
+
+        rc = main(self.ARGS + ["--cache-dir", cache, "--resume",
+                               "--stats-json", str(stats_path)])
+        assert rc == 0
+        second_out = capsys.readouterr().out
+        assert "executed=0 cached=2" in second_out
+        stats = json.loads(stats_path.read_text())
+        assert stats["executed"] == 0 and stats["cached"] == 2
+        # Identical tables from cache and from simulation.
+        assert second_out.split("campaign:")[0] == \
+            first_out.split("campaign:")[0]
+
+    def test_parallel_matches_serial_output(self, tmp_path, capsys):
+        rc = main(self.ARGS + ["--no-cache", "--jobs", "1"])
+        assert rc == 0
+        serial = capsys.readouterr().out.split("campaign:")[0]
+        rc = main(self.ARGS + ["--no-cache", "--jobs", "4"])
+        assert rc == 0
+        parallel = capsys.readouterr().out.split("campaign:")[0]
+        assert parallel == serial
+
+    def test_resume_without_cache_dir_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(self.ARGS + ["--cache-dir", str(tmp_path / "absent"),
+                              "--resume"])
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "--servers", "nowhere", "--links", "wired"])
+
+
+class TestSweepCampaignFlags:
+    def test_sweep_with_jobs_and_cache(self, tmp_path, capsys):
+        args = ["sweep", "--scenario", "google-tokyo/wired",
+                "--ccs", "cubic", "--sizes", "400000", "--iterations", "1",
+                "--jobs", "2", "--cache-dir", str(tmp_path / "cache"),
+                "--quiet"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "FCT sweep" in first
+        assert main(args) == 0  # second run served from cache
+        assert capsys.readouterr().out == first
 
 
 class TestExperimentDispatch:
