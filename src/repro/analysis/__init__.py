@@ -1,0 +1,50 @@
+"""Static analysis and runtime sanitization for the reproduction.
+
+Two fragile invariants hold the whole reproduction together: bit-for-bit
+determinism (the figure harnesses and the content-addressed campaign
+cache assume identical results for identical seeds) and strict layering
+(SUSS stays behind the ``tcp_congestion_ops``-style ``repro.cc`` API).
+This package makes both enforceable:
+
+* :mod:`repro.analysis.lint` — AST determinism rules (DET0xx);
+* :mod:`repro.analysis.layering` — import-graph DAG checker (LAY0xx);
+* :mod:`repro.analysis.sanitize` — runtime invariant checks (SAN0xx),
+  wired into the engine/net/tcp layers behind ``REPRO_SANITIZE=1``;
+* :mod:`repro.analysis.cli` — the ``repro lint`` subcommand.
+
+``repro.analysis.sanitize`` imports nothing from other repro layers, so
+even :mod:`repro.sim` may depend on it without inverting the layer DAG.
+"""
+
+from repro.analysis.findings import RULES, Finding, render_json, render_text
+from repro.analysis.layering import (
+    DEFAULT_LAYER_DAG,
+    check_layering,
+    find_package_roots,
+)
+from repro.analysis.lint import applicable_rules, lint_paths, lint_source
+from repro.analysis.sanitize import (
+    ENV_VAR,
+    SanitizeError,
+    SimSanitizer,
+    from_env,
+    sanitize_enabled,
+)
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "render_json",
+    "render_text",
+    "DEFAULT_LAYER_DAG",
+    "check_layering",
+    "find_package_roots",
+    "applicable_rules",
+    "lint_paths",
+    "lint_source",
+    "ENV_VAR",
+    "SanitizeError",
+    "SimSanitizer",
+    "from_env",
+    "sanitize_enabled",
+]

@@ -1,0 +1,58 @@
+"""Entry point for ``repro lint``: determinism lint + layering check.
+
+Runs the AST determinism rules over every ``.py`` file under the given
+paths and, for each ``repro`` package found among them (e.g. ``src``),
+the import-graph layering checker.  Exit status is 0 for a clean tree
+and 1 when there are findings, so CI can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.findings import Finding, render_json, render_text, sort_findings
+from repro.analysis.layering import check_layering, find_package_roots
+from repro.analysis.lint import lint_paths
+
+
+def run_lint(paths: List[str], layering: bool = True) -> List[Finding]:
+    """All findings for ``paths``: determinism rules plus layering."""
+    findings = list(lint_paths(paths))
+    if layering:
+        for root in find_package_roots([Path(p) for p in paths]):
+            findings.extend(check_layering(root))
+    return sort_findings(findings)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="determinism/layering linter for the SUSS reproduction")
+    parser.add_argument("paths", nargs="*", default=["src", "tests"],
+                        help="files or directories to lint "
+                             "(default: src tests)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit findings as JSON")
+    parser.add_argument("--no-layering", action="store_true",
+                        help="skip the import-graph layering check")
+    args = parser.parse_args(argv)
+
+    paths = [p for p in args.paths if Path(p).exists()]
+    missing = sorted(set(args.paths) - set(paths))
+    if missing:
+        parser.error(f"no such path(s): {', '.join(missing)}")
+
+    findings = run_lint(paths, layering=not args.no_layering)
+    if args.as_json:
+        print(render_json(findings))
+    elif findings:
+        print(render_text(findings))
+    else:
+        print("repro lint: clean")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,81 @@
+"""Finding model and the rule catalogue shared by the linter and layering checker.
+
+Every static check in :mod:`repro.analysis` reports :class:`Finding`
+instances tagged with a stable rule ID.  The catalogue below is the
+source of truth for IDs and rationale; DESIGN.md §6 renders the same
+table for humans.  Runtime sanitizer checks (SAN0xx) raise instead of
+reporting findings, but their IDs live here too so documentation and
+error messages stay consistent.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List
+
+#: rule ID -> one-line rationale.  Determinism rules are DET0xx, layering
+#: rules LAY0xx, runtime sanitizer checks SAN0xx.
+RULES: Dict[str, str] = {
+    "DET000": "file could not be parsed (syntax error); nothing else was checked",
+    "DET001": "wall-clock access (time.time/monotonic/perf_counter, datetime.now, ...) "
+              "outside campaign/ poisons determinism and the campaign result cache",
+    "DET002": "module-level random.* call or import draws from the shared global RNG; "
+              "inject a seeded stream from sim/rng.py instead",
+    "DET003": "unseeded random.Random() is seeded from the OS; every run differs",
+    "DET004": "default-seeded RNG fallback (rng or random.Random(0), rng=random.Random(0)); "
+              "two un-wired components silently share identical streams",
+    "DET005": "mutable default argument is shared across calls and leaks state "
+              "between simulation runs",
+    "DET006": "float == / != against simulated time; accumulated float error makes "
+              "the comparison seed- and platform-dependent",
+    "LAY001": "import crosses the declared layer DAG (see DESIGN.md §6)",
+    "LAY002": "campaign may reach the experiments layer only through "
+              "repro.experiments.runner",
+    "LAY003": "runtime import of a layer that is allowed for typing only "
+              "(guard it with typing.TYPE_CHECKING)",
+    "SAN001": "event scheduled into the past or at a non-finite time",
+    "SAN002": "event fired behind the simulation clock (heap monotonicity broken)",
+    "SAN003": "packet conservation violated (sent != delivered + dropped + in-flight)",
+    "SAN004": "cwnd fell below 1 MSS or became non-finite",
+    "SAN005": "pacing rate is non-finite or not positive",
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static-analysis finding, pointing at a file location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def sort_findings(findings: Iterable[Finding]) -> List[Finding]:
+    """Stable presentation order: by path, then position, then rule."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+def render_text(findings: Iterable[Finding]) -> str:
+    """Human-readable report, one finding per line plus a summary."""
+    ordered = sort_findings(findings)
+    lines = [f.render() for f in ordered]
+    noun = "finding" if len(ordered) == 1 else "findings"
+    lines.append(f"{len(ordered)} {noun}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Iterable[Finding]) -> str:
+    """Machine-readable report (stable key order for diffing in CI)."""
+    ordered = sort_findings(findings)
+    payload = {
+        "findings": [asdict(f) for f in ordered],
+        "count": len(ordered),
+        "rules": {rule: RULES[rule] for rule in sorted({f.rule for f in ordered})},
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

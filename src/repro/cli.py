@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``)::
     python -m repro sweep --scenario google-tokyo/4g \
         --ccs cubic,cubic+suss --sizes 1000000,2000000 --iterations 3
     python -m repro experiment fig10
+    python -m repro lint src tests --json
 """
 
 from __future__ import annotations
@@ -214,6 +215,17 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Determinism/layering lint — delegates to repro.analysis.cli."""
+    from repro.analysis.cli import main as lint_main
+    argv: List[str] = list(args.paths)
+    if args.as_json:
+        argv.append("--json")
+    if args.no_layering:
+        argv.append("--no-layering")
+    return lint_main(argv)
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -281,6 +293,17 @@ def build_parser() -> argparse.ArgumentParser:
     camp_p.add_argument("--stats-json",
                         help="write executed/cached/failed counts to a file")
     camp_p.set_defaults(func=cmd_campaign)
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="determinism/layering linter (exit 1 on findings)")
+    lint_p.add_argument("paths", nargs="*", default=["src", "tests"],
+                        help="files or directories (default: src tests)")
+    lint_p.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit findings as JSON")
+    lint_p.add_argument("--no-layering", action="store_true",
+                        help="skip the import-graph layering check")
+    lint_p.set_defaults(func=cmd_lint)
     return parser
 
 

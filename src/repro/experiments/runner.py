@@ -82,6 +82,8 @@ def run_single_flow(scenario: PathScenario, cc: str, size_bytes: int,
                              delayed_ack=delayed_ack, ecn=ecn,
                              telemetry=telemetry)
     sim.run(until=_deadline(scenario, size_bytes))
+    if sim.sanitizer is not None:
+        sim.sanitizer.verify_conservation(sim.pending_events)
     sender = transfer.sender
     return FlowResult(
         scenario=scenario.name, cc=cc, size_bytes=size_bytes, seed=seed,
@@ -195,5 +197,7 @@ def run_local_testbed(config: LocalTestbedConfig, specs: Sequence[FlowSpec],
         sample_cwnd=False, sample_rtt=False, sample_delivered=False)
     transfers = launch_flows(sim, net, specs, telemetry)
     sim.run(until=until)
+    if sim.sanitizer is not None:
+        sim.sanitizer.verify_conservation(sim.pending_events)
     return LocalRun(sim=sim, net=net, transfers=transfers,
                     telemetry=telemetry)

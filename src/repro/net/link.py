@@ -60,6 +60,8 @@ class Link:
         if hasattr(self.queue, "set_now"):
             self.queue.set_now(self.sim.now)
         if not self.queue.push(packet):
+            if self.sim.sanitizer is not None:
+                self.sim.sanitizer.note_network_drop(f"{self.name}: queue full")
             return False
         if not self._busy:
             self._start_next()
@@ -67,7 +69,12 @@ class Link:
 
     # ------------------------------------------------------------------
     def _start_next(self) -> None:
+        drops_before = self.queue.drops
         packet = self.queue.pop(self.sim.now)
+        if self.sim.sanitizer is not None and self.queue.drops > drops_before:
+            # AQM (CoDel) head drops happen inside pop().
+            self.sim.sanitizer.note_network_drop(
+                f"{self.name}: AQM drop", self.queue.drops - drops_before)
         if packet is None:
             self._busy = False
             return
@@ -81,6 +88,8 @@ class Link:
         self.bytes_sent += packet.size
         if self.loss is not None and self.loss.drops():
             self.packets_lost += 1
+            if self.sim.sanitizer is not None:
+                self.sim.sanitizer.note_network_drop(f"{self.name}: random loss")
         else:
             prop = self.delay
             if self.jitter is not None:
@@ -100,6 +109,6 @@ class Link:
 
     def utilization_rate(self) -> float:
         """Mean bytes/second pushed through the link so far."""
-        if self.sim.now == 0:
+        if self.sim.now <= 0.0:
             return 0.0
         return self.bytes_sent / self.sim.now

@@ -17,6 +17,22 @@ import random
 from typing import List, Optional, Sequence, Tuple
 
 
+def _require_rng(rng: Optional[random.Random], component: str) -> random.Random:
+    """Stochastic impairments must be handed a seeded stream explicitly.
+
+    A silent ``random.Random(0)`` fallback means two un-wired components
+    share bit-identical loss/jitter streams — a correlation bug that is
+    invisible in results.  Failing loudly here (and lint rule DET004
+    flagging the old pattern) makes the wiring mistake impossible.
+    """
+    if rng is None:
+        raise ValueError(
+            f"{component} is stochastic and needs an injected random.Random; "
+            f"derive one from the experiment's RngRegistry "
+            f"(e.g. rng.stream('loss:<link>')) so seeds stay independent")
+    return rng
+
+
 class BandwidthProfile:
     """Base class: bottleneck bandwidth (bytes/second) as a function of time."""
 
@@ -89,7 +105,7 @@ class RandomWalkBandwidth(BandwidthProfile):
         self.base_rate = float(base_rate)
         self.span = span
         self.hold_time = hold_time
-        self.rng = rng or random.Random(0)
+        self.rng = _require_rng(rng, "RandomWalkBandwidth")
         self._epoch = -1
         self._rate = base_rate
 
@@ -131,7 +147,8 @@ class JitterModel:
             raise ValueError("tau must be positive")
         self.jitter = jitter
         self.tau = tau
-        self.rng = rng or random.Random(0)
+        # jitter == 0 is deterministic and never samples the rng.
+        self.rng = _require_rng(rng, "JitterModel") if jitter > 0 else rng
         self._value = jitter
         self._last_time = 0.0
 
@@ -156,7 +173,8 @@ class LossModel:
         if not 0 <= loss_rate < 1:
             raise ValueError("loss rate must be in [0, 1)")
         self.loss_rate = loss_rate
-        self.rng = rng or random.Random(0)
+        # loss_rate == 0 is deterministic and never samples the rng.
+        self.rng = _require_rng(rng, "LossModel") if loss_rate > 0 else rng
 
     def drops(self) -> bool:
         return self.loss_rate > 0 and self.rng.random() < self.loss_rate

@@ -36,14 +36,27 @@ class Host:
     def detach(self, flow_id: int) -> None:
         self._endpoints.pop(flow_id, None)
 
+    def _sanitizer(self):
+        # Stub uplinks in unit tests may lack .sim; treat as unsanitized.
+        sim = getattr(self.uplink, "sim", None)
+        return sim.sanitizer if sim is not None else None
+
     def transmit(self, packet: Packet) -> bool:
         """Send a packet out of this host's uplink."""
         if self.uplink is None:
             raise RuntimeError(f"host {self.name} has no uplink")
+        sanitizer = self._sanitizer()
+        if sanitizer is not None:
+            # Conservation accounting: this is the only way packets enter
+            # the network; router hops re-enter links but not here.
+            sanitizer.note_network_send()
         return self.uplink.send(packet)
 
     def receive(self, packet: Packet) -> None:
         self.packets_received += 1
+        sanitizer = self._sanitizer() if self.uplink is not None else None
+        if sanitizer is not None:
+            sanitizer.note_network_deliver()
         endpoint = self._endpoints.get(packet.flow_id)
         if endpoint is None:
             self.unroutable += 1

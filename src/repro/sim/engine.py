@@ -16,9 +16,20 @@ import heapq
 import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
+from repro.analysis.sanitize import SimSanitizer, from_env
 
-class SimulationError(Exception):
-    """Raised for invalid uses of the simulation engine."""
+#: constructor sentinel: "no sanitizer argument given, consult REPRO_SANITIZE".
+#: Passing sanitizer=None explicitly opts out even in sanitized runs (unit
+#: tests that drive links directly, bypassing Host.transmit accounting).
+_FROM_ENV: Any = object()
+
+
+class SimulationError(ValueError):
+    """Raised for invalid uses of the simulation engine.
+
+    Subclasses :class:`ValueError` because the most common instance —
+    an invalid delay or target time — is an argument error.
+    """
 
 
 class EventHandle:
@@ -28,17 +39,22 @@ class EventHandle:
     a harmless no-op so callers do not need to track firing themselves.
     """
 
-    __slots__ = ("time", "callback", "args", "_cancelled", "_fired")
+    __slots__ = ("time", "callback", "args", "_cancelled", "_fired", "_sim")
 
-    def __init__(self, time: float, callback: Callable[..., None], args: Tuple[Any, ...]):
+    def __init__(self, time: float, callback: Callable[..., None],
+                 args: Tuple[Any, ...],
+                 sim: Optional["Simulator"] = None):
         self.time = time
         self.callback = callback
         self.args = args
         self._cancelled = False
         self._fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Safe to call more than once."""
+        if not self._cancelled and not self._fired and self._sim is not None:
+            self._sim._pending -= 1
         self._cancelled = True
 
     @property
@@ -72,12 +88,19 @@ class Simulator:
     :meth:`run_until` / :meth:`step`) processes events.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, sanitizer: Optional[SimSanitizer] = _FROM_ENV) -> None:
         self._now = 0.0
         self._heap: List[Tuple[float, int, EventHandle]] = []
         self._counter = itertools.count()
         self._running = False
         self._processed = 0
+        self._pending = 0
+        #: runtime invariant checker; defaults to one created from the
+        #: ``REPRO_SANITIZE`` environment variable (None when disabled).
+        #: Pass ``sanitizer=None`` to opt out explicitly.  Other layers
+        #: (net, tcp) consult this attribute for their hooks.
+        self.sanitizer: Optional[SimSanitizer] = (
+            from_env() if sanitizer is _FROM_ENV else sanitizer)
 
     # ------------------------------------------------------------------
     # clock
@@ -94,26 +117,41 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (may include cancelled entries)."""
-        return sum(1 for _, _, h in self._heap if h.pending)
+        """Number of events still queued (cancelled entries excluded).
+
+        O(1): a live counter maintained by schedule/cancel/fire, not a
+        heap scan — monitoring code may poll this in hot loops.
+        """
+        return self._pending
 
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay != delay:  # NaN: would poison the heap ordering silently
+            raise SimulationError(
+                f"invalid delay {delay!r}: NaN is not a schedulable delay")
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         return self.schedule_at(self._now + delay, callback, *args)
 
     def schedule_at(self, when: float, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute simulation time ``when``."""
+        if when != when:  # NaN compares false against everything below
+            raise SimulationError(
+                f"invalid target time {when!r}: NaN is not a schedulable time")
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule into the past (when={when}, now={self._now})"
             )
-        handle = EventHandle(when, callback, args)
+        if self.sanitizer is not None:
+            # After the engine's own argument checks, so callers always see
+            # SimulationError for NaN/past; the sanitizer adds the inf check.
+            self.sanitizer.check_schedule(self._now, when)
+        handle = EventHandle(when, callback, args, sim=self)
         heapq.heappush(self._heap, (when, next(self._counter), handle))
+        self._pending += 1
         return handle
 
     # ------------------------------------------------------------------
@@ -125,8 +163,11 @@ class Simulator:
             when, _, handle = heapq.heappop(self._heap)
             if handle.cancelled:
                 continue
+            if self.sanitizer is not None:
+                self.sanitizer.note_fire(when)
             self._now = when
             handle._fired = True
+            self._pending -= 1
             self._processed += 1
             handle.callback(*handle.args)
             return True
@@ -155,8 +196,11 @@ class Simulator:
                 if max_events is not None and fired >= max_events:
                     break
                 heapq.heappop(self._heap)
+                if self.sanitizer is not None:
+                    self.sanitizer.note_fire(when)
                 self._now = when
                 handle._fired = True
+                self._pending -= 1
                 self._processed += 1
                 handle.callback(*handle.args)
                 fired += 1
@@ -171,4 +215,9 @@ class Simulator:
 
     def clear(self) -> None:
         """Drop all pending events (the clock is left where it is)."""
+        for _, _, handle in self._heap:
+            # Mark dropped events cancelled so their handles report the
+            # truth and a later cancel() cannot skew the pending counter.
+            handle._cancelled = True
         self._heap.clear()
+        self._pending = 0

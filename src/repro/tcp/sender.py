@@ -268,6 +268,7 @@ class TcpSender:
                        delivery_rate=rate_sample, app_limited=self.app_limited,
                        in_recovery=self.in_recovery)
         self.cc.on_ack(info)
+        self._sanitize_cc()
 
         if self.telemetry is not None:
             self.telemetry.on_cwnd(self.flow_id, now, self.cc.cwnd,
@@ -295,6 +296,7 @@ class TcpSender:
             self._retx_marked = {s for s in self._retx_marked
                                  if s >= self.snd_una}
             self.cc.on_loss(now)
+            self._sanitize_cc()
             self._retransmit_holes()
         elif self.in_recovery:
             # Each further SACK frees pipe; fill more holes if possible.
@@ -333,6 +335,13 @@ class TcpSender:
                     self._send_segment(seq, size, retransmit=True)
                     self._arm_rto()
                 seq += size
+
+    def _sanitize_cc(self) -> None:
+        """Feed the runtime sanitizer the post-event CC invariants."""
+        san = self.sim.sanitizer
+        if san is not None:
+            san.check_cwnd(self.flow_id, self.cc.cwnd, self.mss)
+            san.check_pacing_rate(self.flow_id, self.cc.pacing_rate)
 
     # ------------------------------------------------------------------
     # transmission
@@ -438,6 +447,7 @@ class TcpSender:
             return
         now = self.sim.now
         self.cc.on_rto(now)
+        self._sanitize_cc()
         # Go-back-N over un-SACKed space: the kernel walks the retransmit
         # queue from snd_una; _maybe_send skips SACKed intervals and the
         # receiver's reassembly buffer makes the cumulative ACK jump.

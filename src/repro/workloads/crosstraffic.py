@@ -11,7 +11,7 @@ foreground experiments can be stressed realistically.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.metrics import Telemetry
@@ -36,7 +36,8 @@ class CrossTraffic:
             ``bottleneck_rate``.
         bottleneck_rate: bottleneck capacity in bytes/second.
         cc: congestion control used by cross flows.
-        rng: seeded RNG (determinism).
+        rng: seeded RNG (required: determinism demands an injected,
+            independently seeded stream; see ``repro.sim.rng``).
         flow_id_base: cross flows are numbered from here.
     """
 
@@ -46,13 +47,19 @@ class CrossTraffic:
     target_load: float
     bottleneck_rate: float
     cc: str = "cubic"
-    rng: random.Random = field(default_factory=lambda: random.Random(0))
+    rng: Optional[random.Random] = None
     flow_id_base: int = 10_000
     telemetry: Optional[Telemetry] = None
 
     def __post_init__(self) -> None:
         if not 0 < self.target_load < 1:
             raise ValueError("target_load must be in (0, 1)")
+        if self.rng is None:
+            raise ValueError(
+                "CrossTraffic needs an injected random.Random; derive one "
+                "from the experiment's RngRegistry (e.g. "
+                "rng.stream('crosstraffic')) so arrival/size streams stay "
+                "independent of other stochastic components")
         self._next_id = self.flow_id_base
         self.flows: List[Transfer] = []
         # Mean size of the log-uniform distribution.

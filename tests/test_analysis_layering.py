@@ -1,0 +1,133 @@
+"""Layering-checker tests against fixture packages and the real tree."""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import check_layering, find_package_roots
+from repro.analysis.findings import render_text
+
+
+def make_package(tmp_path, files):
+    """Build a throwaway ``repro`` package from {relpath: source}."""
+    root = tmp_path / "repro"
+    for rel, source in files.items():
+        file = root / rel
+        file.parent.mkdir(parents=True, exist_ok=True)
+        file.write_text(textwrap.dedent(source), encoding="utf-8")
+    for directory in {f.parent for f in root.rglob("*.py")} | {root}:
+        init = directory / "__init__.py"
+        if not init.exists():
+            init.write_text("", encoding="utf-8")
+    return root
+
+
+class TestViolationsFlagged:
+    def test_cc_importing_net_is_lay001(self, tmp_path):
+        root = make_package(tmp_path, {
+            "cc/greedy.py": "from repro.net.link import Link\n",
+            "net/link.py": "class Link:\n    pass\n",
+        })
+        findings = check_layering(root)
+        assert [f.rule for f in findings] == ["LAY001"]
+        assert "cc" in findings[0].message and "net" in findings[0].message
+        assert findings[0].path.endswith("greedy.py")
+
+    def test_function_local_import_still_flagged(self, tmp_path):
+        """Lazy imports are runtime dependencies, not a loophole."""
+        root = make_package(tmp_path, {
+            "sim/engine.py": """\
+                def run():
+                    from repro.tcp.sender import Sender
+                    return Sender
+                """,
+            "tcp/sender.py": "class Sender:\n    pass\n",
+        })
+        findings = check_layering(root)
+        assert [f.rule for f in findings] == ["LAY001"]
+
+    def test_campaign_reaching_experiments_directly_is_lay002(self, tmp_path):
+        root = make_package(tmp_path, {
+            "campaign/jobs.py": "from repro.experiments.figures import plot\n",
+            "experiments/figures.py": "def plot():\n    pass\n",
+        })
+        findings = check_layering(root)
+        assert [f.rule for f in findings] == ["LAY002"]
+        assert "experiments.runner" in findings[0].message
+
+    def test_campaign_via_runner_is_allowed(self, tmp_path):
+        root = make_package(tmp_path, {
+            "campaign/jobs.py":
+                "from repro.experiments.runner import run_single_flow\n",
+            "experiments/runner.py": "def run_single_flow():\n    pass\n",
+        })
+        assert check_layering(root) == []
+
+    def test_runtime_cc_to_tcp_is_lay003(self, tmp_path):
+        root = make_package(tmp_path, {
+            "cc/greedy.py": "from repro.tcp.sender import AckInfo\n",
+            "tcp/sender.py": "class AckInfo:\n    pass\n",
+        })
+        findings = check_layering(root)
+        assert [f.rule for f in findings] == ["LAY003"]
+        assert "TYPE_CHECKING" in findings[0].message
+
+    def test_type_checking_guarded_cc_to_tcp_is_allowed(self, tmp_path):
+        root = make_package(tmp_path, {
+            "cc/greedy.py": """\
+                from typing import TYPE_CHECKING
+                if TYPE_CHECKING:
+                    from repro.tcp.sender import AckInfo
+                """,
+            "tcp/sender.py": "class AckInfo:\n    pass\n",
+        })
+        assert check_layering(root) == []
+
+
+class TestNonViolations:
+    def test_downward_imports_pass(self, tmp_path):
+        root = make_package(tmp_path, {
+            "tcp/sender.py": """\
+                from repro.sim.engine import Simulator
+                from repro.net.link import Link
+                from repro.cc.base import CongestionControl
+                """,
+            "sim/engine.py": "class Simulator:\n    pass\n",
+            "net/link.py": "class Link:\n    pass\n",
+            "cc/base.py": "class CongestionControl:\n    pass\n",
+        })
+        assert check_layering(root) == []
+
+    def test_relative_imports_resolved(self, tmp_path):
+        root = make_package(tmp_path, {
+            "net/link.py": "from ..cc.base import CongestionControl\n",
+            "cc/base.py": "class CongestionControl:\n    pass\n",
+        })
+        findings = check_layering(root)
+        assert [f.rule for f in findings] == ["LAY001"]
+
+    def test_third_party_imports_ignored(self, tmp_path):
+        root = make_package(tmp_path, {
+            "sim/engine.py": "import heapq\nimport math\n",
+        })
+        assert check_layering(root) == []
+
+    def test_composition_root_unrestricted(self, tmp_path):
+        root = make_package(tmp_path, {
+            "cli.py": "from repro.experiments.runner import run_single_flow\n",
+            "experiments/runner.py": "def run_single_flow():\n    pass\n",
+        })
+        assert check_layering(root) == []
+
+
+class TestRealTree:
+    def test_repro_tree_satisfies_declared_dag(self):
+        repo = Path(__file__).resolve().parent.parent
+        roots = find_package_roots([repo / "src"])
+        assert roots, "repro package not found under src/"
+        findings = [f for root in roots for f in check_layering(root)]
+        assert findings == [], "\n" + render_text(findings)
+
+    def test_find_package_roots_locates_repro(self):
+        repo = Path(__file__).resolve().parent.parent
+        roots = find_package_roots([repo / "src"])
+        assert [r.name for r in roots] == ["repro"]

@@ -1,0 +1,239 @@
+"""Runtime-sanitizer tests: each SAN check fires on a seeded violation,
+and a sanitized end-to-end run passes cleanly."""
+
+import math
+
+import pytest
+
+from repro.analysis.sanitize import (
+    ENV_VAR,
+    SanitizeError,
+    SimSanitizer,
+    from_env,
+    sanitize_enabled,
+)
+from repro.cc.base import CongestionControl
+from repro.sim import Simulator
+
+from .helpers import MSS, make_transfer
+
+
+class TestSAN001Causality:
+    def test_infinite_time_rejected(self):
+        san = SimSanitizer()
+        with pytest.raises(SanitizeError, match="SAN001"):
+            san.check_schedule(now=1.0, when=math.inf)
+
+    def test_nan_time_rejected(self):
+        san = SimSanitizer()
+        with pytest.raises(SanitizeError, match="SAN001"):
+            san.check_schedule(now=1.0, when=math.nan)
+
+    def test_past_time_rejected(self):
+        san = SimSanitizer()
+        with pytest.raises(SanitizeError, match="SAN001"):
+            san.check_schedule(now=5.0, when=4.0)
+
+    def test_engine_routes_schedule_through_sanitizer(self):
+        sim = Simulator(sanitizer=SimSanitizer())
+        with pytest.raises(SanitizeError, match="SAN001"):
+            sim.schedule_at(math.inf, lambda: None)
+
+    def test_valid_schedule_passes(self):
+        sim = Simulator(sanitizer=SimSanitizer())
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.run()
+        assert fired == [1]
+
+
+class TestSAN002Monotonicity:
+    def test_backwards_fire_rejected(self):
+        san = SimSanitizer()
+        san.note_fire(2.0)
+        with pytest.raises(SanitizeError, match="SAN002"):
+            san.note_fire(1.0)
+
+    def test_equal_times_allowed(self):
+        san = SimSanitizer()
+        san.note_fire(2.0)
+        san.note_fire(2.0)
+        assert san.events_checked == 2
+
+    def test_engine_feeds_fired_events(self):
+        san = SimSanitizer()
+        sim = Simulator(sanitizer=san)
+        for d in (3.0, 1.0, 2.0):
+            sim.schedule(d, lambda: None)
+        sim.run()
+        assert san.events_checked == 3
+        assert san.last_fired == 3.0
+
+
+class TestSAN003Conservation:
+    def test_double_delivery_rejected(self):
+        san = SimSanitizer()
+        san.note_network_send()
+        san.note_network_deliver()
+        with pytest.raises(SanitizeError, match="SAN003"):
+            san.note_network_deliver()
+
+    def test_overcounted_drop_rejected(self):
+        san = SimSanitizer()
+        san.note_network_send()
+        san.note_network_deliver()
+        with pytest.raises(SanitizeError, match="SAN003"):
+            san.note_network_drop("bottleneck: queue full")
+
+    def test_vanished_packet_caught_at_teardown(self):
+        san = SimSanitizer()
+        san.note_network_send()
+        san.note_network_send()
+        san.note_network_deliver()
+        with pytest.raises(SanitizeError, match="vanished"):
+            san.verify_conservation(pending_events=0)
+
+    def test_in_flight_tolerated_while_events_pending(self):
+        """A run truncated by ``until`` legitimately strands packets."""
+        san = SimSanitizer()
+        san.note_network_send()
+        san.verify_conservation(pending_events=3)
+
+    def test_balanced_books_pass(self):
+        san = SimSanitizer()
+        for _ in range(5):
+            san.note_network_send()
+        for _ in range(3):
+            san.note_network_deliver()
+        san.note_network_drop("bottleneck: queue full", count=2)
+        san.verify_conservation(pending_events=0)
+        assert san.drop_sites == {"bottleneck: queue full": 2}
+
+
+class TestSAN004Cwnd:
+    def test_cwnd_below_mss_rejected(self):
+        san = SimSanitizer()
+        with pytest.raises(SanitizeError, match="SAN004"):
+            san.check_cwnd(flow_id=1, cwnd=MSS - 1, mss=MSS)
+
+    def test_nan_cwnd_rejected(self):
+        san = SimSanitizer()
+        with pytest.raises(SanitizeError, match="SAN004"):
+            san.check_cwnd(flow_id=1, cwnd=math.nan, mss=MSS)
+
+    def test_one_mss_floor_passes(self):
+        SimSanitizer().check_cwnd(flow_id=1, cwnd=MSS, mss=MSS)
+
+
+class TestSAN005Pacing:
+    def test_zero_rate_rejected(self):
+        with pytest.raises(SanitizeError, match="SAN005"):
+            SimSanitizer().check_pacing_rate(flow_id=1, rate=0.0)
+
+    def test_infinite_rate_rejected(self):
+        with pytest.raises(SanitizeError, match="SAN005"):
+            SimSanitizer().check_pacing_rate(flow_id=1, rate=math.inf)
+
+    def test_unpaced_none_passes(self):
+        SimSanitizer().check_pacing_rate(flow_id=1, rate=None)
+
+
+class _BrokenCwndCC(CongestionControl):
+    """Collapses cwnd to zero after the first ACK (a seeded SAN004 bug)."""
+
+    name = "broken-cwnd"
+
+    def __init__(self):
+        super().__init__()
+        self._acks = 0
+
+    @property
+    def cwnd(self):
+        return 0 if self._acks else 10 * MSS
+
+    @property
+    def ssthresh(self):
+        return 1 << 30
+
+    def on_ack(self, ack):
+        self._acks += 1
+
+    def on_loss(self, now):
+        pass
+
+    def on_rto(self, now):
+        pass
+
+
+class _BrokenPacingCC(_BrokenCwndCC):
+    """Keeps cwnd sane but reports an infinite pacing rate."""
+
+    name = "broken-pacing"
+
+    @property
+    def cwnd(self):
+        return 10 * MSS
+
+    @property
+    def pacing_rate(self):
+        return math.inf
+
+
+class TestStackIntegration:
+    def test_broken_cwnd_caught_in_real_run(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "1")
+        bench = make_transfer(cc=_BrokenCwndCC(), size=50 * MSS)
+        with pytest.raises(SanitizeError, match="SAN004"):
+            bench.run()
+
+    def test_broken_pacing_caught_in_real_run(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "1")
+        bench = make_transfer(cc=_BrokenPacingCC(), size=50 * MSS)
+        with pytest.raises(SanitizeError, match="SAN005"):
+            bench.run()
+
+    def test_clean_transfer_passes_all_checks(self, monkeypatch):
+        """A healthy sanitized run completes and the books balance."""
+        monkeypatch.setenv(ENV_VAR, "1")
+        bench = make_transfer(cc="cubic", size=200 * MSS)
+        bench.sim.run()  # drain fully so the strict teardown check applies
+        assert bench.transfer.completed
+        san = bench.sim.sanitizer
+        assert san is not None
+        assert san.packets_sent > 0
+        assert san.events_checked > 0
+        san.verify_conservation(bench.sim.pending_events)
+
+    def test_drops_are_accounted_not_vanished(self, monkeypatch):
+        """An undersized buffer forces drops; conservation still holds."""
+        monkeypatch.setenv(ENV_VAR, "1")
+        bench = make_transfer(cc="cubic", size=400 * MSS, buffer_bdp=0.005)
+        bench.sim.run()
+        san = bench.sim.sanitizer
+        assert bench.transfer.completed
+        assert san.packets_dropped > 0
+        san.verify_conservation(bench.sim.pending_events)
+
+
+class TestEnvWiring:
+    def test_env_enables_sanitizer(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "1")
+        assert sanitize_enabled()
+        assert isinstance(from_env(), SimSanitizer)
+        assert isinstance(Simulator().sanitizer, SimSanitizer)
+
+    def test_env_off_means_no_sanitizer(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert not sanitize_enabled()
+        assert from_env() is None
+        assert Simulator().sanitizer is None
+
+    def test_falsy_values_stay_off(self, monkeypatch):
+        for value in ("0", "false", "no", ""):
+            monkeypatch.setenv(ENV_VAR, value)
+            assert not sanitize_enabled()
+
+    def test_explicit_sanitizer_wins_over_env(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        san = SimSanitizer()
+        assert Simulator(sanitizer=san).sanitizer is san

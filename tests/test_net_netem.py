@@ -72,7 +72,8 @@ class TestRandomWalkBandwidth:
         assert len(rates) > 10
 
     def test_mean_rate_is_base(self):
-        assert RandomWalkBandwidth(1234.0).mean_rate() == 1234.0
+        bw = RandomWalkBandwidth(1234.0, rng=random.Random(0))
+        assert bw.mean_rate() == 1234.0
 
     def test_rejects_bad_params(self):
         with pytest.raises(ValueError):
@@ -81,6 +82,11 @@ class TestRandomWalkBandwidth:
             RandomWalkBandwidth(1.0, span=1.0)
         with pytest.raises(ValueError):
             RandomWalkBandwidth(1.0, hold_time=0.0)
+
+    def test_requires_injected_rng(self):
+        """A bandwidth walk is always stochastic: no silent default seed."""
+        with pytest.raises(ValueError, match="injected random.Random"):
+            RandomWalkBandwidth(1000.0)
 
 
 class TestJitterModel:
@@ -111,7 +117,12 @@ class TestJitterModel:
         with pytest.raises(ValueError):
             JitterModel(-0.001)
         with pytest.raises(ValueError):
-            JitterModel(0.001, tau=0.0)
+            JitterModel(0.001, tau=0.0, rng=random.Random(1))
+
+    def test_requires_rng_when_stochastic(self):
+        """Non-zero jitter samples the rng, so it must be injected."""
+        with pytest.raises(ValueError, match="injected random.Random"):
+            JitterModel(0.005)
 
 
 class TestLossModel:
@@ -129,3 +140,8 @@ class TestLossModel:
             LossModel(1.0)
         with pytest.raises(ValueError):
             LossModel(-0.1)
+
+    def test_requires_rng_when_stochastic(self):
+        """Non-zero loss samples the rng, so it must be injected."""
+        with pytest.raises(ValueError, match="injected random.Random"):
+            LossModel(0.1)

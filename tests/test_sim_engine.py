@@ -44,6 +44,19 @@ class TestScheduling:
         with pytest.raises(SimulationError):
             Simulator().schedule(-0.1, lambda: None)
 
+    def test_negative_delay_is_value_error(self):
+        """SimulationError doubles as ValueError for plain callers."""
+        with pytest.raises(ValueError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_nan_delay_rejected(self):
+        with pytest.raises(SimulationError, match="NaN"):
+            Simulator().schedule(float("nan"), lambda: None)
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(SimulationError, match="NaN"):
+            Simulator().schedule_at(float("nan"), lambda: None)
+
     def test_schedule_at_past_rejected(self):
         sim = Simulator()
         sim.schedule(2.0, lambda: None)
@@ -168,6 +181,70 @@ class TestRunControl:
             sim.schedule(float(i), lambda: None)
         sim.run()
         assert sim.events_processed == 3
+
+
+class TestPendingEvents:
+    """pending_events is a live counter, not a heap scan."""
+
+    def test_counts_scheduled(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda: None)
+        assert sim.pending_events == 5
+
+    def test_decrements_on_fire(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.step()
+        assert sim.pending_events == 1
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_decrements_on_cancel(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(3)]
+        handles[1].cancel()
+        assert sim.pending_events == 2
+        handles[1].cancel()  # double-cancel must not decrement twice
+        assert sim.pending_events == 2
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_cancel_after_fire_does_not_decrement(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.step()
+        handle.cancel()
+        assert sim.pending_events == 1
+
+    def test_clear_resets_to_zero(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(4)]
+        sim.clear()
+        assert sim.pending_events == 0
+        # Cancelling a cleared handle must not drive the counter negative.
+        handles[0].cancel()
+        assert sim.pending_events == 0
+
+    def test_counter_is_o1(self):
+        """Reading pending_events must not walk the heap."""
+        sim = Simulator()
+        for i in range(10_000):
+            sim.schedule(float(i + 1), lambda: None)
+        reads_per_probe = 1000
+
+        import timeit
+        t_large = timeit.timeit(lambda: sim.pending_events,
+                                number=reads_per_probe)
+        small = Simulator()
+        small.schedule(1.0, lambda: None)
+        t_small = timeit.timeit(lambda: small.pending_events,
+                                number=reads_per_probe)
+        # An O(n) scan over 10k events would be >100x slower; allow a very
+        # generous factor so timer noise cannot flake the test.
+        assert t_large < 50 * max(t_small, 1e-7)
 
 
 class TestPropertyBased:
