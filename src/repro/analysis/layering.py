@@ -34,18 +34,22 @@ from repro.analysis.findings import Finding
 #: ``None`` means unrestricted (composition roots).
 DEFAULT_LAYER_DAG: Dict[str, Optional[Set[str]]] = {
     "analysis": set(),
-    "sim": {"analysis"},
-    "net": {"sim", "analysis"},
-    "cc": {"analysis"},
-    "tcp": {"sim", "net", "cc", "analysis"},
-    "core": {"sim", "cc", "analysis"},
-    "metrics": {"sim", "net", "analysis"},
-    "trace": {"metrics", "analysis"},
+    # obs is, like analysis, a dependency-free tooling leaf: every layer
+    # may emit trace records / metrics into it, and it may import nothing
+    # above it (records carry plain values, never packets or senders).
+    "obs": set(),
+    "sim": {"analysis", "obs"},
+    "net": {"sim", "analysis", "obs"},
+    "cc": {"analysis", "obs"},
+    "tcp": {"sim", "net", "cc", "analysis", "obs"},
+    "core": {"sim", "cc", "analysis", "obs"},
+    "metrics": {"sim", "net", "analysis", "obs"},
+    "trace": {"metrics", "analysis", "obs"},
     "workloads": {"sim", "net", "tcp", "cc", "core", "metrics", "trace",
-                  "analysis"},
-    "campaign": {"workloads", "analysis"},
+                  "analysis", "obs"},
+    "campaign": {"workloads", "analysis", "obs"},
     "experiments": {"sim", "net", "tcp", "cc", "core", "metrics", "trace",
-                    "workloads", "campaign", "analysis"},
+                    "workloads", "campaign", "analysis", "obs"},
     "top": None,
 }
 

@@ -40,11 +40,19 @@ def run_single_flow_job(params: Mapping[str, Any]) -> Dict[str, Any]:
     from repro.workloads.scenarios import PathScenario
 
     scenario = PathScenario(**params["scenario"])
+    obs = None
+    digest_sink = None
+    if params.get("trace_digest"):
+        from repro.obs.sinks import DigestSink
+        from repro.obs.tracer import Observability, Tracer
+
+        digest_sink = DigestSink()
+        obs = Observability(tracer=Tracer(digest_sink))
     result = run_single_flow(
         scenario, params["cc"], params["size_bytes"], seed=params["seed"],
         delayed_ack=params.get("delayed_ack", False),
-        ecn=params.get("ecn", False))
-    return {
+        ecn=params.get("ecn", False), obs=obs)
+    value = {
         "scenario": scenario.name,
         "cc": result.cc,
         "size_bytes": result.size_bytes,
@@ -57,6 +65,11 @@ def run_single_flow_job(params: Mapping[str, Any]) -> Dict[str, Any]:
         "drops": result.drops,
         "loss_rate": result.loss_rate,
     }
+    if digest_sink is not None:
+        obs.close()
+        value["trace_digest"] = digest_sink.digest()
+        value["trace_records"] = digest_sink.records
+    return value
 
 
 @register("stability")

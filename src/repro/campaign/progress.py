@@ -4,6 +4,14 @@ The reporter always *counts* (so the CLI can emit machine-readable stats
 even in quiet mode); it only *prints* when given a stream.  Lines are
 throttled to at most one per ``min_interval`` seconds, except for
 failures and the final job, which always print.
+
+Beyond the aggregate counters, the reporter keeps one record per
+finished job (label, status, attempts, runtime) which ``stats()``
+exports — this is what ``repro campaign --stats-json`` persists.  When
+an :class:`repro.obs.Observability` bundle is attached, every finished
+job additionally emits a ``campaign.job`` trace record stamped with
+wall-clock elapsed time (the campaign layer owns real time; these
+records never participate in simulation trace digests).
 """
 
 from __future__ import annotations
@@ -12,20 +20,26 @@ import sys
 import time
 from typing import IO, Any, Dict, List, Optional
 
+from repro.obs import records as obsrec
+from repro.obs.tracer import Observability
+
 
 class ProgressReporter:
     """Counts campaign events and narrates them to a stream."""
 
     def __init__(self, stream: Optional[IO[str]] = None,
-                 min_interval: float = 0.0):
+                 min_interval: float = 0.0,
+                 obs: Optional[Observability] = None):
         self.stream = stream
         self.min_interval = min_interval
+        self.obs = obs
         self.total = 0
         self.jobs = 1
         self.executed = 0
         self.cached = 0
         self.failed = 0
         self.runtimes: List[float] = []
+        self.job_records: List[Dict[str, Any]] = []
         self._started_at: Optional[float] = None
         self._last_print = 0.0
 
@@ -48,7 +62,8 @@ class ProgressReporter:
                    if self._started_at is not None else 0.0)
         return {"total": self.total, "executed": self.executed,
                 "cached": self.cached, "failed": self.failed,
-                "elapsed": elapsed}
+                "elapsed": elapsed,
+                "job_records": list(self.job_records)}
 
     # ------------------------------------------------------------------
     def start(self, total: int, jobs: int = 1) -> None:
@@ -58,7 +73,8 @@ class ProgressReporter:
         self._emit(f"campaign: {total} jobs on {jobs} worker(s)", force=True)
 
     def job_done(self, label: str, status: str, runtime: float,
-                 cached: bool = False, error: Optional[str] = None) -> None:
+                 cached: bool = False, error: Optional[str] = None,
+                 attempts: int = 1) -> None:
         if cached:
             self.cached += 1
         elif status == "ok":
@@ -66,6 +82,16 @@ class ProgressReporter:
             self.runtimes.append(runtime)
         else:
             self.failed += 1
+        record: Dict[str, Any] = {"label": label, "status": status,
+                                  "runtime": runtime, "cached": cached,
+                                  "attempts": attempts}
+        if error:
+            record["error"] = error
+        self.job_records.append(record)
+        if self.obs is not None:
+            elapsed = (time.monotonic() - self._started_at
+                       if self._started_at is not None else 0.0)
+            self.obs.emit(elapsed, obsrec.CAMPAIGN_JOB, -1, **record)
         tag = "cached" if cached else status
         line = (f"[{self.done}/{self.total}] {tag:<6} {label}"
                 f" ({runtime:.2f}s)")

@@ -89,7 +89,8 @@ def run_campaign(specs: Iterable[JobSpec], *, jobs: int = 1,
                 spec=spec, status="ok", value=record["value"], error=None,
                 attempts=0, runtime=record.get("runtime", 0.0), cached=True)
             reporter.job_done(spec.label or spec.kind, "ok",
-                              results[index].runtime, cached=True)
+                              results[index].runtime, cached=True,
+                              attempts=0)
         else:
             pending.append(index)
 
@@ -113,7 +114,8 @@ def _finish(spec_list: List[JobSpec], results: List[Optional[CampaignResult]],
     if status == "ok" and store is not None:
         store.put(spec.job_hash, {"spec": spec.to_json(), "value": value,
                                   "runtime": runtime, "attempts": attempts})
-    reporter.job_done(spec.label or spec.kind, status, runtime, error=error)
+    reporter.job_done(spec.label or spec.kind, status, runtime, error=error,
+                      attempts=attempts)
 
 
 def _run_inline(spec_list, pending, results, jobs, store, timeout, retries,

@@ -67,11 +67,19 @@ def _resolve_scenario(scenario: Union[str, PathScenario]) -> PathScenario:
 def single_flow_job(scenario: Union[str, PathScenario], cc: str,
                     size_bytes: int, seed: int = 0, *,
                     delayed_ack: bool = False, ecn: bool = False,
+                    trace_digest: bool = False,
                     knobs: Optional[Mapping[str, Any]] = None) -> JobSpec:
     """Spec for one seeded download (the :func:`run_single_flow` unit).
 
     The scenario is embedded by value (its dataclass fields), so custom
     ``replace()``-derived scenarios hash and replay correctly.
+
+    ``trace_digest=True`` makes the job run under a streaming
+    :class:`repro.obs.DigestSink` and report the SHA-256 of its trace in
+    the result (the determinism cross-check uses this to compare
+    ``jobs=1`` against ``jobs=N`` runs).  The key is added to ``params``
+    only when set, so pre-existing job hashes — and therefore cached
+    results — are unaffected.
     """
     sc = _resolve_scenario(scenario)
     params: Dict[str, Any] = {
@@ -82,6 +90,8 @@ def single_flow_job(scenario: Union[str, PathScenario], cc: str,
         "delayed_ack": bool(delayed_ack),
         "ecn": bool(ecn),
     }
+    if trace_digest:
+        params["trace_digest"] = True
     if knobs:
         params["knobs"] = dict(knobs)
     return JobSpec(kind="single_flow", params=params,

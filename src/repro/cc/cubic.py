@@ -14,6 +14,7 @@ from typing import Optional
 from repro.cc.base import AckInfo, CongestionControl, register
 from repro.cc.hystart import HyStart
 from repro.cc.reno import INFINITE_SSTHRESH
+from repro.obs import records as obsrec
 
 
 class Cubic(CongestionControl):
@@ -87,6 +88,10 @@ class Cubic(CongestionControl):
         """Terminate exponential growth (HyStart fired): ssthresh = cwnd."""
         self._ssthresh = self._cwnd
         self.slow_start_exits += 1
+        obs = getattr(self.sender, "obs", None)
+        if obs is not None:
+            obs.emit(now, obsrec.CC_SS_EXIT, self.sender.flow_id,
+                     cwnd=self.cwnd, reason="hystart")
 
     # -- congestion avoidance ---------------------------------------------
     def _congestion_avoidance_ack(self, ack: AckInfo) -> None:

@@ -215,6 +215,91 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Trace one download as canonical JSONL, or refresh the golden store."""
+    from repro.experiments import goldens
+
+    if args.update_golden:
+        names = args.golden.split(",") if args.golden else None
+        digests = goldens.update_goldens(names=names)
+        for name in sorted(digests):
+            print(f"{name}: {digests[name]}")
+        return 0
+    if not args.scenario:
+        raise SystemExit("repro trace: --scenario is required "
+                         "(or use --update-golden)")
+    from repro.obs import (
+        DigestSink,
+        JsonlSink,
+        Observability,
+        TeeSink,
+        Tracer,
+        parse_kinds,
+    )
+
+    scenario = _scenario(args.scenario)
+    try:
+        kinds = parse_kinds(args.kinds) if args.kinds else None
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    digest_sink = DigestSink()
+    jsonl = JsonlSink(args.out) if args.out else None
+    sink = digest_sink if jsonl is None else TeeSink([jsonl, digest_sink])
+    obs = Observability(tracer=Tracer(sink, kinds))
+    result = run_single_flow(scenario, args.cc, args.size, seed=args.seed,
+                             obs=obs)
+    obs.close()
+    if not result.completed:
+        print("flow did not complete within the deadline", file=sys.stderr)
+        return 1
+    if jsonl is not None:
+        print(f"trace written:   {args.out} ({jsonl.lines} records)")
+    print(f"records:         {digest_sink.records}")
+    print(f"trace digest:    {digest_sink.digest()}")
+    print(f"fct:             {result.fct:.4f} s")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run an experiment (or one download) under the event profiler.
+
+    Profiling is in-process: with ``--jobs`` above 1 the worker
+    processes' events do not reach this report, so the default is the
+    inline runner.
+    """
+    import importlib
+
+    from repro.obs import profile as obs_profile
+
+    profiler = obs_profile.install_global()
+    try:
+        if args.name == "single":
+            if not args.scenario:
+                raise SystemExit("repro profile single: --scenario required")
+            scenario = _scenario(args.scenario)
+            result = run_single_flow(scenario, args.cc, args.size,
+                                     seed=args.seed)
+            if not result.completed:
+                print("flow did not complete within the deadline",
+                      file=sys.stderr)
+                return 1
+        else:
+            module = importlib.import_module(
+                f"repro.experiments.{EXPERIMENTS[args.name]}")
+            if args.name == "fig02":
+                module.run_comparison()
+            elif args.name == "fig18":
+                module.run_matrix(**_campaign_kwargs(args))
+            elif args.name == "table1":
+                module.run(**_campaign_kwargs(args))
+            else:
+                module.run()
+    finally:
+        obs_profile.clear_global()
+    print(profiler.format_report(top=args.top))
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Determinism/layering lint — delegates to repro.analysis.cli."""
     from repro.analysis.cli import main as lint_main
@@ -293,6 +378,42 @@ def build_parser() -> argparse.ArgumentParser:
     camp_p.add_argument("--stats-json",
                         help="write executed/cached/failed counts to a file")
     camp_p.set_defaults(func=cmd_campaign)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="trace one download as canonical JSONL / refresh golden traces")
+    trace_p.add_argument("--scenario",
+                         help="scenario name, e.g. google-tokyo/wired")
+    trace_p.add_argument("--cc", default="cubic+suss")
+    trace_p.add_argument("--size", type=int, default=2 * MB,
+                         help="flow size in bytes")
+    trace_p.add_argument("--seed", type=int, default=0)
+    trace_p.add_argument("--out", help="write canonical JSONL to this path")
+    trace_p.add_argument("--kinds",
+                         help="comma-separated record-kind filter "
+                              "(e.g. cc.cwnd,suss.decision)")
+    trace_p.add_argument("--update-golden", action="store_true",
+                         help="re-record the golden traces under "
+                              "tests/golden/ instead of running a scenario")
+    trace_p.add_argument("--golden",
+                         help="comma-separated golden run names to refresh "
+                              "(default: all; with --update-golden)")
+    trace_p.set_defaults(func=cmd_trace)
+
+    prof_p = sub.add_parser(
+        "profile",
+        help="per-event-type wall-time profile of an experiment")
+    prof_p.add_argument("name", choices=sorted(EXPERIMENTS) + ["single"],
+                        help="experiment name, or 'single' for one download")
+    prof_p.add_argument("--scenario",
+                        help="scenario name (with name='single')")
+    prof_p.add_argument("--cc", default="cubic+suss")
+    prof_p.add_argument("--size", type=int, default=2 * MB)
+    prof_p.add_argument("--seed", type=int, default=0)
+    prof_p.add_argument("--top", type=int, default=15,
+                        help="show only the hottest N event types")
+    _add_campaign_flags(prof_p)
+    prof_p.set_defaults(func=cmd_profile)
 
     lint_p = sub.add_parser(
         "lint",

@@ -38,6 +38,7 @@ from repro.cc.cubic import Cubic
 from repro.core.growth import DEFAULT_K_MAX, estimate_ack_train, growth_factor
 from repro.core.hystart_mod import SussHyStart
 from repro.core.pacing_plan import PacingPlan, make_pacing_plan
+from repro.obs import records as obsrec
 from repro.sim.engine import EventHandle
 
 
@@ -205,9 +206,20 @@ class SussCubic(Cubic):
         r = sender.rtt.rounds_since_min_update(sender.round_index)
         growth = growth_factor(dt_at, self._mo_rtt, min_rtt, r, self.k_max)
         self.growth_history.append((sender.round_index, growth))
+        obs = getattr(sender, "obs", None)
+
+        def decide(verdict: str) -> None:
+            if obs is not None:
+                obs.emit(now, obsrec.SUSS_DECISION, sender.flow_id,
+                         round=sender.round_index, growth=growth,
+                         dt_bat=dt_bat, dt_at=dt_at, blue=blue, train=train,
+                         verdict=verdict)
+
         if growth <= 2:
+            decide("no_growth")
             return
         if self.hystart.found or sender.app_limited or sender.in_recovery:
+            decide("inhibited")
             return
         cwnd_prev = int(self._cwnd_at_round_start)
         try:
@@ -215,9 +227,16 @@ class SussCubic(Cubic):
                                     growth=growth, min_rtt=min_rtt,
                                     dt_bat=dt_bat)
         except ValueError:
+            decide("plan_rejected")
             return
         if plan.cwnd_target <= self._cwnd:
+            decide("plan_rejected")
             return
+        decide("accelerate")
+        if obs is not None:
+            obs.emit(now, obsrec.SUSS_PLAN, sender.flow_id,
+                     target=plan.cwnd_target, rate=plan.rate,
+                     guard=plan.guard)
         self.last_plan = plan
         self.accelerated_rounds += 1
         self._pacing_target = float(plan.cwnd_target)
@@ -250,8 +269,16 @@ class SussCubic(Cubic):
             self._pacing_handle = None
 
     def _abort_pacing(self) -> None:
-        if self._pacing_handle is not None and self._pacing_handle.pending:
+        aborted_midway = (self._pacing_handle is not None
+                          and self._pacing_handle.pending)
+        if aborted_midway:
             self._pacing_handle.cancel()
+        if aborted_midway and self._pacing_target is not None:
+            obs = getattr(self.sender, "obs", None)
+            if obs is not None:
+                obs.emit(self._sim.now, obsrec.SUSS_ABORT,
+                         self.sender.flow_id, cwnd=self.cwnd,
+                         target=self._pacing_target)
         self._pacing_handle = None
         self._pacing_target = None
 

@@ -24,6 +24,7 @@ from typing import List, Optional, Tuple
 from repro.cc.base import AckInfo, register
 from repro.cc.bbr import STARTUP_GAIN, Bbr, BbrMode
 from repro.core.growth import DEFAULT_K_MAX, growth_factor
+from repro.obs import records as obsrec
 
 
 class SussBbr(Bbr):
@@ -78,6 +79,12 @@ class SussBbr(Bbr):
             self.boosted_rounds += 1
         else:
             self._boost = 1.0
+        obs = getattr(sender, "obs", None)
+        if obs is not None:
+            obs.emit(now, obsrec.SUSS_DECISION, sender.flow_id,
+                     round=round_index, growth=growth, dt_at=dt_at,
+                     boost=self._boost,
+                     verdict="boost" if self._boost > 1.0 else "no_growth")
 
     # ------------------------------------------------------------------
     def on_ack(self, ack: AckInfo) -> None:

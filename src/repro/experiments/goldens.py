@@ -1,0 +1,105 @@
+"""Golden-trace capture: canonical fixed-seed runs for regression pinning.
+
+A *golden trace* is the full structured trace of one fixed-seed download,
+committed (as a digest plus a gzipped JSONL stream) under
+``tests/golden/``.  The regression suite re-runs each golden scenario
+and compares digests; on mismatch it loads the stored stream and reports
+the first diverging record, which localises behaviour changes to a
+specific simulation event instead of a final FCT number.
+
+This module owns the *capture* side — which runs are golden and how to
+execute them — while :mod:`repro.obs.golden` owns the pure digest/diff
+machinery.  Keep the run list small and the flows short: the streams
+live in git.
+
+Updating after an intentional behaviour change::
+
+    python -m repro trace --update-golden
+
+(or ``update_goldens(...)`` from code).  The refreshed digests land in
+``tests/golden/digests.json`` and the streams next to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.golden import load_stream, save_golden, trace_digest
+from repro.obs.records import TraceRecord
+from repro.obs.sinks import MemorySink
+from repro.obs.tracer import Observability, Tracer
+from repro.workloads import INTERNET_SCENARIOS
+
+
+@dataclass(frozen=True)
+class GoldenRun:
+    """One canonical fixed-seed run."""
+
+    scenario: str
+    cc: str
+    size_bytes: int
+    seed: int
+
+
+#: name -> canonical run.  Short transfers on a low-jitter path keep the
+#: committed streams small while still exercising slow start, HyStart,
+#: and (for the SUSS variants) the accelerate/abort decision points.
+GOLDEN_RUNS: Dict[str, GoldenRun] = {
+    "cubic": GoldenRun("google-tokyo/wired", "cubic", 400_000, 1),
+    "cubic+suss": GoldenRun("google-tokyo/wired", "cubic+suss", 400_000, 1),
+    "bbr+suss": GoldenRun("google-tokyo/wired", "bbr+suss", 400_000, 1),
+}
+
+#: default on-disk location of the committed golden data
+DEFAULT_GOLDEN_DIR = (Path(__file__).resolve().parents[3]
+                      / "tests" / "golden")
+
+
+def capture_records(name: str) -> List[TraceRecord]:
+    """Execute one golden run under an in-memory sink; return its records."""
+    from repro.experiments.runner import run_single_flow
+
+    run = GOLDEN_RUNS[name]
+    sink = MemorySink()
+    obs = Observability(tracer=Tracer(sink))
+    scenario = INTERNET_SCENARIOS[run.scenario]
+    result = run_single_flow(scenario, run.cc, run.size_bytes,
+                             seed=run.seed, obs=obs)
+    obs.close()
+    if not result.completed:
+        raise RuntimeError(f"golden run {name!r} did not complete")
+    return sink.records
+
+
+def capture_lines(name: str) -> List[str]:
+    """Canonical JSONL lines (no trailing newline) of one golden run."""
+    return [record.to_line() for record in capture_records(name)]
+
+
+def capture_digest(name: str) -> str:
+    """Streaming SHA-256 digest of one golden run's trace."""
+    return trace_digest(capture_records(name))
+
+
+def update_goldens(golden_dir: Optional[Path] = None,
+                   names: Optional[Iterable[str]] = None) -> Dict[str, str]:
+    """(Re)record golden data for ``names`` (default: all runs)."""
+    directory = Path(golden_dir) if golden_dir is not None \
+        else DEFAULT_GOLDEN_DIR
+    digests: Dict[str, str] = {}
+    for name in (list(names) if names is not None else sorted(GOLDEN_RUNS)):
+        if name not in GOLDEN_RUNS:
+            known = ", ".join(sorted(GOLDEN_RUNS))
+            raise KeyError(f"unknown golden run {name!r}; known: {known}")
+        digests[name] = save_golden(directory, name, capture_lines(name))
+    return digests
+
+
+def golden_stream(name: str,
+                  golden_dir: Optional[Path] = None) -> List[str]:
+    """The committed JSONL lines for ``name`` (for divergence diffs)."""
+    directory = Path(golden_dir) if golden_dir is not None \
+        else DEFAULT_GOLDEN_DIR
+    return load_stream(directory, name)

@@ -18,6 +18,7 @@ from repro.campaign.store import ResultStore
 from repro.metrics.collector import Telemetry
 from repro.metrics.summary import Summary, summarize
 from repro.net.topology import Dumbbell
+from repro.obs.tracer import Observability
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 from repro.tcp.connection import Transfer, open_transfer
@@ -61,21 +62,27 @@ def run_single_flow(scenario: PathScenario, cc: str, size_bytes: int,
                     delayed_ack: bool = False,
                     ecn: bool = False,
                     net: Optional[Dumbbell] = None,
-                    sim: Optional[Simulator] = None) -> FlowResult:
+                    sim: Optional[Simulator] = None,
+                    obs: Optional[Observability] = None) -> FlowResult:
     """Download ``size_bytes`` over ``scenario`` with algorithm ``cc``.
 
     A pre-built ``net``/``sim`` pair may be supplied to run over a
     customised topology (e.g. a CoDel bottleneck) while keeping the
-    scenario's bookkeeping.
+    scenario's bookkeeping.  ``obs`` wires an explicit observability
+    bundle into the simulator (the caller owns its sinks and closes
+    them); when omitted, the ``REPRO_TRACE`` / ``REPRO_PROFILE``
+    environment default applies.
     """
     if (net is None) != (sim is None):
         raise ValueError("supply both net and sim, or neither")
     if sim is None:
-        sim = Simulator()
+        sim = Simulator() if obs is None else Simulator(obs=obs)
         rng = RngRegistry(seed)
         net = scenario.build(sim, rng)
     telemetry = Telemetry() if collect else Telemetry(
         sample_cwnd=False, sample_rtt=False, sample_delivered=False)
+    if sim.obs is not None:
+        telemetry.registry = sim.obs.metrics
     telemetry.attach_queue(net.bottleneck_queue)
     transfer = open_transfer(sim, net.servers[0], net.clients[0], flow_id=1,
                              size_bytes=size_bytes, cc=cc,

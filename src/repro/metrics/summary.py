@@ -10,6 +10,8 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.obs.metrics import Histogram, MetricRegistry
+
 
 @dataclass(frozen=True)
 class Summary:
@@ -37,6 +39,25 @@ def summarize(samples: Sequence[float]) -> Summary:
         var = 0.0
     return Summary(n=n, mean=mean, std=math.sqrt(var),
                    minimum=min(samples), maximum=max(samples))
+
+
+def summarize_metric(registry: MetricRegistry, name: str) -> Summary:
+    """Summary over one registry metric's values across all label sets.
+
+    Counters and gauges contribute their current value; histograms
+    contribute their streaming mean.  Gauges never written to and empty
+    histograms are skipped.  Raises like :func:`summarize` when nothing
+    under ``name`` has a value yet.
+    """
+    values = []
+    for labels in registry.labels_of(name):
+        instrument = registry.get(name, **labels)
+        if isinstance(instrument, Histogram):
+            if instrument.count:
+                values.append(instrument.mean)
+        elif instrument.value is not None:
+            values.append(instrument.value)
+    return summarize(values)
 
 
 def improvement(baseline: float, improved: float) -> float:

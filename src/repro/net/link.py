@@ -19,6 +19,7 @@ from typing import Optional, Protocol
 from repro.net.netem import BandwidthProfile, ConstantBandwidth, JitterModel, LossModel
 from repro.net.packet import Packet
 from repro.net.queue import DropTailQueue
+from repro.obs import records as obsrec
 from repro.sim.engine import Simulator
 
 
@@ -53,6 +54,14 @@ class Link:
         self.packets_sent = 0
         self.bytes_sent = 0
         self.packets_lost = 0
+        # Metric handles are resolved once here so the per-packet cost of
+        # instrumentation is a single ``is not None`` test when disabled.
+        self.obs = sim.obs
+        if self.obs is not None:
+            m = self.obs.metrics
+            self._m_bytes = m.counter("link.bytes_sent", link=name)
+            self._m_drops = m.counter("link.drops", link=name)
+            self._m_qlen = m.histogram("link.queue_bytes", link=name)
 
     # ------------------------------------------------------------------
     def send(self, packet: Packet) -> bool:
@@ -62,7 +71,11 @@ class Link:
         if not self.queue.push(packet):
             if self.sim.sanitizer is not None:
                 self.sim.sanitizer.note_network_drop(f"{self.name}: queue full")
+            if self.obs is not None:
+                self._note_drop(packet, "queue_full")
             return False
+        if self.obs is not None:
+            self._m_qlen.observe(self.queue.bytes_queued)
         if not self._busy:
             self._start_next()
         return True
@@ -71,10 +84,16 @@ class Link:
     def _start_next(self) -> None:
         drops_before = self.queue.drops
         packet = self.queue.pop(self.sim.now)
-        if self.sim.sanitizer is not None and self.queue.drops > drops_before:
+        if self.queue.drops > drops_before:
             # AQM (CoDel) head drops happen inside pop().
-            self.sim.sanitizer.note_network_drop(
-                f"{self.name}: AQM drop", self.queue.drops - drops_before)
+            if self.sim.sanitizer is not None:
+                self.sim.sanitizer.note_network_drop(
+                    f"{self.name}: AQM drop", self.queue.drops - drops_before)
+            if self.obs is not None:
+                self._m_drops.add(self.queue.drops - drops_before)
+                self.obs.emit(self.sim.now, obsrec.PKT_DROP, -1,
+                              link=self.name, reason="aqm",
+                              count=self.queue.drops - drops_before)
         if packet is None:
             self._busy = False
             return
@@ -86,10 +105,14 @@ class Link:
     def _finish_transmission(self, packet: Packet) -> None:
         self.packets_sent += 1
         self.bytes_sent += packet.size
+        if self.obs is not None:
+            self._m_bytes.add(packet.size)
         if self.loss is not None and self.loss.drops():
             self.packets_lost += 1
             if self.sim.sanitizer is not None:
                 self.sim.sanitizer.note_network_drop(f"{self.name}: random loss")
+            if self.obs is not None:
+                self._note_drop(packet, "random_loss")
         else:
             prop = self.delay
             if self.jitter is not None:
@@ -101,6 +124,12 @@ class Link:
             self._last_arrival = arrival
             self.sim.schedule_at(arrival, self.dst.receive, packet)
         self._start_next()
+
+    def _note_drop(self, packet: Packet, reason: str) -> None:
+        self._m_drops.add(1)
+        self.obs.emit(self.sim.now, obsrec.PKT_DROP, packet.flow_id,
+                      link=self.name, reason=reason, seq=packet.seq,
+                      size=packet.size)
 
     # ------------------------------------------------------------------
     @property

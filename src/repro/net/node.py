@@ -6,6 +6,7 @@ from typing import Callable, Dict, Optional, Protocol
 
 from repro.net.link import Link
 from repro.net.packet import Packet
+from repro.obs import records as obsrec
 
 
 class Endpoint(Protocol):
@@ -54,9 +55,14 @@ class Host:
 
     def receive(self, packet: Packet) -> None:
         self.packets_received += 1
-        sanitizer = self._sanitizer() if self.uplink is not None else None
-        if sanitizer is not None:
-            sanitizer.note_network_deliver()
+        sim = getattr(self.uplink, "sim", None)
+        if sim is not None:
+            if sim.sanitizer is not None:
+                sim.sanitizer.note_network_deliver()
+            if sim.obs is not None:
+                sim.obs.emit(sim.now, obsrec.PKT_RECV, packet.flow_id,
+                             host=self.name, ptype=packet.kind.name,
+                             seq=packet.seq, size=packet.size)
         endpoint = self._endpoints.get(packet.flow_id)
         if endpoint is None:
             self.unroutable += 1

@@ -31,6 +31,8 @@ class DropTailQueue:
         self._bytes = 0
         self.drops = 0
         self.enqueued = 0
+        #: high-water mark of queued bytes over the queue's lifetime
+        self.bytes_peak = 0
 
     def __len__(self) -> int:
         return len(self._q)
@@ -53,6 +55,8 @@ class DropTailQueue:
             return False
         self._q.append(packet)
         self._bytes += packet.size
+        if self._bytes > self.bytes_peak:
+            self.bytes_peak = self._bytes
         self.enqueued += 1
         return True
 

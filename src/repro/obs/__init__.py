@@ -1,0 +1,60 @@
+"""Observability layer: structured tracing, metric registries, profiling.
+
+``repro.obs`` sits at the bottom of the layer DAG (beside
+``repro.analysis``) so the engine, network substrate, TCP stack, and
+congestion controls can all emit into it without inverting any
+dependency.  See DESIGN.md §7 for the record schema, the sink protocol,
+and the overhead contract.
+"""
+
+from repro.obs.golden import (
+    Divergence,
+    digest_lines,
+    first_divergence,
+    load_digests,
+    load_stream,
+    record_lines,
+    save_golden,
+    trace_digest,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricRegistry
+from repro.obs.profile import EventProfiler
+from repro.obs.records import ALL_KINDS, TraceRecord, parse_kinds
+from repro.obs.sinks import (
+    DigestSink,
+    JsonlSink,
+    MemorySink,
+    RingBufferSink,
+    TeeSink,
+    TraceSink,
+)
+from repro.obs.tracer import Observability, Tracer, from_env, tracing
+
+__all__ = [
+    "ALL_KINDS",
+    "Counter",
+    "DigestSink",
+    "Divergence",
+    "EventProfiler",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MemorySink",
+    "MetricRegistry",
+    "Observability",
+    "RingBufferSink",
+    "TeeSink",
+    "TraceRecord",
+    "TraceSink",
+    "Tracer",
+    "digest_lines",
+    "first_divergence",
+    "from_env",
+    "load_digests",
+    "load_stream",
+    "parse_kinds",
+    "record_lines",
+    "save_golden",
+    "trace_digest",
+    "tracing",
+]

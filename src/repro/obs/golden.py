@@ -1,0 +1,126 @@
+"""Golden-trace digests: stable hashes of structured event streams.
+
+A golden trace pins the *dynamics* of a fixed-seed run: every packet
+departure, cwnd update, and SUSS decision, in order.  The digest is the
+SHA-256 of the canonical JSONL encoding (identical to hashing the
+corresponding ``.jsonl`` file), so a digest mismatch means the event
+stream itself changed.
+
+Alongside each digest the full gzipped JSONL stream is stored, which is
+what turns a bare hash mismatch into a *readable first-divergence diff*
+(:func:`first_divergence`): the failing test reports the index, the
+golden line, and the actual line where the streams part ways.
+
+This module is pure record-plumbing; the runs that *produce* golden
+streams live in :mod:`repro.experiments.goldens` (the layer that may
+build simulations), and ``repro trace --update-golden`` regenerates the
+stored files deliberately.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, NamedTuple, Optional
+
+from repro.obs.records import TraceRecord
+
+#: digest index filename inside a golden directory
+DIGEST_FILE = "digests.json"
+
+
+def record_lines(records: Iterable[TraceRecord]) -> List[str]:
+    """Canonical line encoding of a record stream."""
+    return [record.to_line() for record in records]
+
+
+def digest_lines(lines: Iterable[str]) -> str:
+    """SHA-256 over newline-terminated canonical lines."""
+    h = hashlib.sha256()
+    for line in lines:
+        h.update(line.encode("utf-8"))
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+def trace_digest(records: Iterable[TraceRecord]) -> str:
+    return digest_lines(record_lines(records))
+
+
+class Divergence(NamedTuple):
+    """First point where two line streams differ."""
+
+    index: int            # 0-based line index
+    golden: Optional[str]  # None when the golden stream ended first
+    actual: Optional[str]  # None when the actual stream ended first
+
+    def describe(self) -> str:
+        if self.golden is None:
+            return (f"actual stream has {self.index} matching lines, then "
+                    f"extra line {self.index}:\n  + {self.actual}")
+        if self.actual is None:
+            return (f"actual stream ended after {self.index} lines; golden "
+                    f"continues with:\n  - {self.golden}")
+        return (f"first divergence at line {self.index}:\n"
+                f"  golden: {self.golden}\n"
+                f"  actual: {self.actual}")
+
+
+def first_divergence(golden: List[str],
+                     actual: List[str]) -> Optional[Divergence]:
+    """Locate the first differing line, or None when streams match."""
+    for index, (g, a) in enumerate(zip(golden, actual)):
+        if g != a:
+            return Divergence(index, g, a)
+    if len(golden) > len(actual):
+        return Divergence(len(actual), golden[len(actual)], None)
+    if len(actual) > len(golden):
+        return Divergence(len(golden), None, actual[len(golden)])
+    return None
+
+
+# ----------------------------------------------------------------------
+# golden store (digests.json + <name>.jsonl.gz per stream)
+# ----------------------------------------------------------------------
+def stream_path(golden_dir: Path, name: str) -> Path:
+    safe = name.replace("/", "_").replace("+", "_")
+    return Path(golden_dir) / f"{safe}.jsonl.gz"
+
+
+def load_digests(golden_dir: Path) -> Dict[str, Dict[str, object]]:
+    """The digest index, or {} when missing."""
+    path = Path(golden_dir) / DIGEST_FILE
+    if not path.is_file():
+        return {}
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def load_stream(golden_dir: Path, name: str) -> List[str]:
+    """The stored golden line stream for ``name``."""
+    path = stream_path(golden_dir, name)
+    with gzip.open(path, "rt", encoding="utf-8") as fh:
+        return fh.read().splitlines()
+
+
+def save_golden(golden_dir: Path, name: str, lines: List[str]) -> str:
+    """Persist one golden stream + its digest; returns the digest.
+
+    The gzip stream is written with ``mtime=0`` so regeneration without
+    a dynamics change is byte-identical (no spurious VCS churn).
+    """
+    golden_dir = Path(golden_dir)
+    golden_dir.mkdir(parents=True, exist_ok=True)
+    digest = digest_lines(lines)
+    payload = ("\n".join(lines) + "\n" if lines else "").encode("utf-8")
+    with open(stream_path(golden_dir, name), "wb") as raw:
+        with gzip.GzipFile(fileobj=raw, mode="wb", mtime=0) as fh:
+            fh.write(payload)
+    index = load_digests(golden_dir)
+    index[name] = {"digest": digest, "records": len(lines)}
+    with open(golden_dir / DIGEST_FILE, "w", encoding="utf-8") as fh:
+        json.dump(index, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return digest

@@ -1,0 +1,146 @@
+"""Profiling hooks: per-event-type wall-time and fire-count aggregation.
+
+The engine hands every fired event to :meth:`EventProfiler.fire`, which
+times the callback and aggregates (count, total seconds, max seconds)
+per callback ``__qualname__`` — the event *type* in a simulator where
+behaviour is callbacks, not classes.  Aggregation is O(1) per event and
+allocation-free after the first sighting of each key, so profiled runs
+stay within a small constant factor of unprofiled ones.
+
+Wall-clock note: this module is the one place outside ``campaign/``
+allowed to read real time (see
+:func:`repro.analysis.lint.applicable_rules`) — profiling *is* the
+measurement of real time.  Profiler output must never flow into
+simulation results or trace digests.
+
+A process-global profiler can be installed so that code which builds
+its own ``Simulator`` instances internally (the experiment harnesses)
+still aggregates into one report — that is what ``repro profile
+<experiment>`` uses, via :func:`install_global` /
+:func:`from_env` (``REPRO_PROFILE=1``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+#: environment variable that switches engine profiling on for new Simulators
+ENV_VAR = "REPRO_PROFILE"
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+class EventProfiler:
+    """Aggregates per-event-type wall time across one or more runs."""
+
+    def __init__(self) -> None:
+        #: key -> [fires, total_seconds, max_seconds]
+        self.stats: Dict[str, List[float]] = {}
+        self.events = 0
+
+    # ------------------------------------------------------------------
+    def fire(self, callback: Callable[..., None], args: Tuple[Any, ...]) -> None:
+        """Run ``callback(*args)``, timing it under the callback's name."""
+        start = time.perf_counter()
+        try:
+            callback(*args)
+        finally:
+            elapsed = time.perf_counter() - start
+            self.note(getattr(callback, "__qualname__", repr(callback)),
+                      elapsed)
+
+    def note(self, key: str, elapsed: float) -> None:
+        """Record one fire of ``key`` taking ``elapsed`` seconds."""
+        self.events += 1
+        entry = self.stats.get(key)
+        if entry is None:
+            self.stats[key] = [1, elapsed, elapsed]
+        else:
+            entry[0] += 1
+            entry[1] += elapsed
+            if elapsed > entry[2]:
+                entry[2] = elapsed
+
+    # ------------------------------------------------------------------
+    def rows(self) -> List[Tuple[str, int, float, float, float]]:
+        """(key, fires, total_s, mean_s, max_s) sorted by total desc."""
+        out = []
+        for key, (fires, total, peak) in self.stats.items():
+            out.append((key, int(fires), total, total / fires, peak))
+        out.sort(key=lambda row: (-row[2], row[0]))
+        return out
+
+    def total_seconds(self) -> float:
+        return sum(total for _, total, _ in self.stats.values())
+
+    def format_report(self, top: Optional[int] = None) -> str:
+        """Human-readable table of the hottest event types."""
+        rows = self.rows()
+        if top is not None:
+            rows = rows[:top]
+        if not rows:
+            return "no events profiled"
+        width = max(len(row[0]) for row in rows)
+        width = max(width, len("event type"))
+        lines = [f"{'event type':<{width}}  {'fires':>9}  {'total':>10}  "
+                 f"{'mean':>10}  {'max':>10}"]
+        lines.append("-" * len(lines[0]))
+        for key, fires, total, mean, peak in rows:
+            lines.append(f"{key:<{width}}  {fires:>9}  {total:>9.4f}s  "
+                         f"{mean * 1e6:>8.2f}us  {peak * 1e6:>8.2f}us")
+        lines.append(f"{self.events} events, "
+                     f"{self.total_seconds():.4f}s in callbacks")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self.stats.clear()
+        self.events = 0
+
+
+# ----------------------------------------------------------------------
+# process-global profiler (for harnesses that build Simulators internally)
+# ----------------------------------------------------------------------
+_GLOBAL: Optional[EventProfiler] = None
+
+
+def install_global(profiler: Optional[EventProfiler] = None) -> EventProfiler:
+    """Install (or create) the process-global profiler and return it.
+
+    Every subsequently-constructed :class:`repro.sim.engine.Simulator`
+    that resolves its observability from the environment aggregates into
+    this instance.
+    """
+    global _GLOBAL
+    _GLOBAL = profiler if profiler is not None else EventProfiler()
+    return _GLOBAL
+
+
+def clear_global() -> None:
+    """Uninstall the process-global profiler."""
+    global _GLOBAL
+    _GLOBAL = None
+
+
+def global_profiler() -> Optional[EventProfiler]:
+    return _GLOBAL
+
+
+def profile_enabled() -> bool:
+    """True when ``REPRO_PROFILE`` requests profiled runs."""
+    return os.environ.get(ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+def from_env() -> Optional[EventProfiler]:
+    """The profiler new Simulators should use, per globals/environment.
+
+    An explicitly installed global profiler wins; otherwise
+    ``REPRO_PROFILE=1`` lazily installs one (shared by every Simulator
+    in the process, so multi-run harnesses aggregate into one report).
+    """
+    if _GLOBAL is not None:
+        return _GLOBAL
+    if profile_enabled():
+        return install_global()
+    return None

@@ -1,0 +1,118 @@
+"""Typed trace records — the unit of the observability subsystem.
+
+Every instrumented component emits :class:`TraceRecord` objects: a
+simulation timestamp, a *kind* from the closed vocabulary below, the
+flow the record belongs to (``-1`` for flow-less records such as link
+drops of unattributable packets or campaign job lifecycle events), and
+a flat ``fields`` mapping of JSON-serialisable values.
+
+The record's canonical line encoding (:meth:`TraceRecord.to_line`) is
+the contract the golden-trace regression suite hashes: sorted keys, no
+whitespace, ``repr``-exact floats via :func:`json.dumps`.  Two runs of
+the same seeded simulation must produce byte-identical line streams —
+anything wall-clock, platform, or ordering dependent is banned from
+``fields``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping, Optional
+
+# ----------------------------------------------------------------------
+# record kinds (the closed vocabulary)
+# ----------------------------------------------------------------------
+#: data segment left the sender (seq, size, retx)
+PKT_SEND = "pkt.send"
+#: a packet reached a host's endpoint dispatch (pkind, size)
+PKT_RECV = "pkt.recv"
+#: a packet was dropped (site, reason; flow when attributable)
+PKT_DROP = "pkt.drop"
+#: cwnd/ssthresh after a congestion-control event (cwnd, ssthresh, flight)
+CC_CWND = "cc.cwnd"
+#: slow-start exit (cwnd, reason)
+CC_SS_EXIT = "cc.ss_exit"
+#: an RTT sample reached the estimator (rtt)
+TCP_RTT = "tcp.rtt"
+#: retransmission timeout fired (backoff)
+TCP_RTO = "tcp.rto"
+#: fast-recovery transition (enter, point)
+TCP_RECOVERY = "tcp.recovery"
+#: the sender's pacing rate changed (rate; None encoded as 0.0)
+TCP_PACING = "tcp.pacing"
+#: receiver-side in-order delivery progressed (delivered)
+TCP_DELIVERED = "tcp.delivered"
+#: SUSS Algorithm-1 decision at blue-train completion
+#: (round, growth, accepted, reason)
+SUSS_DECISION = "suss.decision"
+#: SUSS pacing-plan install (rate, target, guard)
+SUSS_PLAN = "suss.plan"
+#: SUSS pacing aborted before reaching its target (cwnd)
+SUSS_ABORT = "suss.abort"
+#: campaign job lifecycle (label, status, runtime, cached) — wall-clock
+#: fields are allowed here; campaign records are never part of golden
+#: digests, which hash simulation streams only.
+CAMPAIGN_JOB = "campaign.job"
+
+#: every kind the stack can emit, for filter validation
+ALL_KINDS = frozenset({
+    PKT_SEND, PKT_RECV, PKT_DROP,
+    CC_CWND, CC_SS_EXIT,
+    TCP_RTT, TCP_RTO, TCP_RECOVERY, TCP_PACING, TCP_DELIVERED,
+    SUSS_DECISION, SUSS_PLAN, SUSS_ABORT,
+    CAMPAIGN_JOB,
+})
+
+
+class TraceRecord:
+    """One structured trace event."""
+
+    __slots__ = ("time", "kind", "flow", "fields")
+
+    def __init__(self, time: float, kind: str, flow: int = -1,
+                 fields: Optional[Mapping[str, Any]] = None) -> None:
+        self.time = time
+        self.kind = kind
+        self.flow = flow
+        self.fields: Dict[str, Any] = dict(fields) if fields else {}
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat dict form (reserved keys first; fields merged in)."""
+        out: Dict[str, Any] = {"t": self.time, "kind": self.kind,
+                               "flow": self.flow}
+        out.update(self.fields)
+        return out
+
+    def to_line(self) -> str:
+        """Canonical single-line JSON encoding (the digest contract)."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"), allow_nan=False)
+
+    @classmethod
+    def from_line(cls, line: str) -> "TraceRecord":
+        data = json.loads(line)
+        time = data.pop("t")
+        kind = data.pop("kind")
+        flow = data.pop("flow", -1)
+        return cls(time, kind, flow, data)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceRecord):
+            return NotImplemented
+        return (self.time == other.time and self.kind == other.kind
+                and self.flow == other.flow and self.fields == other.fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = "".join(f" {k}={v!r}" for k, v in sorted(self.fields.items()))
+        return f"<TraceRecord t={self.time:.6f} {self.kind} flow={self.flow}{extra}>"
+
+
+def parse_kinds(spec: str) -> frozenset:
+    """Parse a comma-separated kind filter, validating each name."""
+    kinds = {part.strip() for part in spec.split(",") if part.strip()}
+    unknown = kinds - ALL_KINDS
+    if unknown:
+        raise ValueError(
+            f"unknown trace kind(s) {sorted(unknown)}; "
+            f"known: {sorted(ALL_KINDS)}")
+    return frozenset(kinds)

@@ -1,0 +1,148 @@
+"""The tracer and the per-run :class:`Observability` bundle.
+
+``Observability`` is what a :class:`repro.sim.engine.Simulator` carries
+as ``sim.obs``: a tracer (structured records → sink), a metric registry,
+and optionally an engine profiler.  Components guard every hook site
+with a single ``sim.obs is not None`` test, so a run with observability
+disabled (the default) pays one attribute check per instrumented event
+and nothing else — the overhead contract DESIGN.md §7 documents.
+
+Environment activation (mirrors ``REPRO_SANITIZE``):
+
+``REPRO_TRACE=jsonl:PATH``
+    stream canonical JSONL to ``PATH``;
+``REPRO_TRACE=ring[:N]``
+    keep the newest ``N`` (default 65536) records in memory;
+``REPRO_TRACE=mem``
+    keep every record in memory;
+``REPRO_TRACE=digest``
+    maintain a streaming digest only (golden/determinism checks);
+``REPRO_TRACE_KINDS=pkt.send,cc.cwnd``
+    restrict emission to the listed kinds (default: all).
+
+CSV output is not an environment mode — construct a
+:class:`repro.trace.csvout.CsvTraceSink` programmatically (the CSV code
+lives above ``obs`` in the layer DAG).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, FrozenSet, Optional
+
+from repro.obs import profile as _profile
+from repro.obs.metrics import MetricRegistry
+from repro.obs.records import TraceRecord, parse_kinds
+from repro.obs.sinks import (
+    DigestSink,
+    JsonlSink,
+    MemorySink,
+    RingBufferSink,
+    TraceSink,
+)
+
+#: environment variable that switches tracing on for new Simulators
+ENV_VAR = "REPRO_TRACE"
+KINDS_ENV_VAR = "REPRO_TRACE_KINDS"
+
+
+class Tracer:
+    """Routes records of enabled kinds into a sink."""
+
+    __slots__ = ("sink", "kinds")
+
+    def __init__(self, sink: TraceSink,
+                 kinds: Optional[FrozenSet[str]] = None) -> None:
+        self.sink = sink
+        #: None means "all kinds"
+        self.kinds = kinds
+
+    def wants(self, kind: str) -> bool:
+        return self.kinds is None or kind in self.kinds
+
+    def emit(self, time: float, kind: str, flow: int = -1,
+             **fields: Any) -> None:
+        if self.kinds is None or kind in self.kinds:
+            self.sink.emit(TraceRecord(time, kind, flow, fields))
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+class Observability:
+    """Per-run observability bundle: tracer + metric registry + profiler."""
+
+    __slots__ = ("tracer", "metrics", "profiler")
+
+    def __init__(self, tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricRegistry] = None,
+                 profiler: Optional[_profile.EventProfiler] = None) -> None:
+        self.tracer = tracer
+        self.metrics = metrics if metrics is not None else MetricRegistry()
+        self.profiler = profiler
+
+    def emit(self, time: float, kind: str, flow: int = -1,
+             **fields: Any) -> None:
+        """Emit a trace record if a tracer wants this kind (cheap no-op
+        otherwise)."""
+        tracer = self.tracer
+        if tracer is not None and (tracer.kinds is None
+                                   or kind in tracer.kinds):
+            tracer.sink.emit(TraceRecord(time, kind, flow, fields))
+
+    def close(self) -> None:
+        if self.tracer is not None:
+            self.tracer.close()
+
+
+# ----------------------------------------------------------------------
+# construction helpers
+# ----------------------------------------------------------------------
+def tracing(sink: TraceSink, kinds: Optional[FrozenSet[str]] = None,
+            profiler: Optional[_profile.EventProfiler] = None
+            ) -> Observability:
+    """Shorthand: an Observability tracing into ``sink``."""
+    return Observability(tracer=Tracer(sink, kinds), profiler=profiler)
+
+
+def _sink_from_spec(spec: str) -> TraceSink:
+    mode, _, arg = spec.partition(":")
+    mode = mode.strip().lower()
+    if mode == "jsonl":
+        if not arg:
+            raise ValueError("REPRO_TRACE=jsonl:PATH needs a path")
+        return JsonlSink(arg)
+    if mode == "ring":
+        return RingBufferSink(int(arg) if arg else 65536)
+    if mode == "mem":
+        return MemorySink()
+    if mode == "digest":
+        return DigestSink()
+    raise ValueError(
+        f"unknown REPRO_TRACE mode {mode!r}; "
+        f"known: jsonl:PATH, ring[:N], mem, digest")
+
+
+def trace_enabled() -> bool:
+    """True when ``REPRO_TRACE`` requests traced runs."""
+    return bool(os.environ.get(ENV_VAR, "").strip())
+
+
+def from_env() -> Optional[Observability]:
+    """Observability per the environment, or None when fully disabled.
+
+    Tracing comes from ``REPRO_TRACE``/``REPRO_TRACE_KINDS``; profiling
+    from an installed global profiler or ``REPRO_PROFILE`` (see
+    :mod:`repro.obs.profile`).  With neither requested the result is
+    None and instrumented code paths reduce to one pointer test.
+    """
+    spec = os.environ.get(ENV_VAR, "").strip()
+    profiler = _profile.from_env()
+    if not spec and profiler is None:
+        return None
+    tracer = None
+    if spec:
+        kinds_spec = os.environ.get(KINDS_ENV_VAR, "").strip()
+        kinds = parse_kinds(kinds_spec) if kinds_spec else None
+        tracer = Tracer(_sink_from_spec(spec), kinds)
+    return Observability(tracer=tracer, profiler=profiler)

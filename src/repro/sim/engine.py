@@ -17,10 +17,14 @@ import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.analysis.sanitize import SimSanitizer, from_env
+from repro.obs.tracer import Observability
+from repro.obs.tracer import from_env as obs_from_env
 
-#: constructor sentinel: "no sanitizer argument given, consult REPRO_SANITIZE".
-#: Passing sanitizer=None explicitly opts out even in sanitized runs (unit
-#: tests that drive links directly, bypassing Host.transmit accounting).
+#: constructor sentinel: "no sanitizer/obs argument given, consult the
+#: environment (REPRO_SANITIZE / REPRO_TRACE / REPRO_PROFILE)".  Passing
+#: sanitizer=None or obs=None explicitly opts out even in instrumented
+#: runs (unit tests that drive links directly, bypassing Host.transmit
+#: accounting).
 _FROM_ENV: Any = object()
 
 
@@ -88,7 +92,8 @@ class Simulator:
     :meth:`run_until` / :meth:`step`) processes events.
     """
 
-    def __init__(self, sanitizer: Optional[SimSanitizer] = _FROM_ENV) -> None:
+    def __init__(self, sanitizer: Optional[SimSanitizer] = _FROM_ENV,
+                 obs: Optional[Observability] = _FROM_ENV) -> None:
         self._now = 0.0
         self._heap: List[Tuple[float, int, EventHandle]] = []
         self._counter = itertools.count()
@@ -101,6 +106,13 @@ class Simulator:
         #: (net, tcp) consult this attribute for their hooks.
         self.sanitizer: Optional[SimSanitizer] = (
             from_env() if sanitizer is _FROM_ENV else sanitizer)
+        #: observability bundle (tracer/metrics/profiler); defaults to one
+        #: created from ``REPRO_TRACE`` / ``REPRO_PROFILE`` (None when
+        #: neither is set).  Other layers (net, tcp, cc, core) consult
+        #: this attribute for their emit hooks; with ``obs=None`` every
+        #: hook site is a single pointer test.
+        self.obs: Optional[Observability] = (
+            obs_from_env() if obs is _FROM_ENV else obs)
 
     # ------------------------------------------------------------------
     # clock
@@ -159,6 +171,7 @@ class Simulator:
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Fire the next pending event.  Returns False if the queue is empty."""
+        profiler = self.obs.profiler if self.obs is not None else None
         while self._heap:
             when, _, handle = heapq.heappop(self._heap)
             if handle.cancelled:
@@ -169,7 +182,10 @@ class Simulator:
             handle._fired = True
             self._pending -= 1
             self._processed += 1
-            handle.callback(*handle.args)
+            if profiler is None:
+                handle.callback(*handle.args)
+            else:
+                profiler.fire(handle.callback, handle.args)
             return True
         return False
 
@@ -185,6 +201,9 @@ class Simulator:
             raise SimulationError("Simulator.run is not reentrant")
         self._running = True
         fired = 0
+        # Resolved once per run: profiling is decided before the loop so
+        # the unprofiled hot path keeps its direct callback dispatch.
+        profiler = self.obs.profiler if self.obs is not None else None
         try:
             while self._heap:
                 when, _, handle = self._heap[0]
@@ -202,7 +221,10 @@ class Simulator:
                 handle._fired = True
                 self._pending -= 1
                 self._processed += 1
-                handle.callback(*handle.args)
+                if profiler is None:
+                    handle.callback(*handle.args)
+                else:
+                    profiler.fire(handle.callback, handle.args)
                 fired += 1
         finally:
             self._running = False

@@ -17,6 +17,11 @@ class Pacer:
     def __init__(self) -> None:
         self.rate: Optional[float] = None
         self._next_send_time = 0.0
+        # Departure statistics, cheap enough to keep unconditionally;
+        # the invariant test suite asserts min_gap is never negative.
+        self.departures = 0
+        self.last_departure: Optional[float] = None
+        self.min_gap = float("inf")
 
     def set_rate(self, rate: Optional[float]) -> None:
         """Update the pacing rate (bytes/second); None disables pacing."""
@@ -35,6 +40,12 @@ class Pacer:
 
     def note_sent(self, now: float, nbytes: int) -> None:
         """Account for a departure of ``nbytes`` at time ``now``."""
+        self.departures += 1
+        if self.last_departure is not None:
+            gap = now - self.last_departure
+            if gap < self.min_gap:
+                self.min_gap = gap
+        self.last_departure = now
         if self.rate is None:
             return
         start = max(now, self._next_send_time)

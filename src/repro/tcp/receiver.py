@@ -14,6 +14,7 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.net.node import Host
 from repro.net.packet import Packet, PacketKind
+from repro.obs import records as obsrec
 from repro.sim.engine import Simulator
 
 #: Maximum delayed-ACK hold time (Linux quickack aside, 40 ms is typical).
@@ -42,6 +43,10 @@ class TcpReceiver:
         self._pending_ack_echo: Optional[float] = None
         self._unacked_segments = 0
         self._delack_timer = None
+        self.obs = sim.obs
+        self._m_rcvd = (None if self.obs is None else
+                        self.obs.metrics.counter("tcp.delivered_bytes_rx",
+                                                 flow=flow_id))
 
         host.attach(flow_id, self)
 
@@ -103,9 +108,14 @@ class TcpReceiver:
     def _note_progress(self) -> None:
         delivered = self.rcv_nxt
         if delivered > self.bytes_delivered:
+            advanced = delivered - self.bytes_delivered
             self.bytes_delivered = delivered
             if self.telemetry is not None:
                 self.telemetry.on_delivered(self.flow_id, self.sim.now, delivered)
+            if self.obs is not None:
+                self._m_rcvd.add(advanced)
+                self.obs.emit(self.sim.now, obsrec.TCP_DELIVERED,
+                              self.flow_id, delivered=delivered)
 
     # ------------------------------------------------------------------
     def _maybe_delay_ack(self, echo: Optional[float]) -> None:

@@ -28,6 +28,7 @@ from typing import Callable, Deque, List, Optional, Tuple
 from repro.cc.base import AckInfo, CongestionControl
 from repro.net.node import Host
 from repro.net.packet import DEFAULT_MSS, Packet, PacketKind
+from repro.obs import records as obsrec
 from repro.sim.engine import EventHandle, Simulator
 from repro.tcp.pacer import Pacer
 from repro.tcp.rtt import RttEstimator
@@ -133,6 +134,20 @@ class TcpSender:
         self.fast_retransmits = 0
         self.data_packets_sent = 0
 
+        # observability: cache the bundle and the per-flow metric handles
+        # once, so every hot-path hook is one pointer test when disabled
+        # and a bare attribute update when enabled.
+        obs = sim.obs
+        self.obs = obs
+        if obs is not None:
+            m = obs.metrics
+            self._m_sent = m.counter("tcp.data_packets", flow=flow_id)
+            self._m_retx = m.counter("tcp.retransmits", flow=flow_id)
+            self._m_rto = m.counter("tcp.rtos", flow=flow_id)
+            self._m_delivered = m.counter("tcp.delivered_bytes", flow=flow_id)
+            self._m_rtt = m.histogram("tcp.rtt_seconds", flow=flow_id)
+        self._traced_pacing_rate: Optional[float] = None
+
         self.cc = cc
         cc.attach(self)
         host.attach(flow_id, self)
@@ -208,6 +223,10 @@ class TcpSender:
                 self.rtt.update(rtt_sample, self.round_index)
                 if self.telemetry is not None:
                     self.telemetry.on_rtt(self.flow_id, now, rtt_sample)
+                if self.obs is not None:
+                    self._m_rtt.observe(rtt_sample)
+                    self.obs.emit(now, obsrec.TCP_RTT, self.flow_id,
+                                  rtt=rtt_sample)
 
         self._merge_sack(packet)
 
@@ -241,6 +260,8 @@ class TcpSender:
         self.dup_acks = 0
         self.delivered += acked
         self.delivered_time = now
+        if self.obs is not None:
+            self._m_delivered.add(acked)
         self._retx_outstanding = max(self._retx_outstanding
                                      - min(acked, self.mss), 0)
         rate_sample = self._take_rate_sample(packet.ack_seq, now)
@@ -259,6 +280,9 @@ class TcpSender:
                                      if s >= self.snd_una}
                 self._retx_outstanding = 0
                 self.cc.on_recovery_exit(now)
+                if self.obs is not None:
+                    self.obs.emit(now, obsrec.TCP_RECOVERY, self.flow_id,
+                                  enter=False, point=self.recovery_point)
             else:
                 # Partial ACK: keep filling holes from the scoreboard.
                 self._retransmit_holes()
@@ -273,6 +297,8 @@ class TcpSender:
         if self.telemetry is not None:
             self.telemetry.on_cwnd(self.flow_id, now, self.cc.cwnd,
                                    self.bytes_in_flight)
+        if self.obs is not None:
+            self._emit_cwnd(now)
 
         self._rto_backoff = 1.0
         if self.snd_una >= self.total_bytes and self.finished_writing:
@@ -297,6 +323,10 @@ class TcpSender:
                                  if s >= self.snd_una}
             self.cc.on_loss(now)
             self._sanitize_cc()
+            if self.obs is not None:
+                self.obs.emit(now, obsrec.TCP_RECOVERY, self.flow_id,
+                              enter=True, point=self.recovery_point)
+                self._emit_cwnd(now)
             self._retransmit_holes()
         elif self.in_recovery:
             # Each further SACK frees pipe; fill more holes if possible.
@@ -343,6 +373,12 @@ class TcpSender:
             san.check_cwnd(self.flow_id, self.cc.cwnd, self.mss)
             san.check_pacing_rate(self.flow_id, self.cc.pacing_rate)
 
+    def _emit_cwnd(self, now: float) -> None:
+        """Trace the post-event congestion state (callers check self.obs)."""
+        self.obs.emit(now, obsrec.CC_CWND, self.flow_id,
+                      cwnd=self.cc.cwnd, ssthresh=self.cc.ssthresh,
+                      flight=self.bytes_in_flight)
+
     # ------------------------------------------------------------------
     # transmission
     # ------------------------------------------------------------------
@@ -354,7 +390,13 @@ class TcpSender:
     def _maybe_send(self) -> None:
         if self.completed or not self.handshake_done:
             return
-        self.pacer.set_rate(self.cc.pacing_rate)
+        rate = self.cc.pacing_rate
+        self.pacer.set_rate(rate)
+        if self.obs is not None and rate != self._traced_pacing_rate:
+            self._traced_pacing_rate = rate
+            # None (pure ACK clocking) is encoded as rate 0.0
+            self.obs.emit(self.sim.now, obsrec.TCP_PACING, self.flow_id,
+                          rate=rate if rate is not None else 0.0)
         while self.snd_nxt < self.total_bytes:
             # Skip sequence space the receiver already holds (possible
             # after an RTO rolled snd_nxt back).
@@ -401,6 +443,12 @@ class TcpSender:
                                        self.delivered_time))
         if self.telemetry is not None:
             self.telemetry.on_send(self.flow_id, now, pkt, retransmit)
+        if self.obs is not None:
+            self._m_sent.add(1)
+            if retransmit:
+                self._m_retx.add(1)
+            self.obs.emit(now, obsrec.PKT_SEND, self.flow_id,
+                          seq=seq, size=size, retx=retransmit)
         self.host.transmit(pkt)
 
     def _schedule_pacer_wake(self, when: float) -> None:
@@ -448,6 +496,11 @@ class TcpSender:
         now = self.sim.now
         self.cc.on_rto(now)
         self._sanitize_cc()
+        if self.obs is not None:
+            self._m_rto.add(1)
+            self.obs.emit(now, obsrec.TCP_RTO, self.flow_id,
+                          backoff=self._rto_backoff)
+            self._emit_cwnd(now)
         # Go-back-N over un-SACKed space: the kernel walks the retransmit
         # queue from snd_una; _maybe_send skips SACKed intervals and the
         # receiver's reassembly buffer makes the cumulative ACK jump.

@@ -1,9 +1,15 @@
 """Structured tracing and CSV export."""
 
-from repro.trace.csvout import write_events, write_multi_timeseries, write_timeseries
+from repro.trace.csvout import (
+    CsvTraceSink,
+    write_events,
+    write_multi_timeseries,
+    write_timeseries,
+)
 from repro.trace.events import EventLog, TraceEvent
 
 __all__ = [
+    "CsvTraceSink",
     "EventLog",
     "TraceEvent",
     "write_events",

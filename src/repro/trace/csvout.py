@@ -1,11 +1,13 @@
-"""CSV export for time series and event logs (for external plotting)."""
+"""CSV export for time series, event logs, and live trace streams."""
 
 from __future__ import annotations
 
 import csv
-from typing import Dict, Iterable, TextIO
+from pathlib import Path
+from typing import Dict, Iterable, Optional, TextIO, Union
 
 from repro.metrics.timeseries import TimeSeries
+from repro.obs.records import TraceRecord
 from repro.trace.events import EventLog
 
 
@@ -50,3 +52,35 @@ def write_events(out: TextIO, log: EventLog,
         row = [f"{event.time:.6f}", event.flow_id, event.kind]
         row.extend(event.fields.get(name, "") for name in extra)
         writer.writerow(row)
+
+
+class CsvTraceSink:
+    """A :class:`repro.obs.TraceSink` that writes records as CSV rows.
+
+    The former ad-hoc CSV event writer recast as a live sink: wire it into
+    ``Observability`` and every emitted :class:`TraceRecord` becomes a
+    ``time,flow,kind,<extra fields>`` row.  Extra fields not present on a
+    record are written as empty cells, mirroring :func:`write_events`.
+    """
+
+    def __init__(self, out: Union[str, Path, TextIO],
+                 field_names: Iterable[str] = ()) -> None:
+        self.field_names = list(field_names)
+        self._owns_stream = isinstance(out, (str, Path))
+        self._stream: TextIO = (open(out, "w", newline="")
+                                if self._owns_stream else out)
+        self._writer = csv.writer(self._stream)
+        self._writer.writerow(["time", "flow", "kind"] + self.field_names)
+        self.rows = 0
+
+    def emit(self, record: TraceRecord) -> None:
+        row = [f"{record.time:.9f}", record.flow, record.kind]
+        row.extend(record.fields.get(name, "") for name in self.field_names)
+        self._writer.writerow(row)
+        self.rows += 1
+
+    def close(self) -> None:
+        if self._owns_stream:
+            self._stream.close()
+        else:
+            self._stream.flush()

@@ -45,9 +45,10 @@ def make_transfer(cc: Union[str, CongestionControl] = "cubic",
                   size: int = 500 * MSS, rate: float = 12_500_000,
                   rtt: float = 0.1, buffer_bdp: float = 1.0,
                   bandwidth: Optional[BandwidthProfile] = None,
+                  obs=None,
                   **kwargs) -> Bench:
     """Build a single-path network with one transfer, ready to run."""
-    sim = Simulator()
+    sim = Simulator() if obs is None else Simulator(obs=obs)
     buffer_bytes = max(int(buffer_bdp * bdp_bytes(rate, rtt)), 3000)
     net = build_path(sim, bandwidth if bandwidth is not None else rate,
                      rtt, buffer_bytes)

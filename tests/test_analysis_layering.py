@@ -111,6 +111,26 @@ class TestNonViolations:
         })
         assert check_layering(root) == []
 
+    def test_every_layer_may_import_obs(self, tmp_path):
+        root = make_package(tmp_path, {
+            "sim/engine.py": "from repro.obs.tracer import Observability\n",
+            "net/link.py": "from repro.obs import records\n",
+            "tcp/sender.py": "from repro.obs import records\n",
+            "core/suss.py": "from repro.obs import records\n",
+            "campaign/progress.py": "from repro.obs.sinks import DigestSink\n",
+            "obs/tracer.py": "class Observability:\n    pass\n",
+            "obs/records.py": "PKT_SEND = 'pkt.send'\n",
+            "obs/sinks.py": "class DigestSink:\n    pass\n",
+        })
+        assert check_layering(root) == []
+
+    def test_obs_is_a_leaf(self, tmp_path):
+        root = make_package(tmp_path, {
+            "obs/tracer.py": "from repro.sim.engine import Simulator\n",
+            "sim/engine.py": "class Simulator:\n    pass\n",
+        })
+        assert [f.rule for f in check_layering(root)] == ["LAY001"]
+
     def test_composition_root_unrestricted(self, tmp_path):
         root = make_package(tmp_path, {
             "cli.py": "from repro.experiments.runner import run_single_flow\n",

@@ -51,6 +51,16 @@ class TestDET001WallClock:
             """, path="src/repro/campaign/progress.py")
         assert findings == []
 
+    def test_obs_layer_exempt(self):
+        # profiling is wall-clock by definition; obs is outside the
+        # deterministic core
+        findings = lint("""\
+            from time import perf_counter
+            def stamp():
+                return perf_counter()
+            """, path="src/repro/obs/profile.py")
+        assert findings == []
+
 
 class TestDET002GlobalRandom:
     def test_module_call_flagged(self):

@@ -128,6 +128,77 @@ class TestSweepCampaignFlags:
         assert capsys.readouterr().out == first
 
 
+class TestTrace:
+    ARGS = ["trace", "--scenario", "google-tokyo/wired",
+            "--cc", "cubic+suss", "--size", "400000", "--seed", "1"]
+
+    def test_prints_digest_and_fct(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "trace digest:" in out and "fct:" in out
+
+    def test_digest_matches_committed_golden(self, capsys):
+        # same run as the "cubic+suss" golden: the CLI digest must agree
+        from repro.experiments.goldens import DEFAULT_GOLDEN_DIR
+        from repro.obs.golden import load_digests
+
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        digest = out.split("trace digest:")[1].split()[0]
+        assert digest == load_digests(DEFAULT_GOLDEN_DIR)[
+            "cubic+suss"]["digest"]
+
+    def test_jsonl_export(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main(self.ARGS + ["--out", str(path)]) == 0
+        out = capsys.readouterr().out
+        lines = path.read_text().splitlines()
+        assert lines
+        record = json.loads(lines[0])
+        assert {"t", "kind", "flow"} <= record.keys()
+        assert f"({len(lines)} records)" in out
+
+    def test_kind_filter(self, tmp_path):
+        path = tmp_path / "cwnd.jsonl"
+        assert main(self.ARGS + ["--out", str(path),
+                                 "--kinds", "cc.cwnd"]) == 0
+        kinds = {json.loads(line)["kind"]
+                 for line in path.read_text().splitlines()}
+        assert kinds == {"cc.cwnd"}
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(SystemExit, match="unknown trace kind"):
+            main(self.ARGS + ["--kinds", "bogus.kind"])
+
+    def test_scenario_required_without_update_golden(self):
+        with pytest.raises(SystemExit, match="--scenario is required"):
+            main(["trace"])
+
+
+class TestProfile:
+    def test_profile_single(self, capsys):
+        rc = main(["profile", "single", "--scenario", "google-tokyo/wired",
+                   "--cc", "cubic", "--size", "400000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "events" in out
+        assert "Link._finish_transmission" in out
+
+    def test_profile_single_requires_scenario(self):
+        with pytest.raises(SystemExit, match="--scenario required"):
+            main(["profile", "single"])
+
+    def test_profile_unknown_name_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "fig99"])
+
+    def test_global_profiler_cleared_after_run(self):
+        from repro.obs import profile as obs_profile
+        main(["profile", "single", "--scenario", "google-tokyo/wired",
+              "--cc", "cubic", "--size", "200000"])
+        assert obs_profile.global_profiler() is None
+
+
 class TestExperimentDispatch:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):

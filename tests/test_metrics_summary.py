@@ -1,0 +1,70 @@
+"""Unit tests for repro.metrics.summary, including registry summaries."""
+
+import pytest
+
+from repro.metrics.summary import Summary, improvement, summarize, \
+    summarize_metric
+from repro.obs.metrics import MetricRegistry
+
+
+class TestSummarize:
+    def test_single_sample(self):
+        s = summarize([2.0])
+        assert s == Summary(n=1, mean=2.0, std=0.0, minimum=2.0, maximum=2.0)
+
+    def test_sample_std_uses_n_minus_one(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.std == pytest.approx(1.0)
+        assert (s.minimum, s.maximum) == (1.0, 3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str_format(self):
+        assert "n=3" in str(summarize([1.0, 2.0, 3.0]))
+
+
+class TestImprovement:
+    def test_positive_when_smaller(self):
+        assert improvement(10.0, 8.0) == pytest.approx(0.2)
+
+    def test_negative_when_regressed(self):
+        assert improvement(10.0, 12.0) == pytest.approx(-0.2)
+
+    def test_rejects_nonpositive_baseline(self):
+        with pytest.raises(ValueError):
+            improvement(0.0, 1.0)
+
+
+class TestSummarizeMetric:
+    def test_counters_across_label_sets(self):
+        reg = MetricRegistry()
+        reg.counter("tcp.retransmits", flow=1).add(2)
+        reg.counter("tcp.retransmits", flow=2).add(4)
+        s = summarize_metric(reg, "tcp.retransmits")
+        assert s.n == 2 and s.mean == pytest.approx(3.0)
+
+    def test_histograms_contribute_their_mean(self):
+        reg = MetricRegistry()
+        h1 = reg.histogram("tcp.rtt_seconds", flow=1)
+        h1.observe(0.1)
+        h1.observe(0.3)
+        reg.histogram("tcp.rtt_seconds", flow=2).observe(0.4)
+        s = summarize_metric(reg, "tcp.rtt_seconds")
+        assert s.n == 2
+        assert s.mean == pytest.approx((0.2 + 0.4) / 2)
+
+    def test_unset_gauges_and_empty_histograms_skipped(self):
+        reg = MetricRegistry()
+        reg.gauge("g", flow=1)            # never set
+        reg.gauge("g", flow=2).set(5.0)
+        reg.histogram("h", flow=1)        # never observed
+        assert summarize_metric(reg, "g").n == 1
+        with pytest.raises(ValueError):
+            summarize_metric(reg, "h")
+
+    def test_unknown_name_raises_like_empty(self):
+        with pytest.raises(ValueError):
+            summarize_metric(MetricRegistry(), "nope")

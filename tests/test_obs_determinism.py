@@ -1,0 +1,52 @@
+"""Cross-checks: trace digests are identical across execution modes.
+
+The scheduler promises byte-identical results at any ``jobs`` level;
+with ``trace_digest=True`` each job reports the SHA-256 of its full
+event stream, which upgrades that promise from "same summary numbers"
+to "same simulation, event for event".
+"""
+
+import pytest
+
+from repro.campaign import collect_values, run_campaign, single_flow_job
+
+SPECS = [
+    ("google-tokyo/wired", "cubic", 1),
+    ("google-tokyo/wired", "cubic+suss", 1),
+    ("google-tokyo/wired", "cubic+suss", 2),
+    ("google-tokyo/wired", "bbr+suss", 1),
+]
+
+
+def _digests(jobs):
+    specs = [single_flow_job(scenario, cc, 200_000, seed=seed,
+                             trace_digest=True)
+             for scenario, cc, seed in SPECS]
+    values = collect_values(run_campaign(specs, jobs=jobs))
+    return [(v["trace_digest"], v["trace_records"]) for v in values]
+
+
+def test_trace_digest_reported_per_job():
+    digests = _digests(jobs=1)
+    assert len(digests) == len(SPECS)
+    for digest, records in digests:
+        assert len(digest) == 64 and records > 0
+    # different cc / seed => different event streams
+    assert len({d for d, _ in digests}) == len(digests)
+
+
+def test_jobs1_vs_jobs4_digests_identical():
+    assert _digests(jobs=1) == _digests(jobs=4)
+
+
+def test_trace_digest_flag_does_not_change_job_hash():
+    plain = single_flow_job("google-tokyo/wired", "cubic", 200_000, seed=1)
+    traced = single_flow_job("google-tokyo/wired", "cubic", 200_000, seed=1,
+                             trace_digest=True)
+    assert "trace_digest" not in plain.params
+    assert traced.params["trace_digest"] is True
+    assert plain.job_hash != traced.job_hash  # traced jobs cache separately
+
+
+def test_repeated_inline_runs_are_stable():
+    assert _digests(jobs=1) == _digests(jobs=1)

@@ -1,0 +1,132 @@
+"""Golden-trace machinery + the committed-golden regression suite."""
+
+import gzip
+
+import pytest
+
+from repro.experiments import goldens
+from repro.obs.golden import (
+    Divergence,
+    digest_lines,
+    first_divergence,
+    load_digests,
+    load_stream,
+    save_golden,
+    stream_path,
+    trace_digest,
+)
+from repro.obs.records import TraceRecord
+
+
+# ----------------------------------------------------------------------
+# pure digest/diff machinery
+# ----------------------------------------------------------------------
+class TestDigests:
+    def test_digest_lines_is_newline_terminated_sha256(self):
+        import hashlib
+        lines = ['{"a":1}', '{"b":2}']
+        expected = hashlib.sha256(b'{"a":1}\n{"b":2}\n').hexdigest()
+        assert digest_lines(lines) == expected
+
+    def test_trace_digest_matches_line_digest(self):
+        records = [TraceRecord(0.1, "pkt.send", 1, {"seq": 0}),
+                   TraceRecord(0.2, "pkt.recv", 1, {"seq": 0})]
+        assert trace_digest(records) == \
+            digest_lines([r.to_line() for r in records])
+
+
+class TestFirstDivergence:
+    def test_identical_streams(self):
+        assert first_divergence(["a", "b"], ["a", "b"]) is None
+
+    def test_mid_stream_divergence(self):
+        d = first_divergence(["a", "b", "c"], ["a", "X", "c"])
+        assert d == Divergence(1, "b", "X")
+        text = d.describe()
+        assert "line 1" in text and "golden: b" in text and "actual: X" in text
+
+    def test_actual_stream_longer(self):
+        d = first_divergence(["a"], ["a", "extra"])
+        assert d.index == 1 and d.golden is None
+        assert "extra line" in d.describe()
+
+    def test_actual_stream_shorter(self):
+        d = first_divergence(["a", "b"], ["a"])
+        assert d.index == 1 and d.actual is None
+        assert "ended after 1 lines" in d.describe()
+
+
+class TestGoldenStore:
+    def test_save_and_load_roundtrip(self, tmp_path):
+        lines = ['{"kind":"x","t":1}', '{"kind":"y","t":2}']
+        digest = save_golden(tmp_path, "cubic+suss", lines)
+        assert digest == digest_lines(lines)
+        assert load_stream(tmp_path, "cubic+suss") == lines
+        index = load_digests(tmp_path)
+        assert index["cubic+suss"] == {"digest": digest, "records": 2}
+
+    def test_stream_path_sanitizes_name(self, tmp_path):
+        path = stream_path(tmp_path, "bbr+suss/wired")
+        assert path.name == "bbr_suss_wired.jsonl.gz"
+
+    def test_regeneration_is_byte_identical(self, tmp_path):
+        lines = ['{"t":1}']
+        save_golden(tmp_path, "run", lines)
+        first = stream_path(tmp_path, "run").read_bytes()
+        save_golden(tmp_path, "run", lines)
+        assert stream_path(tmp_path, "run").read_bytes() == first
+
+    def test_load_digests_missing_dir(self, tmp_path):
+        assert load_digests(tmp_path / "nope") == {}
+
+    def test_gzip_mtime_pinned(self, tmp_path):
+        save_golden(tmp_path, "run", ['{"t":1}'])
+        raw = stream_path(tmp_path, "run").read_bytes()
+        # gzip header bytes 4-7 are the mtime field
+        assert raw[4:8] == b"\x00\x00\x00\x00"
+
+
+# ----------------------------------------------------------------------
+# capture side + the actual regression suite against committed goldens
+# ----------------------------------------------------------------------
+class TestCapture:
+    def test_update_goldens_rejects_unknown_name(self, tmp_path):
+        with pytest.raises(KeyError, match="unknown golden run"):
+            goldens.update_goldens(golden_dir=tmp_path, names=["nope"])
+
+    def test_run_to_run_digest_stability(self):
+        name = "cubic"
+        assert goldens.capture_digest(name) == goldens.capture_digest(name)
+
+    def test_update_goldens_writes_store(self, tmp_path):
+        digests = goldens.update_goldens(golden_dir=tmp_path,
+                                         names=["cubic"])
+        index = load_digests(tmp_path)
+        assert index["cubic"]["digest"] == digests["cubic"]
+        assert gzip.open(stream_path(tmp_path, "cubic"), "rt").read()
+
+
+@pytest.mark.parametrize("name", sorted(goldens.GOLDEN_RUNS))
+def test_golden_trace_regression(name):
+    """Fixed-seed runs must reproduce the committed trace digests.
+
+    On mismatch, the stored stream turns the bare hash failure into a
+    first-divergence report; refresh deliberately with
+    ``python -m repro trace --update-golden``.
+    """
+    index = load_digests(goldens.DEFAULT_GOLDEN_DIR)
+    assert name in index, (
+        f"no committed golden for {name!r}; run "
+        "`python -m repro trace --update-golden`")
+    actual_lines = goldens.capture_lines(name)
+    actual = digest_lines(actual_lines)
+    expected = index[name]["digest"]
+    if actual != expected:
+        golden_lines = goldens.golden_stream(name)
+        diff = first_divergence(golden_lines, actual_lines)
+        pytest.fail(
+            f"golden trace {name!r} changed "
+            f"(expected {expected[:12]}…, got {actual[:12]}…)\n"
+            f"{diff.describe() if diff else 'streams equal, digest bug?'}\n"
+            "If intentional: python -m repro trace --update-golden")
+    assert len(actual_lines) == index[name]["records"]

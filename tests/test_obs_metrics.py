@@ -1,0 +1,110 @@
+"""Unit tests for repro.obs.metrics (counters, gauges, histograms)."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter_is_monotonic(self):
+        c = Counter()
+        c.add()
+        c.add(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.add(-1)
+
+    def test_gauge_keeps_last_value(self):
+        g = Gauge()
+        assert g.value is None
+        g.set(10)
+        g.set(4)
+        assert g.value == 4
+
+    def test_histogram_streaming_aggregates(self):
+        h = Histogram()
+        for v in (0.002, 0.02, 0.2):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == pytest.approx(0.222)
+        assert h.minimum == 0.002 and h.maximum == 0.2
+        assert h.mean == pytest.approx(0.074)
+
+    def test_histogram_bucket_placement(self):
+        h = Histogram(buckets=(1.0, 10.0))
+        h.observe(0.5)   # <= 1.0
+        h.observe(5.0)   # <= 10.0
+        h.observe(50.0)  # overflow
+        h.observe(50.0)
+        assert h.bucket_counts == [1, 1, 2]
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+    def test_empty_histogram_mean_is_none(self):
+        assert Histogram().mean is None
+
+
+class TestMetricRegistry:
+    def test_create_on_first_use_then_cached(self):
+        reg = MetricRegistry()
+        a = reg.counter("tcp.retransmits", flow=1)
+        b = reg.counter("tcp.retransmits", flow=1)
+        assert a is b
+        assert reg.counter("tcp.retransmits", flow=2) is not a
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricRegistry()
+        assert reg.gauge("x", a=1, b=2) is reg.gauge("x", b=2, a=1)
+
+    def test_name_bound_to_one_type(self):
+        reg = MetricRegistry()
+        reg.counter("n", flow=1)
+        with pytest.raises(ValueError, match="Counter"):
+            reg.gauge("n", flow=1)
+
+    def test_get_and_value(self):
+        reg = MetricRegistry()
+        reg.counter("c", flow=1).add(5)
+        assert reg.value("c", flow=1) == 5
+        assert reg.get("c", flow=9) is None
+        assert reg.value("c", flow=9) is None
+
+    def test_names_and_labels_of(self):
+        reg = MetricRegistry()
+        reg.counter("b", flow=2)
+        reg.counter("a", flow=1)
+        reg.counter("a", flow=3)
+        assert reg.names() == ["a", "b"]
+        assert reg.labels_of("a") == [{"flow": 1}, {"flow": 3}]
+
+    def test_snapshot_is_json_serialisable_and_sorted(self):
+        reg = MetricRegistry()
+        reg.counter("link.bytes", link="btl").add(100)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", flow=1).observe(0.01)
+        snap = reg.snapshot()
+        json.dumps(snap)  # must not raise
+        assert snap["link.bytes"]["link=btl"] == {"type": "counter",
+                                                 "value": 100}
+        assert snap["g"]["_"]["value"] == 1.5
+        h = snap["h"]["flow=1"]
+        assert h["type"] == "histogram" and h["count"] == 1
+        assert len(h["buckets"]) == len(DEFAULT_BUCKETS) + 1
+
+    def test_custom_buckets_only_apply_on_creation(self):
+        reg = MetricRegistry()
+        h = reg.histogram("q", buckets=(1.0,), link="l")
+        assert reg.histogram("q", link="l") is h
+        assert h.bounds == (1.0,)

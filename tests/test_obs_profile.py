@@ -1,0 +1,125 @@
+"""Unit tests for repro.obs.profile and engine profiling integration."""
+
+import pytest
+
+from repro.obs import profile as obs_profile
+from repro.obs.profile import EventProfiler
+from repro.obs.tracer import Observability
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture(autouse=True)
+def _clean_global():
+    obs_profile.clear_global()
+    yield
+    obs_profile.clear_global()
+
+
+class TestEventProfiler:
+    def test_fire_runs_callback_and_aggregates(self):
+        prof = EventProfiler()
+        calls = []
+        prof.fire(calls.append, (1,))
+        prof.fire(calls.append, (2,))
+        assert calls == [1, 2]
+        assert prof.events == 2
+        ((key, fires, total, mean, peak),) = prof.rows()
+        assert fires == 2 and "append" in key
+        assert total >= 0 and peak >= mean >= 0
+
+    def test_fire_times_raising_callbacks(self):
+        prof = EventProfiler()
+
+        def boom():
+            raise RuntimeError("x")
+
+        with pytest.raises(RuntimeError):
+            prof.fire(boom, ())
+        assert prof.events == 1  # the failed fire is still accounted
+
+    def test_note_tracks_max(self):
+        prof = EventProfiler()
+        prof.note("k", 0.1)
+        prof.note("k", 0.3)
+        prof.note("k", 0.2)
+        (_, fires, total, mean, peak) = prof.rows()[0]
+        assert fires == 3
+        assert total == pytest.approx(0.6)
+        assert peak == pytest.approx(0.3)
+
+    def test_rows_sorted_by_total_descending(self):
+        prof = EventProfiler()
+        prof.note("small", 0.01)
+        prof.note("big", 1.0)
+        assert [row[0] for row in prof.rows()] == ["big", "small"]
+
+    def test_format_report(self):
+        prof = EventProfiler()
+        assert prof.format_report() == "no events profiled"
+        prof.note("Link._finish_transmission", 0.001)
+        report = prof.format_report(top=5)
+        assert "Link._finish_transmission" in report
+        assert "1 events" in report
+
+    def test_reset(self):
+        prof = EventProfiler()
+        prof.note("k", 0.1)
+        prof.reset()
+        assert prof.events == 0 and prof.rows() == []
+
+
+class TestGlobalProfiler:
+    def test_install_and_clear(self):
+        assert obs_profile.global_profiler() is None
+        prof = obs_profile.install_global()
+        assert obs_profile.global_profiler() is prof
+        obs_profile.clear_global()
+        assert obs_profile.global_profiler() is None
+
+    def test_from_env_prefers_installed_global(self, monkeypatch):
+        monkeypatch.delenv(obs_profile.ENV_VAR, raising=False)
+        assert obs_profile.from_env() is None
+        prof = obs_profile.install_global()
+        assert obs_profile.from_env() is prof
+
+    def test_env_var_lazily_installs_shared_instance(self, monkeypatch):
+        monkeypatch.setenv(obs_profile.ENV_VAR, "1")
+        assert obs_profile.profile_enabled()
+        first = obs_profile.from_env()
+        assert first is not None
+        assert obs_profile.from_env() is first  # shared across Simulators
+
+    def test_env_var_falsy_values(self, monkeypatch):
+        monkeypatch.setenv(obs_profile.ENV_VAR, "0")
+        assert not obs_profile.profile_enabled()
+
+
+class TestEngineIntegration:
+    def test_engine_routes_events_through_profiler(self):
+        prof = EventProfiler()
+        sim = Simulator(sanitizer=None,
+                        obs=Observability(profiler=prof))
+        fired = []
+        for i in range(5):
+            sim.schedule(0.1 * i, fired.append, i)
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+        assert prof.events == 5
+
+    def test_step_also_profiles(self):
+        prof = EventProfiler()
+        sim = Simulator(sanitizer=None, obs=Observability(profiler=prof))
+        sim.schedule(0.0, lambda: None)
+        assert sim.step()
+        assert prof.events == 1
+
+    def test_simulator_picks_up_env_profiler(self, monkeypatch):
+        monkeypatch.setenv(obs_profile.ENV_VAR, "1")
+        sim = Simulator(sanitizer=None)
+        assert sim.obs is not None
+        assert sim.obs.profiler is obs_profile.global_profiler()
+
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv(obs_profile.ENV_VAR, raising=False)
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert Simulator(sanitizer=None).obs is None

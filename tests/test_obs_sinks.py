@@ -1,0 +1,157 @@
+"""Unit tests for repro.obs.sinks and the TraceRecord encoding."""
+
+import hashlib
+import io
+import json
+
+import pytest
+
+from repro.obs.records import ALL_KINDS, TraceRecord, parse_kinds
+from repro.obs.sinks import (
+    DigestSink,
+    JsonlSink,
+    MemorySink,
+    RingBufferSink,
+    TeeSink,
+    TraceSink,
+)
+
+
+def rec(i, kind="pkt.send", flow=1, **fields):
+    return TraceRecord(float(i), kind, flow, fields)
+
+
+# ----------------------------------------------------------------------
+# TraceRecord encoding
+# ----------------------------------------------------------------------
+class TestTraceRecord:
+    def test_to_line_is_canonical_json(self):
+        line = TraceRecord(1.25, "cc.cwnd", 3, {"cwnd": 14480}).to_line()
+        assert line == '{"cwnd":14480,"flow":3,"kind":"cc.cwnd","t":1.25}'
+
+    def test_roundtrip_through_line(self):
+        original = TraceRecord(0.5, "pkt.send", 1, {"seq": 0, "retx": False})
+        assert TraceRecord.from_line(original.to_line()) == original
+
+    def test_float_repr_exactness(self):
+        # json.dumps uses repr-exact floats: parsing back is lossless.
+        t = 0.1 + 0.2
+        parsed = json.loads(TraceRecord(t, "tcp.rtt", 1, {"rtt": t}).to_line())
+        assert parsed["t"] == t and parsed["rtt"] == t
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecord(0.0, "tcp.rtt", 1, {"rtt": float("nan")}).to_line()
+
+    def test_equality_ignores_nothing(self):
+        a = rec(1, seq=0)
+        assert a == rec(1, seq=0)
+        assert a != rec(1, seq=1)
+        assert a != rec(2, seq=0)
+
+    def test_parse_kinds_validates(self):
+        assert parse_kinds("pkt.send, cc.cwnd") == {"pkt.send", "cc.cwnd"}
+        with pytest.raises(ValueError, match="unknown trace kind"):
+            parse_kinds("pkt.send,bogus.kind")
+
+    def test_all_kinds_are_namespaced(self):
+        assert all("." in kind for kind in ALL_KINDS)
+
+
+# ----------------------------------------------------------------------
+# sinks
+# ----------------------------------------------------------------------
+class TestMemorySink:
+    def test_collects_and_filters(self):
+        sink = MemorySink()
+        sink.emit(rec(1, "pkt.send", flow=1))
+        sink.emit(rec(2, "pkt.recv", flow=2))
+        sink.emit(rec(3, "pkt.send", flow=2))
+        assert len(sink) == 3
+        assert [r.time for r in sink.by_kind("pkt.send")] == [1.0, 3.0]
+        assert [r.time for r in sink.by_flow(2)] == [2.0, 3.0]
+        sink.close()  # no-op, must not raise
+
+    def test_satisfies_protocol(self):
+        assert isinstance(MemorySink(), TraceSink)
+        assert isinstance(JsonlSink(io.StringIO()), TraceSink)
+        assert isinstance(DigestSink(), TraceSink)
+
+
+class TestRingBufferSink:
+    def test_keeps_only_newest(self):
+        sink = RingBufferSink(capacity=3)
+        for i in range(10):
+            sink.emit(rec(i))
+        assert len(sink) == 3
+        assert [r.time for r in sink.records] == [7.0, 8.0, 9.0]
+        assert sink.emitted == 10
+        assert sink.dropped == 7
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            RingBufferSink(0)
+
+    def test_by_kind_works_via_records_property(self):
+        sink = RingBufferSink(capacity=2)
+        sink.emit(rec(1, "pkt.send"))
+        sink.emit(rec(2, "pkt.recv"))
+        assert len(sink.by_kind("pkt.recv")) == 1
+
+
+class TestJsonlSink:
+    def test_writes_one_line_per_record(self):
+        out = io.StringIO()
+        sink = JsonlSink(out)
+        sink.emit(rec(1, seq=0))
+        sink.emit(rec(2, seq=1448))
+        sink.close()
+        lines = out.getvalue().splitlines()
+        assert len(lines) == 2 and sink.lines == 2
+        assert json.loads(lines[1])["seq"] == 1448
+
+    def test_path_target_is_lazily_opened(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(str(path))
+        assert not path.exists()  # nothing emitted yet
+        sink.emit(rec(1))
+        sink.close()
+        assert path.read_text().count("\n") == 1
+        # closing an unused path sink never creates the file
+        unused = JsonlSink(str(tmp_path / "never.jsonl"))
+        unused.close()
+        assert not (tmp_path / "never.jsonl").exists()
+
+
+class TestDigestSink:
+    def test_digest_matches_hashing_the_jsonl_file(self, tmp_path):
+        records = [rec(i, seq=i * 1448) for i in range(20)]
+        path = tmp_path / "t.jsonl"
+        jsonl = JsonlSink(str(path))
+        digest = DigestSink()
+        for r in records:
+            jsonl.emit(r)
+            digest.emit(r)
+        jsonl.close()
+        assert digest.records == 20
+        assert digest.digest() == hashlib.sha256(path.read_bytes()).hexdigest()
+
+    def test_digest_readable_mid_stream(self):
+        sink = DigestSink()
+        empty = sink.digest()
+        sink.emit(rec(1))
+        assert sink.digest() != empty
+
+
+class TestTeeSink:
+    def test_replicates_to_all(self):
+        a, b = MemorySink(), DigestSink()
+        tee = TeeSink([a, b])
+        tee.emit(rec(1))
+        tee.emit(rec(2))
+        tee.close()
+        assert len(a) == 2 and b.records == 2
+
+    def test_requires_at_least_one_sink(self):
+        with pytest.raises(ValueError):
+            TeeSink([])
