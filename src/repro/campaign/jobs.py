@@ -42,12 +42,20 @@ def run_single_flow_job(params: Mapping[str, Any]) -> Dict[str, Any]:
     scenario = PathScenario(**params["scenario"])
     obs = None
     digest_sink = None
-    if params.get("trace_digest"):
-        from repro.obs.sinks import DigestSink
+    memory_sink = None
+    if params.get("trace_digest") or params.get("analyze"):
+        from repro.obs.sinks import DigestSink, MemorySink, TeeSink
         from repro.obs.tracer import Observability, Tracer
 
-        digest_sink = DigestSink()
-        obs = Observability(tracer=Tracer(digest_sink))
+        sinks = []
+        if params.get("trace_digest"):
+            digest_sink = DigestSink()
+            sinks.append(digest_sink)
+        if params.get("analyze"):
+            memory_sink = MemorySink()
+            sinks.append(memory_sink)
+        sink = sinks[0] if len(sinks) == 1 else TeeSink(sinks)
+        obs = Observability(tracer=Tracer(sink))
     result = run_single_flow(
         scenario, params["cc"], params["size_bytes"], seed=params["seed"],
         delayed_ack=params.get("delayed_ack", False),
@@ -65,10 +73,20 @@ def run_single_flow_job(params: Mapping[str, Any]) -> Dict[str, Any]:
         "drops": result.drops,
         "loss_rate": result.loss_rate,
     }
-    if digest_sink is not None:
+    if obs is not None:
         obs.close()
+    if digest_sink is not None:
         value["trace_digest"] = digest_sink.digest()
         value["trace_records"] = digest_sink.records
+    if memory_sink is not None:
+        from repro.obs.analyze import analyze_records
+
+        analysis = analyze_records(memory_sink.records)
+        value["analysis"] = {
+            "flows": {str(flow): report.summary()
+                      for flow, report in analysis.flows.items()},
+            "findings": [f.to_dict() for f in analysis.findings],
+        }
     return value
 
 

@@ -220,10 +220,23 @@ def cmd_trace(args: argparse.Namespace) -> int:
     from repro.experiments import goldens
 
     if args.update_golden:
+        from repro.obs.golden import load_digests, stored_schema
+        from repro.obs.records import SCHEMA_VERSION
+
         names = args.golden.split(",") if args.golden else None
+        before = load_digests(goldens.DEFAULT_GOLDEN_DIR)
+        schema_before = stored_schema(goldens.DEFAULT_GOLDEN_DIR)
         digests = goldens.update_goldens(names=names)
+        if schema_before != SCHEMA_VERSION:
+            print(f"schema: v{schema_before} -> v{SCHEMA_VERSION}")
         for name in sorted(digests):
-            print(f"{name}: {digests[name]}")
+            old = before.get(name, {}).get("digest")
+            if old is None:
+                print(f"{name}: (new) -> {digests[name]}")
+            elif old == digests[name]:
+                print(f"{name}: {digests[name]} (unchanged)")
+            else:
+                print(f"{name}: {old} -> {digests[name]}")
         return 0
     if not args.scenario:
         raise SystemExit("repro trace: --scenario is required "
@@ -257,6 +270,98 @@ def cmd_trace(args: argparse.Namespace) -> int:
     print(f"records:         {digest_sink.records}")
     print(f"trace digest:    {digest_sink.digest()}")
     print(f"fct:             {result.fct:.4f} s")
+    return 0
+
+
+def _load_trace_arg(path: str):
+    """Load a JSONL trace argument (``-`` reads stdin)."""
+    from repro.obs.analyze import load_trace
+
+    if path == "-":
+        return load_trace(sys.stdin)
+    if not os.path.exists(path):
+        raise SystemExit(f"repro: trace file {path!r} does not exist")
+    try:
+        return load_trace(path)
+    except (ValueError, KeyError) as exc:
+        raise SystemExit(f"repro: {path!r} is not a JSONL trace: {exc}")
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Whole-trace analysis: flow summaries, phases, retx classes,
+    anomaly findings."""
+    from repro.obs.analyze import analyze_records
+
+    analysis = analyze_records(_load_trace_arg(args.trace))
+    if args.as_json:
+        print(json.dumps(analysis.to_dict(), sort_keys=True))
+    else:
+        print(analysis.render_text())
+    if args.fail_on_findings and any(
+            f.severity in ("warning", "error") for f in analysis.findings):
+        return 1
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Causal chain for one event, or a narrated flow timeline."""
+    from repro.obs.analyze import analyze_records, render_flow
+    from repro.obs.causal import (
+        CausalIndex,
+        explain_event,
+        find_record,
+        render_explanation,
+    )
+
+    records = _load_trace_arg(args.trace)
+    index = CausalIndex(records)
+
+    if args.event is not None:
+        explanation = explain_event(index, args.event)
+        if args.as_json:
+            print(json.dumps(explanation, sort_keys=True))
+        else:
+            print(render_explanation(explanation))
+        return 0 if explanation["found"] else 1
+
+    analysis = analyze_records(records)
+    if args.flow is not None and args.flow not in analysis.flows:
+        known = ", ".join(str(f) for f in sorted(analysis.flows)) or "(none)"
+        raise SystemExit(f"repro explain: no flow {args.flow} in trace; "
+                         f"flows present: {known}")
+    flows = ([args.flow] if args.flow is not None
+             else sorted(analysis.flows))
+
+    at_context = None
+    if args.at is not None:
+        anchor = find_record(records, at=args.at, flow=args.flow)
+        if anchor is None:
+            raise SystemExit(f"repro explain: no records at or before "
+                             f"t={args.at}")
+        at_context = {
+            "t": args.at,
+            "record": anchor.to_dict(),
+            "phase": {str(f): analysis.flows[f].phase_at(args.at)
+                      for f in flows},
+            "chain": explain_event(index, anchor.eid),
+        }
+
+    if args.as_json:
+        out = {"flows": {str(f): analysis.flows[f].to_dict()
+                         for f in flows}}
+        if at_context is not None:
+            out["at"] = at_context
+        print(json.dumps(out, sort_keys=True))
+        return 0
+    for flow in flows:
+        print(render_flow(analysis.flows[flow]))
+    if at_context is not None:
+        print()
+        phases = ", ".join(f"flow {f}: {p}"
+                           for f, p in sorted(at_context["phase"].items()))
+        print(f"at t={args.at}: {phases}")
+        print(f"most recent event before t={args.at}:")
+        print(render_explanation(at_context["chain"]))
     return 0
 
 
@@ -296,7 +401,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
                 module.run()
     finally:
         obs_profile.clear_global()
-    print(profiler.format_report(top=args.top))
+    print(profiler.format_report(top=args.top, sort=args.sort))
     return 0
 
 
@@ -400,6 +505,37 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: all; with --update-golden)")
     trace_p.set_defaults(func=cmd_trace)
 
+    ana_p = sub.add_parser(
+        "analyze",
+        help="whole-trace analysis: flow summaries, CC phases, "
+             "retransmission classes, anomaly findings")
+    ana_p.add_argument("trace",
+                       help="JSONL trace path (.jsonl or .jsonl.gz; "
+                            "'-' reads stdin)")
+    ana_p.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit the analysis as JSON")
+    ana_p.add_argument("--fail-on-findings", action="store_true",
+                       help="exit 1 when any warning/error finding fires")
+    ana_p.set_defaults(func=cmd_analyze)
+
+    exp2_p = sub.add_parser(
+        "explain",
+        help="causal chain for one event, or a narrated flow timeline")
+    exp2_p.add_argument("trace",
+                        help="JSONL trace path (.jsonl or .jsonl.gz; "
+                             "'-' reads stdin)")
+    exp2_p.add_argument("--flow", type=int,
+                        help="restrict the narrative to one flow id")
+    exp2_p.add_argument("--at", type=float,
+                        help="explain what was happening at this "
+                             "simulation time")
+    exp2_p.add_argument("--event", type=int,
+                        help="walk the causal chain of this engine "
+                             "event id (eid)")
+    exp2_p.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit structured JSON instead of prose")
+    exp2_p.set_defaults(func=cmd_explain)
+
     prof_p = sub.add_parser(
         "profile",
         help="per-event-type wall-time profile of an experiment")
@@ -412,6 +548,9 @@ def build_parser() -> argparse.ArgumentParser:
     prof_p.add_argument("--seed", type=int, default=0)
     prof_p.add_argument("--top", type=int, default=15,
                         help="show only the hottest N event types")
+    prof_p.add_argument("--sort", choices=["total", "count", "mean"],
+                        default="total",
+                        help="report column to sort by (descending)")
     _add_campaign_flags(prof_p)
     prof_p.set_defaults(func=cmd_profile)
 

@@ -3,7 +3,13 @@
 from repro.metrics.collector import FlowTrace, Telemetry
 from repro.metrics.fairness import fairness_over_time, jain_index
 from repro.metrics.queuemon import QueueMonitor
-from repro.metrics.summary import Summary, improvement, summarize
+from repro.metrics.summary import (
+    EMPTY_SUMMARY,
+    Summary,
+    improvement,
+    summarize,
+    summarize_metric,
+)
 from repro.metrics.timeseries import TimeSeries
 
 __all__ = [
@@ -12,8 +18,10 @@ __all__ = [
     "Telemetry",
     "fairness_over_time",
     "jain_index",
+    "EMPTY_SUMMARY",
     "Summary",
     "improvement",
     "summarize",
+    "summarize_metric",
     "TimeSeries",
 ]

@@ -23,8 +23,24 @@ class Summary:
     minimum: float
     maximum: float
 
+    @property
+    def empty(self) -> bool:
+        """True for the zero-sample sentinel (:data:`EMPTY_SUMMARY`)."""
+        return self.n == 0
+
     def __str__(self) -> str:
+        if self.empty:
+            return "no samples"
         return f"{self.mean:.4g} ± {self.std:.2g} (n={self.n})"
+
+
+#: the zero-sample sentinel.  Aggregating an instrument nobody wrote to
+#: is an expected situation (a sweep where one scheme never retransmits,
+#: a histogram behind a disabled feature), not a programming error, so
+#: :func:`summarize_metric` returns this instead of raising.  The NaN
+#: statistics poison any arithmetic loudly; test with ``summary.empty``.
+EMPTY_SUMMARY = Summary(n=0, mean=float("nan"), std=float("nan"),
+                        minimum=float("nan"), maximum=float("nan"))
 
 
 def summarize(samples: Sequence[float]) -> Summary:
@@ -46,8 +62,9 @@ def summarize_metric(registry: MetricRegistry, name: str) -> Summary:
 
     Counters and gauges contribute their current value; histograms
     contribute their streaming mean.  Gauges never written to and empty
-    histograms are skipped.  Raises like :func:`summarize` when nothing
-    under ``name`` has a value yet.
+    histograms are skipped.  When nothing under ``name`` has a value yet
+    (including an unknown name), the :data:`EMPTY_SUMMARY` sentinel is
+    returned — check ``summary.empty`` before using the statistics.
     """
     values = []
     for labels in registry.labels_of(name):
@@ -57,6 +74,8 @@ def summarize_metric(registry: MetricRegistry, name: str) -> Summary:
                 values.append(instrument.mean)
         elif instrument.value is not None:
             values.append(instrument.value)
+    if not values:
+        return EMPTY_SUMMARY
     return summarize(values)
 
 

@@ -1,0 +1,65 @@
+"""Stream-oriented trace analysis over provenance-stamped records.
+
+The pipeline (`analyze_records`) reconstructs per-flow timelines from
+any record stream, segments each flow into congestion-control phases,
+classifies retransmissions (genuine / spurious / RTO-driven /
+unconfirmed), and runs pluggable anomaly detectors that emit structured
+findings.  ``repro analyze`` and ``repro explain`` are the CLI front
+ends; campaign jobs can attach the JSON form to their results.
+"""
+
+from repro.obs.analyze.anomalies import (
+    AnomalyDetector,
+    CwndCollapseDetector,
+    PacingStallDetector,
+    RtoSpikeDetector,
+    SussAbortDetector,
+    default_detectors,
+)
+from repro.obs.analyze.classify import (
+    ALL_CLASSES,
+    RetxClassification,
+    classify_retransmissions,
+    tally,
+)
+from repro.obs.analyze.findings import SEVERITIES, Finding
+from repro.obs.analyze.phases import (
+    ALL_PHASES,
+    PhaseSegment,
+    phase_at,
+    segment_phases,
+)
+from repro.obs.analyze.report import (
+    FlowReport,
+    TraceAnalysis,
+    analyze_records,
+    load_trace,
+    render_flow,
+)
+from repro.obs.analyze.timeline import FlowTimeline, build_timelines
+
+__all__ = [
+    "ALL_CLASSES",
+    "ALL_PHASES",
+    "SEVERITIES",
+    "AnomalyDetector",
+    "CwndCollapseDetector",
+    "Finding",
+    "FlowReport",
+    "FlowTimeline",
+    "PacingStallDetector",
+    "PhaseSegment",
+    "RetxClassification",
+    "RtoSpikeDetector",
+    "SussAbortDetector",
+    "TraceAnalysis",
+    "analyze_records",
+    "build_timelines",
+    "classify_retransmissions",
+    "default_detectors",
+    "load_trace",
+    "phase_at",
+    "render_flow",
+    "segment_phases",
+    "tally",
+]

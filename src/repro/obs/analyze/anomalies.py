@@ -1,0 +1,210 @@
+"""Pluggable anomaly detectors over flow timelines.
+
+A detector is any object with a ``name`` string and a
+``detect(timeline) -> List[Finding]`` method; :func:`default_detectors`
+returns the built-in set.  Detectors see one flow at a time and emit
+structured :class:`~repro.obs.analyze.findings.Finding` objects — the
+CLI and campaign integration render or attach them, never interpret
+them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, runtime_checkable
+
+from repro.obs.analyze.findings import Finding
+from repro.obs.analyze.timeline import FlowTimeline
+
+
+@runtime_checkable
+class AnomalyDetector(Protocol):
+    name: str
+
+    def detect(self, timeline: FlowTimeline) -> List[Finding]: ...
+
+
+# ----------------------------------------------------------------------
+class PacingStallDetector:
+    """A SUSS pacing plan is active but sends stop flowing.
+
+    While a plan paces at ``rate``, consecutive data sends should be
+    roughly ``mss / rtt`` apart; a gap of ``stall_factor`` times that
+    (default 8) with the plan still active means the pacer stalled
+    (app-limited source, lost wakeup, rwnd clamp).  Gaps where the
+    sender was window-limited (latest cwnd sample shows
+    ``flight + mss > cwnd``) are expected — SUSS paces cwnd *growth*,
+    actual sends still wait for window — and are not flagged.
+    """
+
+    name = "pacing_stall"
+
+    def __init__(self, stall_factor: float = 8.0) -> None:
+        self.stall_factor = stall_factor
+
+    def detect(self, timeline: FlowTimeline) -> List[Finding]:
+        findings: List[Finding] = []
+        mss = timeline.mss
+        if not mss:
+            return findings
+        for plan in timeline.suss_plans:
+            if plan.rate <= 0:
+                continue
+            window_end = self._plan_end(timeline, plan.t)
+            step = mss / plan.rate
+            threshold = self.stall_factor * step
+            sends = [s for s in timeline.sends
+                     if plan.t <= s.t <= window_end]
+            for prev, cur in zip(sends, sends[1:]):
+                gap = cur.t - prev.t
+                if gap > threshold and not self._window_limited(
+                        timeline, prev.t, mss):
+                    findings.append(Finding(
+                        self.name, "warning", timeline.flow, prev.t,
+                        f"pacing stalled for {gap * 1e3:.2f} ms "
+                        f"(expected ~{step * 1e3:.3f} ms between sends)",
+                        eid=cur.eid,
+                        data={"gap": gap, "expected_step": step,
+                              "plan_rate": plan.rate,
+                              "plan_target": plan.target}))
+        return findings
+
+    @staticmethod
+    def _window_limited(timeline: FlowTimeline, t: float, mss: int) -> bool:
+        """True when the last cwnd sample at or before ``t`` shows no
+        room for another segment.
+
+        The sample's ``flight`` predates sends emitted later in the
+        same event (and after it), so sends in ``[sample.t, t]`` are
+        added back before comparing against cwnd."""
+        latest = None
+        for sample in timeline.cwnd:
+            if sample.t > t:
+                break
+            latest = sample
+        if latest is None:
+            return False
+        sent_since = sum(s.size for s in timeline.sends
+                         if latest.t <= s.t <= t)
+        return latest.flight + sent_since + mss > latest.cwnd
+
+    @staticmethod
+    def _plan_end(timeline: FlowTimeline, plan_t: float) -> float:
+        """The plan runs until the next abort/ss-exit/RTO/recovery-enter
+        boundary (or the end of the flow)."""
+        boundaries = ([a.t for a in timeline.suss_aborts]
+                      + [x.t for x in timeline.ss_exits]
+                      + [r.t for r in timeline.rtos]
+                      + [r.t for r in timeline.recovery if r.enter]
+                      + [p.t for p in timeline.suss_plans if p.t > plan_t])
+        later = [b for b in boundaries if b > plan_t]
+        end = timeline.last_time if timeline.last_time is not None else plan_t
+        return min(later) if later else end
+
+
+class CwndCollapseDetector:
+    """cwnd halves (or worse) with no loss signal in between.
+
+    A cwnd reduction is *expected* next to a recovery entry, an RTO, a
+    slow-start exit, an attributed drop, or a SUSS abort; a collapse
+    with none of those nearby points at a congestion-control bug (or an
+    unrecorded signal such as ECN).  Samples with an effectively
+    infinite ssthresh are exempt: a model-based controller (BBR) sizes
+    cwnd from its bandwidth/RTT model and legitimately shrinks it with
+    no loss signal (drain, ProbeRTT)."""
+
+    name = "cwnd_collapse"
+
+    #: ssthresh at or above this is "never reduced by loss" — the
+    #: controller is not loss-window based at that point
+    INFINITE_SSTHRESH = 2 ** 60
+
+    def __init__(self, collapse_ratio: float = 0.5) -> None:
+        self.collapse_ratio = collapse_ratio
+
+    def detect(self, timeline: FlowTimeline) -> List[Finding]:
+        findings: List[Finding] = []
+        justification = sorted(
+            [r.t for r in timeline.recovery if r.enter]
+            + [r.t for r in timeline.rtos]
+            + [x.t for x in timeline.ss_exits]
+            + [d.t for d in timeline.drops]
+            + [a.t for a in timeline.suss_aborts])
+        for prev, cur in zip(timeline.cwnd, timeline.cwnd[1:]):
+            if prev.cwnd <= 0:
+                continue
+            if prev.ssthresh >= self.INFINITE_SSTHRESH \
+                    and cur.ssthresh >= self.INFINITE_SSTHRESH:
+                continue
+            if cur.cwnd <= prev.cwnd * self.collapse_ratio:
+                if any(prev.t <= tj <= cur.t for tj in justification):
+                    continue
+                findings.append(Finding(
+                    self.name, "error", timeline.flow, cur.t,
+                    f"cwnd collapsed {prev.cwnd} -> {cur.cwnd} with no "
+                    f"loss/RTO/recovery signal in "
+                    f"[{prev.t:.6f}, {cur.t:.6f}]",
+                    eid=cur.eid,
+                    data={"cwnd_before": prev.cwnd, "cwnd_after": cur.cwnd}))
+        return findings
+
+
+class RtoSpikeDetector:
+    """Retransmission-timeout pathology: exponential backoff spikes
+    (backoff ≥ 4 means at least two consecutive unanswered RTOs) or a
+    pile-up of RTO events on one flow."""
+
+    name = "rto_spike"
+
+    def __init__(self, backoff_threshold: float = 4.0,
+                 count_threshold: int = 3) -> None:
+        self.backoff_threshold = backoff_threshold
+        self.count_threshold = count_threshold
+
+    def detect(self, timeline: FlowTimeline) -> List[Finding]:
+        findings: List[Finding] = []
+        for rto in timeline.rtos:
+            if rto.backoff >= self.backoff_threshold:
+                findings.append(Finding(
+                    self.name, "warning", timeline.flow, rto.t,
+                    f"RTO backoff reached x{rto.backoff:g} "
+                    f"(consecutive timeouts)",
+                    eid=rto.eid, data={"backoff": rto.backoff}))
+        if len(timeline.rtos) >= self.count_threshold:
+            last = timeline.rtos[-1]
+            findings.append(Finding(
+                self.name, "warning", timeline.flow, last.t,
+                f"{len(timeline.rtos)} RTOs on one flow",
+                eid=last.eid, data={"count": len(timeline.rtos)}))
+        return findings
+
+
+class SussAbortDetector:
+    """SUSS pacing plans that died before reaching their cwnd target.
+
+    Aborts are part of SUSS's safety design (recovery or slow-start
+    exit cancels the plan), so a small shortfall is informational; an
+    abort that left more than half the planned growth on the table is
+    worth a warning — the accelerate decision badly overestimated."""
+
+    name = "suss_abort"
+
+    def detect(self, timeline: FlowTimeline) -> List[Finding]:
+        findings: List[Finding] = []
+        for abort in timeline.suss_aborts:
+            shortfall = abort.target - abort.cwnd
+            frac = shortfall / abort.target if abort.target > 0 else 0.0
+            severity = "warning" if frac > 0.5 else "info"
+            findings.append(Finding(
+                self.name, severity, timeline.flow, abort.t,
+                f"SUSS plan aborted at cwnd={abort.cwnd} of "
+                f"target {abort.target} ({frac:.0%} short)",
+                eid=abort.eid,
+                data={"cwnd": abort.cwnd, "target": abort.target,
+                      "shortfall": shortfall}))
+        return findings
+
+
+def default_detectors() -> List[AnomalyDetector]:
+    """The built-in detector set, in reporting order."""
+    return [CwndCollapseDetector(), RtoSpikeDetector(),
+            PacingStallDetector(), SussAbortDetector()]

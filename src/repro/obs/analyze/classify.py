@@ -1,0 +1,97 @@
+"""Retransmission classification: genuine vs spurious vs RTO-driven.
+
+For every retransmitted segment the classifier weighs the trace
+evidence between the *previous* transmission of that sequence number
+and the retransmission itself:
+
+``rto``
+    the resend fired inside the RTO event (same engine eid as a
+    ``tcp.rto`` record) — go-back-N, not ACK-clocked;
+``genuine``
+    an attributed ``pkt.drop`` of that sequence number sits between the
+    two transmissions: the earlier copy really was lost;
+``spurious``
+    the earlier copy reached the receiver — either before the resend
+    (the retransmission was already unnecessary when sent) or late
+    (reordering: every transmitted copy eventually arrived, nothing was
+    lost);
+``unconfirmed``
+    no attributed drop and no proof of arrival (e.g. the copy died in
+    an AQM head-drop, which the trace records only as a count).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional
+
+from repro.obs.analyze.timeline import FlowTimeline
+
+RTO = "rto"
+GENUINE = "genuine"
+SPURIOUS = "spurious"
+UNCONFIRMED = "unconfirmed"
+
+#: every class the classifier can produce
+ALL_CLASSES = (RTO, GENUINE, SPURIOUS, UNCONFIRMED)
+
+
+class RetxClassification(NamedTuple):
+    t: float
+    seq: int
+    eid: int
+    cause: str
+    #: time of the transmission this resend duplicated
+    prev_t: float
+
+
+def classify_retransmissions(timeline: FlowTimeline
+                             ) -> List[RetxClassification]:
+    """Classify every retransmitted send on ``timeline``, in send order."""
+    drops_by_seq: Dict[int, List[float]] = {}
+    for drop in timeline.drops:
+        if drop.seq >= 0:
+            drops_by_seq.setdefault(drop.seq, []).append(drop.t)
+    arrivals_by_seq: Dict[int, List[float]] = {}
+    for arrival in timeline.data_arrivals:
+        arrivals_by_seq.setdefault(arrival.seq, []).append(arrival.t)
+    rto_eids = {rto.eid for rto in timeline.rtos if rto.eid > 0}
+
+    out: List[RetxClassification] = []
+    for seq, sends in sorted(timeline.sends_of_seq().items()):
+        for k, send in enumerate(sends):
+            if not send.retx:
+                continue
+            prev_t = sends[k - 1].t if k > 0 else timeline.first_time or 0.0
+            cause = _classify_one(
+                send.t, prev_t, send.eid, rto_eids,
+                drops_by_seq.get(seq, ()), arrivals_by_seq.get(seq, ()),
+                transmissions=len(sends))
+            out.append(RetxClassification(send.t, seq, send.eid, cause,
+                                          prev_t))
+    out.sort(key=lambda c: (c.t, c.seq))
+    return out
+
+
+def _classify_one(t: float, prev_t: float, eid: int, rto_eids: set,
+                  drops, arrivals, transmissions: int) -> str:
+    if eid > 0 and eid in rto_eids:
+        # The tcp.rto record and the go-back-N resend share one engine
+        # event; provenance makes the attribution exact.
+        return RTO
+    if any(prev_t <= td < t for td in drops):
+        return GENUINE
+    if any(prev_t <= ta < t for ta in arrivals):
+        return SPURIOUS
+    if len(arrivals) >= transmissions:
+        # Every copy ever sent arrived — the earlier one was merely
+        # late (reordering/jitter), so this resend was spurious.
+        return SPURIOUS
+    return UNCONFIRMED
+
+
+def tally(classifications: List[RetxClassification]) -> Dict[str, int]:
+    """Count per class, every class present (zero when unseen)."""
+    counts = {cause: 0 for cause in ALL_CLASSES}
+    for c in classifications:
+        counts[c.cause] += 1
+    return counts

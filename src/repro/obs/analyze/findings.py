@@ -1,0 +1,39 @@
+"""Structured findings emitted by trace anomaly detectors."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+#: allowed severities, mildest first
+SEVERITIES = ("info", "warning", "error")
+
+
+class Finding:
+    """One detector observation, tied to a flow, a time, and (when the
+    triggering record carried provenance) an engine event id."""
+
+    __slots__ = ("detector", "severity", "flow", "time", "eid", "message",
+                 "data")
+
+    def __init__(self, detector: str, severity: str, flow: int, time: float,
+                 message: str, eid: int = 0,
+                 data: Optional[Mapping[str, Any]] = None) -> None:
+        if severity not in SEVERITIES:
+            raise ValueError(
+                f"unknown severity {severity!r}; known: {SEVERITIES}")
+        self.detector = detector
+        self.severity = severity
+        self.flow = flow
+        self.time = time
+        self.eid = eid
+        self.message = message
+        self.data: Dict[str, Any] = dict(data) if data else {}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"detector": self.detector, "severity": self.severity,
+                "flow": self.flow, "t": self.time, "eid": self.eid,
+                "message": self.message, "data": dict(self.data)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Finding [{self.severity}] {self.detector} "
+                f"flow={self.flow} t={self.time:.6f} {self.message!r}>")

@@ -1,0 +1,97 @@
+"""Congestion-control phase segmentation of a flow timeline.
+
+Maps the explicit CC transition records — SUSS plan installs and
+aborts, HyStart slow-start exit, fast-recovery enter/exit, RTO — onto
+contiguous phase segments:
+
+``slow_start``
+    exponential growth (including post-RTO go-back-N slow start:
+    ``on_rto`` resets cwnd below ssthresh, re-entering slow start);
+``suss_accelerated``
+    a SUSS pacing plan is driving cwnd toward its target;
+``congestion_avoidance``
+    after slow-start exit (HyStart or loss);
+``recovery``
+    inside a fast-recovery episode.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple
+
+from repro.obs.analyze.timeline import FlowTimeline
+
+SLOW_START = "slow_start"
+SUSS_ACCELERATED = "suss_accelerated"
+CONGESTION_AVOIDANCE = "congestion_avoidance"
+RECOVERY = "recovery"
+
+#: every phase name the segmenter can produce
+ALL_PHASES = (SLOW_START, SUSS_ACCELERATED, CONGESTION_AVOIDANCE, RECOVERY)
+
+
+class PhaseSegment(NamedTuple):
+    start: float
+    end: float
+    phase: str
+
+
+def segment_phases(timeline: FlowTimeline) -> List[PhaseSegment]:
+    """Contiguous CC phase segments covering the flow's active span."""
+    if timeline.first_time is None:
+        return []
+    # (time, tiebreak, tag): tiebreak orders same-instant transitions the
+    # way the stack applies them (abort/exit before a new plan).
+    events = []
+    for plan in timeline.suss_plans:
+        events.append((plan.t, 2, "plan"))
+    for abort in timeline.suss_aborts:
+        events.append((abort.t, 1, "abort"))
+    for ss_exit in timeline.ss_exits:
+        events.append((ss_exit.t, 0, "ss_exit"))
+    for rec in timeline.recovery:
+        events.append((rec.t, 0, "rec_enter" if rec.enter else "rec_exit"))
+    for rto in timeline.rtos:
+        events.append((rto.t, 3, "rto"))
+    events.sort()
+
+    segments: List[PhaseSegment] = []
+    state = SLOW_START
+    start = timeline.first_time
+
+    def close(until: float, next_state: str) -> None:
+        nonlocal state, start
+        if until > start:
+            segments.append(PhaseSegment(start, until, state))
+        start = until
+        state = next_state
+
+    for t, _, tag in events:
+        if tag == "plan" and state == SLOW_START:
+            close(t, SUSS_ACCELERATED)
+        elif tag == "abort" and state == SUSS_ACCELERATED:
+            close(t, SLOW_START)
+        elif tag == "ss_exit" and state in (SLOW_START, SUSS_ACCELERATED):
+            close(t, CONGESTION_AVOIDANCE)
+        elif tag == "rec_enter" and state != RECOVERY:
+            close(t, RECOVERY)
+        elif tag == "rec_exit" and state == RECOVERY:
+            # Loss already forced slow-start exit: recovery resumes in CA.
+            close(t, CONGESTION_AVOIDANCE)
+        elif tag == "rto":
+            # RTO collapses cwnd below ssthresh: back to slow start.
+            close(t, SLOW_START)
+    end = timeline.last_time if timeline.last_time is not None else start
+    if end > start or not segments:
+        segments.append(PhaseSegment(start, end, state))
+    return segments
+
+
+def phase_at(segments: List[PhaseSegment], t: float) -> str:
+    """The phase active at time ``t`` (clamped to the covered span)."""
+    if not segments:
+        return SLOW_START
+    for segment in segments:
+        if segment.start <= t < segment.end:
+            return segment.phase
+    return segments[-1].phase if t >= segments[-1].end else segments[0].phase

@@ -1,0 +1,196 @@
+"""Whole-trace analysis: timelines + phases + classification + findings.
+
+:func:`analyze_records` is the single entry point: it turns any record
+stream (a :class:`~repro.obs.sinks.MemorySink`'s contents, a loaded
+JSONL trace, a golden stream) into a :class:`TraceAnalysis` — one
+:class:`FlowReport` per flow plus the unattributed leftovers — which
+renders to JSON (``to_dict``) or to a human narrative
+(``render_text``).
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.obs.analyze.anomalies import AnomalyDetector, default_detectors
+from repro.obs.analyze.classify import (
+    RetxClassification,
+    classify_retransmissions,
+    tally,
+)
+from repro.obs.analyze.findings import Finding
+from repro.obs.analyze.phases import PhaseSegment, phase_at, segment_phases
+from repro.obs.analyze.timeline import (
+    FlowTimeline,
+    build_timelines,
+)
+from repro.obs.records import TraceRecord
+
+
+class FlowReport:
+    """Everything the analyzer derived about one flow."""
+
+    def __init__(self, timeline: FlowTimeline,
+                 phases: List[PhaseSegment],
+                 retransmissions: List[RetxClassification],
+                 findings: List[Finding]) -> None:
+        self.flow = timeline.flow
+        self.timeline = timeline
+        self.phases = phases
+        self.retransmissions = retransmissions
+        self.findings = findings
+
+    def phase_at(self, t: float) -> str:
+        return phase_at(self.phases, t)
+
+    def summary(self) -> Dict[str, Any]:
+        tl = self.timeline
+        rtts = [s.rtt for s in tl.rtt]
+        return {
+            "flow": self.flow,
+            "records": tl.record_count,
+            "start": tl.first_time,
+            "end": tl.last_time,
+            "duration": tl.duration,
+            "bytes_sent": tl.bytes_sent,
+            "bytes_delivered": tl.bytes_delivered,
+            "goodput_bps": tl.goodput(),
+            "sends": len(tl.sends),
+            "retransmissions": tally(self.retransmissions),
+            "drops": len(tl.drops),
+            "rtos": len(tl.rtos),
+            "max_cwnd": tl.max_cwnd,
+            "rtt_min": min(rtts) if rtts else None,
+            "rtt_max": max(rtts) if rtts else None,
+            "suss": {
+                "decisions": len(tl.suss_decisions),
+                "accelerations": sum(
+                    1 for d in tl.suss_decisions if d.verdict == "accelerate"),
+                "plans": len(tl.suss_plans),
+                "aborts": len(tl.suss_aborts),
+            },
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "summary": self.summary(),
+            "phases": [{"start": p.start, "end": p.end, "phase": p.phase}
+                       for p in self.phases],
+            "retransmissions": [
+                {"t": r.t, "seq": r.seq, "eid": r.eid, "cause": r.cause,
+                 "prev_t": r.prev_t}
+                for r in self.retransmissions],
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+class TraceAnalysis:
+    """Analysis of a whole trace: per-flow reports + unattributed rest."""
+
+    def __init__(self, flows: Dict[int, FlowReport],
+                 unattributed: List[TraceRecord],
+                 record_count: int) -> None:
+        self.flows = flows
+        self.unattributed = unattributed
+        self.record_count = record_count
+
+    @property
+    def findings(self) -> List[Finding]:
+        """All flows' findings, ordered by time then flow."""
+        out = [f for report in self.flows.values() for f in report.findings]
+        out.sort(key=lambda f: (f.time, f.flow))
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        aqm_drops = sum(r.fields.get("count", 0) for r in self.unattributed
+                        if r.kind == "pkt.drop")
+        return {
+            "records": self.record_count,
+            "flows": {str(flow): report.to_dict()
+                      for flow, report in sorted(self.flows.items())},
+            "unattributed_records": len(self.unattributed),
+            "unattributed_aqm_drops": aqm_drops,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def render_text(self) -> str:
+        if not self.flows:
+            return (f"{self.record_count} records, no flow-attributed "
+                    f"activity to analyze")
+        lines = [f"{self.record_count} records, {len(self.flows)} flow(s)"]
+        for flow in sorted(self.flows):
+            lines.append("")
+            lines.extend(render_flow(self.flows[flow]).splitlines())
+        return "\n".join(lines)
+
+
+def render_flow(report: FlowReport) -> str:
+    """Human narrative for one flow."""
+    s = report.summary()
+    mbit = s["goodput_bps"] * 8 / 1e6
+    lines = [f"flow {report.flow}: {s['bytes_delivered']} bytes delivered "
+             f"in {s['duration']:.3f} s ({mbit:.2f} Mbit/s goodput)"]
+    phase_bits = [f"{p.phase} {p.start:.3f}-{p.end:.3f}"
+                  for p in report.phases]
+    lines.append("  phases: " + (" | ".join(phase_bits) or "(none)"))
+    retx = s["retransmissions"]
+    total_retx = sum(retx.values())
+    lines.append(
+        f"  sends: {s['sends']} ({total_retx} retx: "
+        f"{retx['genuine']} genuine, {retx['spurious']} spurious, "
+        f"{retx['rto']} rto, {retx['unconfirmed']} unconfirmed); "
+        f"drops seen: {s['drops']}; rtos: {s['rtos']}")
+    if s["rtt_min"] is not None:
+        lines.append(f"  rtt: {s['rtt_min'] * 1e3:.2f}-"
+                     f"{s['rtt_max'] * 1e3:.2f} ms; "
+                     f"max cwnd {s['max_cwnd']}")
+    suss = s["suss"]
+    if suss["decisions"]:
+        lines.append(
+            f"  suss: {suss['decisions']} decisions, "
+            f"{suss['accelerations']} accelerations, "
+            f"{suss['plans']} plans, {suss['aborts']} aborts")
+    if report.findings:
+        lines.append("  findings:")
+        for f in report.findings:
+            lines.append(f"    [{f.severity}] t={f.time:.6f} "
+                         f"{f.detector}: {f.message}")
+    else:
+        lines.append("  findings: none")
+    return "\n".join(lines)
+
+
+def analyze_records(records: Iterable[TraceRecord],
+                    detectors: Optional[List[AnomalyDetector]] = None
+                    ) -> TraceAnalysis:
+    """Run the full analysis pipeline over a record stream."""
+    if detectors is None:
+        detectors = default_detectors()
+    records = list(records)
+    timelines, unattributed = build_timelines(records)
+    flows: Dict[int, FlowReport] = {}
+    for flow, timeline in sorted(timelines.items()):
+        findings: List[Finding] = []
+        for detector in detectors:
+            findings.extend(detector.detect(timeline))
+        findings.sort(key=lambda f: f.time)
+        flows[flow] = FlowReport(
+            timeline=timeline,
+            phases=segment_phases(timeline),
+            retransmissions=classify_retransmissions(timeline),
+            findings=findings)
+    return TraceAnalysis(flows, unattributed, len(records))
+
+
+def load_trace(source: Union[str, io.TextIOBase]) -> List[TraceRecord]:
+    """Read records from a JSONL trace: a path (``.jsonl`` or
+    ``.jsonl.gz``), ``-`` for stdin is *not* handled here (the CLI
+    does), or an open text stream."""
+    if isinstance(source, str):
+        opener = gzip.open if source.endswith(".gz") else open
+        with opener(source, "rt", encoding="utf-8") as fh:
+            return [TraceRecord.from_line(line)
+                    for line in fh if line.strip()]
+    return [TraceRecord.from_line(line) for line in source if line.strip()]

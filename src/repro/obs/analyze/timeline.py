@@ -1,0 +1,253 @@
+"""Per-flow timelines reconstructed from a flat trace record stream.
+
+A :class:`FlowTimeline` is the analyzer's working representation of one
+flow: every emission site's records sorted into typed tracks (sends,
+arrivals, cwnd/ssthresh progression, RTT samples, recovery episodes,
+SUSS decisions, ...).  Downstream passes — phase segmentation,
+retransmission classification, anomaly detectors — all consume
+timelines instead of raw records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple
+
+from repro.obs import records as obsrec
+from repro.obs.records import TraceRecord
+
+
+class Send(NamedTuple):
+    t: float
+    seq: int
+    size: int
+    retx: bool
+    eid: int
+
+
+class Arrival(NamedTuple):
+    t: float
+    ptype: str
+    seq: int
+    size: int
+    eid: int
+
+
+class Drop(NamedTuple):
+    t: float
+    reason: str
+    seq: int
+    site: str
+    eid: int
+
+
+class CwndSample(NamedTuple):
+    t: float
+    cwnd: int
+    ssthresh: int
+    flight: int
+    eid: int
+
+
+class RttSample(NamedTuple):
+    t: float
+    rtt: float
+
+
+class PacingSample(NamedTuple):
+    t: float
+    rate: float  # 0.0 encodes "pure ACK clocking" (no pacer)
+
+
+class Rto(NamedTuple):
+    t: float
+    backoff: float
+    eid: int
+
+
+class RecoveryEvent(NamedTuple):
+    t: float
+    enter: bool
+    point: int
+    eid: int
+
+
+class SsExit(NamedTuple):
+    t: float
+    cwnd: int
+    reason: str
+    eid: int
+
+
+class SussDecision(NamedTuple):
+    t: float
+    round: int
+    growth: int
+    verdict: str
+    eid: int
+
+
+class SussPlan(NamedTuple):
+    t: float
+    target: int
+    rate: float
+    guard: float
+    eid: int
+
+
+class SussAbort(NamedTuple):
+    t: float
+    cwnd: int
+    target: int
+    eid: int
+
+
+class DeliveredSample(NamedTuple):
+    t: float
+    delivered: int
+
+
+class FlowTimeline:
+    """Typed event tracks for one flow, in trace (time) order."""
+
+    def __init__(self, flow: int) -> None:
+        self.flow = flow
+        self.sends: List[Send] = []
+        self.arrivals: List[Arrival] = []
+        self.drops: List[Drop] = []
+        self.cwnd: List[CwndSample] = []
+        self.rtt: List[RttSample] = []
+        self.pacing: List[PacingSample] = []
+        self.rtos: List[Rto] = []
+        self.recovery: List[RecoveryEvent] = []
+        self.ss_exits: List[SsExit] = []
+        self.suss_decisions: List[SussDecision] = []
+        self.suss_plans: List[SussPlan] = []
+        self.suss_aborts: List[SussAbort] = []
+        self.delivered: List[DeliveredSample] = []
+        self.first_time: Optional[float] = None
+        self.last_time: Optional[float] = None
+        self.record_count = 0
+
+    # ------------------------------------------------------------------
+    def add(self, record: TraceRecord) -> None:
+        """Route one record of this flow into its track."""
+        self.record_count += 1
+        t = record.time
+        if self.first_time is None or t < self.first_time:
+            self.first_time = t
+        if self.last_time is None or t > self.last_time:
+            self.last_time = t
+        f = record.fields
+        kind = record.kind
+        if kind == obsrec.PKT_SEND:
+            self.sends.append(Send(t, f.get("seq", -1), f.get("size", 0),
+                                   bool(f.get("retx", False)), record.eid))
+        elif kind == obsrec.PKT_RECV:
+            self.arrivals.append(Arrival(t, f.get("ptype", "?"),
+                                         f.get("seq", -1), f.get("size", 0),
+                                         record.eid))
+        elif kind == obsrec.PKT_DROP:
+            self.drops.append(Drop(t, f.get("reason", "?"), f.get("seq", -1),
+                                   f.get("link", f.get("site", "?")),
+                                   record.eid))
+        elif kind == obsrec.CC_CWND:
+            self.cwnd.append(CwndSample(t, f.get("cwnd", 0),
+                                        f.get("ssthresh", 0),
+                                        f.get("flight", 0), record.eid))
+        elif kind == obsrec.TCP_RTT:
+            self.rtt.append(RttSample(t, f.get("rtt", 0.0)))
+        elif kind == obsrec.TCP_PACING:
+            self.pacing.append(PacingSample(t, f.get("rate", 0.0)))
+        elif kind == obsrec.TCP_RTO:
+            self.rtos.append(Rto(t, f.get("backoff", 1.0), record.eid))
+        elif kind == obsrec.TCP_RECOVERY:
+            self.recovery.append(RecoveryEvent(t, bool(f.get("enter")),
+                                               f.get("point", -1),
+                                               record.eid))
+        elif kind == obsrec.CC_SS_EXIT:
+            self.ss_exits.append(SsExit(t, f.get("cwnd", 0),
+                                        f.get("reason", "?"), record.eid))
+        elif kind == obsrec.SUSS_DECISION:
+            self.suss_decisions.append(
+                SussDecision(t, f.get("round", -1), f.get("growth", 0),
+                             f.get("verdict", "?"), record.eid))
+        elif kind == obsrec.SUSS_PLAN:
+            self.suss_plans.append(SussPlan(t, f.get("target", 0),
+                                            f.get("rate", 0.0),
+                                            f.get("guard", 0.0), record.eid))
+        elif kind == obsrec.SUSS_ABORT:
+            self.suss_aborts.append(SussAbort(t, f.get("cwnd", 0),
+                                              f.get("target", 0), record.eid))
+        elif kind == obsrec.TCP_DELIVERED:
+            self.delivered.append(DeliveredSample(t, f.get("delivered", 0)))
+        # unknown kinds still count toward record_count/time bounds
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        if self.first_time is None or self.last_time is None:
+            return 0.0
+        return self.last_time - self.first_time
+
+    @property
+    def data_arrivals(self) -> List[Arrival]:
+        """DATA packets reaching the receiving host."""
+        return [a for a in self.arrivals if a.ptype == "DATA"]
+
+    @property
+    def retransmits(self) -> List[Send]:
+        return [s for s in self.sends if s.retx]
+
+    @property
+    def bytes_sent(self) -> int:
+        return sum(s.size for s in self.sends)
+
+    @property
+    def bytes_delivered(self) -> int:
+        return self.delivered[-1].delivered if self.delivered else 0
+
+    @property
+    def max_cwnd(self) -> int:
+        return max((c.cwnd for c in self.cwnd), default=0)
+
+    @property
+    def mss(self) -> int:
+        """Segment size estimate: the largest data send (0 if no sends)."""
+        return max((s.size for s in self.sends), default=0)
+
+    def sends_of_seq(self) -> Dict[int, List[Send]]:
+        """Transmissions grouped by sequence number, in send order."""
+        out: Dict[int, List[Send]] = {}
+        for send in self.sends:
+            out.setdefault(send.seq, []).append(send)
+        return out
+
+    def goodput(self) -> float:
+        """Delivered bytes per second over the flow's active span."""
+        if self.duration <= 0:
+            return 0.0
+        return self.bytes_delivered / self.duration
+
+
+def build_timelines(records: Iterable[TraceRecord]
+                    ) -> Tuple[Dict[int, FlowTimeline], List[TraceRecord]]:
+    """Split a record stream into per-flow timelines.
+
+    Returns ``(timelines, unattributed)`` — the second element collects
+    flow-less records (``flow == -1``: AQM count drops, campaign job
+    lifecycle) which cannot be assigned to any timeline but still
+    matter for whole-trace summaries.
+    """
+    timelines: Dict[int, FlowTimeline] = {}
+    unattributed: List[TraceRecord] = []
+    for record in records:
+        if record.flow < 0:
+            unattributed.append(record)
+            continue
+        timeline = timelines.get(record.flow)
+        if timeline is None:
+            timeline = timelines[record.flow] = FlowTimeline(record.flow)
+        timeline.add(record)
+    return timelines, unattributed

@@ -25,10 +25,14 @@ import json
 from pathlib import Path
 from typing import Dict, Iterable, List, NamedTuple, Optional
 
-from repro.obs.records import TraceRecord
+from repro.obs.records import SCHEMA_VERSION, TraceRecord
 
 #: digest index filename inside a golden directory
 DIGEST_FILE = "digests.json"
+
+#: reserved key in the digest index recording the record-schema version
+#: the store was captured under (absent = v1, the pre-provenance schema)
+SCHEMA_KEY = "_schema"
 
 
 def record_lines(records: Iterable[TraceRecord]) -> List[str]:
@@ -90,12 +94,24 @@ def stream_path(golden_dir: Path, name: str) -> Path:
 
 
 def load_digests(golden_dir: Path) -> Dict[str, Dict[str, object]]:
-    """The digest index, or {} when missing."""
+    """The digest index (stream entries only), or {} when missing."""
+    index = load_index(golden_dir)
+    return {name: entry for name, entry in index.items()
+            if name != SCHEMA_KEY}
+
+
+def load_index(golden_dir: Path) -> Dict[str, object]:
+    """The raw digest index including the schema marker, or {}."""
     path = Path(golden_dir) / DIGEST_FILE
     if not path.is_file():
         return {}
     with open(path, encoding="utf-8") as fh:
         return json.load(fh)
+
+
+def stored_schema(golden_dir: Path) -> int:
+    """Record-schema version the store was captured under (1 if unmarked)."""
+    return int(load_index(golden_dir).get(SCHEMA_KEY, 1))
 
 
 def load_stream(golden_dir: Path, name: str) -> List[str]:
@@ -118,8 +134,9 @@ def save_golden(golden_dir: Path, name: str, lines: List[str]) -> str:
     with open(stream_path(golden_dir, name), "wb") as raw:
         with gzip.GzipFile(fileobj=raw, mode="wb", mtime=0) as fh:
             fh.write(payload)
-    index = load_digests(golden_dir)
+    index = load_index(golden_dir)
     index[name] = {"digest": digest, "records": len(lines)}
+    index[SCHEMA_KEY] = SCHEMA_VERSION
     with open(golden_dir / DIGEST_FILE, "w", encoding="utf-8") as fh:
         json.dump(index, fh, indent=2, sort_keys=True)
         fh.write("\n")

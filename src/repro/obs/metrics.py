@@ -87,6 +87,35 @@ class Histogram:
     def mean(self) -> Optional[float]:
         return self.total / self.count if self.count else None
 
+    def percentile(self, q: float) -> Optional[float]:
+        """Approximate ``q``-th percentile (0–100) from bucket counts.
+
+        Linear interpolation inside the containing bucket, clamped to
+        the observed ``[minimum, maximum]`` (so the overflow bucket and
+        the first bucket report real extremes, not bound guesses).
+        Returns None for a zero-sample histogram — callers that need a
+        non-raising aggregate over possibly-empty instruments pair this
+        with :data:`repro.metrics.summary.EMPTY_SUMMARY`.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self.count == 0 or self.minimum is None or self.maximum is None:
+            return None
+        rank = q / 100.0 * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.bucket_counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                lo = self.bounds[i - 1] if i > 0 else self.minimum
+                hi = (self.bounds[i] if i < len(self.bounds)
+                      else self.maximum)
+                fraction = (rank - cumulative) / bucket_count
+                value = lo + (hi - lo) * fraction
+                return min(max(value, self.minimum), self.maximum)
+            cumulative += bucket_count
+        return self.maximum
+
 
 def _label_key(labels: Dict[str, Any]) -> LabelKey:
     return tuple(sorted(labels.items()))

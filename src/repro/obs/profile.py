@@ -64,20 +64,34 @@ class EventProfiler:
                 entry[2] = elapsed
 
     # ------------------------------------------------------------------
-    def rows(self) -> List[Tuple[str, int, float, float, float]]:
-        """(key, fires, total_s, mean_s, max_s) sorted by total desc."""
+    #: sort key name -> index into a rows() tuple
+    SORT_KEYS = {"total": 2, "count": 1, "mean": 3}
+
+    def rows(self, sort: str = "total"
+             ) -> List[Tuple[str, int, float, float, float]]:
+        """(key, fires, total_s, mean_s, max_s) tuples.
+
+        ``sort`` picks the descending sort column: ``total`` (default),
+        ``count`` (fires), or ``mean`` (seconds per fire); ties fall
+        back to the key name for deterministic output.
+        """
+        column = self.SORT_KEYS.get(sort)
+        if column is None:
+            raise ValueError(f"unknown sort key {sort!r}; "
+                             f"known: {', '.join(sorted(self.SORT_KEYS))}")
         out = []
         for key, (fires, total, peak) in self.stats.items():
             out.append((key, int(fires), total, total / fires, peak))
-        out.sort(key=lambda row: (-row[2], row[0]))
+        out.sort(key=lambda row: (-row[column], row[0]))
         return out
 
     def total_seconds(self) -> float:
         return sum(total for _, total, _ in self.stats.values())
 
-    def format_report(self, top: Optional[int] = None) -> str:
+    def format_report(self, top: Optional[int] = None,
+                      sort: str = "total") -> str:
         """Human-readable table of the hottest event types."""
-        rows = self.rows()
+        rows = self.rows(sort=sort)
         if top is not None:
             rows = rows[:top]
         if not rows:

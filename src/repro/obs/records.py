@@ -12,12 +12,29 @@ whitespace, ``repr``-exact floats via :func:`json.dumps`.  Two runs of
 the same seeded simulation must produce byte-identical line streams —
 anything wall-clock, platform, or ordering dependent is banned from
 ``fields``.
+
+Since schema version 2 every record also carries causal provenance: the
+engine event id in whose execution context it was emitted (``eid``) and
+that event's parent event id (``peid`` on the wire).  Records emitted
+outside any engine event — setup code, campaign job lifecycle — carry
+``eid=0, peid=0`` (the root context).  Eids are assigned in scheduling
+order, so they are exactly as deterministic as the event stream itself
+and safe to include in golden digests.
 """
 
 from __future__ import annotations
 
 import json
 from typing import Any, Dict, Mapping, Optional
+
+#: version of the canonical record encoding.  Bump whenever the reserved
+#: key set or their semantics change; the golden store records the
+#: version it was captured under so a stale store fails loudly instead
+#: of producing unexplainable digest mismatches.
+#:
+#: * v1 — ``t``/``kind``/``flow`` + flat fields (PR 3).
+#: * v2 — adds causal provenance ``eid``/``peid`` (this PR).
+SCHEMA_VERSION = 2
 
 # ----------------------------------------------------------------------
 # record kinds (the closed vocabulary)
@@ -67,19 +84,23 @@ ALL_KINDS = frozenset({
 class TraceRecord:
     """One structured trace event."""
 
-    __slots__ = ("time", "kind", "flow", "fields")
+    __slots__ = ("time", "kind", "flow", "fields", "eid", "parent_eid")
 
     def __init__(self, time: float, kind: str, flow: int = -1,
-                 fields: Optional[Mapping[str, Any]] = None) -> None:
+                 fields: Optional[Mapping[str, Any]] = None,
+                 eid: int = 0, parent_eid: int = 0) -> None:
         self.time = time
         self.kind = kind
         self.flow = flow
         self.fields: Dict[str, Any] = dict(fields) if fields else {}
+        self.eid = eid
+        self.parent_eid = parent_eid
 
     def to_dict(self) -> Dict[str, Any]:
         """Flat dict form (reserved keys first; fields merged in)."""
         out: Dict[str, Any] = {"t": self.time, "kind": self.kind,
-                               "flow": self.flow}
+                               "flow": self.flow, "eid": self.eid,
+                               "peid": self.parent_eid}
         out.update(self.fields)
         return out
 
@@ -94,17 +115,22 @@ class TraceRecord:
         time = data.pop("t")
         kind = data.pop("kind")
         flow = data.pop("flow", -1)
-        return cls(time, kind, flow, data)
+        eid = data.pop("eid", 0)
+        parent_eid = data.pop("peid", 0)
+        return cls(time, kind, flow, data, eid, parent_eid)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, TraceRecord):
             return NotImplemented
         return (self.time == other.time and self.kind == other.kind
-                and self.flow == other.flow and self.fields == other.fields)
+                and self.flow == other.flow and self.fields == other.fields
+                and self.eid == other.eid
+                and self.parent_eid == other.parent_eid)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         extra = "".join(f" {k}={v!r}" for k, v in sorted(self.fields.items()))
-        return f"<TraceRecord t={self.time:.6f} {self.kind} flow={self.flow}{extra}>"
+        return (f"<TraceRecord t={self.time:.6f} {self.kind} "
+                f"flow={self.flow} eid={self.eid}<-{self.parent_eid}{extra}>")
 
 
 def parse_kinds(spec: str) -> frozenset:

@@ -75,6 +75,11 @@ class RingBufferSink(MemorySink):
         self.capacity = capacity
         self._ring: Deque[TraceRecord] = deque(maxlen=capacity)
         self.emitted = 0  # total offered, including overwritten
+        # A real counter, not ``emitted - len``: draining empties the
+        # ring without having dropped anything, so the derived form
+        # over-reports after the first drain (and exactly at wrap the
+        # two definitions must both read 0).
+        self._dropped = 0
 
     @property
     def records(self) -> List[TraceRecord]:  # type: ignore[override]
@@ -83,11 +88,24 @@ class RingBufferSink(MemorySink):
     @property
     def dropped(self) -> int:
         """Records overwritten because the buffer was full."""
-        return self.emitted - len(self._ring)
+        return self._dropped
 
     def emit(self, record: TraceRecord) -> None:
+        if len(self._ring) == self.capacity:
+            self._dropped += 1
         self._ring.append(record)
         self.emitted += 1
+
+    def drain(self) -> List[TraceRecord]:
+        """Remove and return the buffered records, oldest first.
+
+        ``emitted`` and ``dropped`` keep their lifetime counts; only the
+        buffer contents reset, so a monitor can drain periodically and
+        still account for every record offered.
+        """
+        out = list(self._ring)
+        self._ring.clear()
+        return out
 
     def __len__(self) -> int:
         return len(self._ring)

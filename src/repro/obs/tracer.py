@@ -70,16 +70,36 @@ class Tracer:
 
 
 class Observability:
-    """Per-run observability bundle: tracer + metric registry + profiler."""
+    """Per-run observability bundle: tracer + metric registry + profiler.
 
-    __slots__ = ("tracer", "metrics", "profiler")
+    ``provenance`` is the causal-context source — duck-typed as anything
+    with ``current_eid`` / ``_sched_origin`` integer attributes.
+    :class:`repro.sim.engine.Simulator` binds itself here on
+    construction, so every record emitted during an engine event carries
+    ``(eid, parent_eid)`` where ``parent_eid`` is the nearest
+    *record-emitting* causal ancestor; after the first emit the current
+    event is promoted (``_sched_origin`` becomes its own eid) to be the
+    origin of everything it schedules, which keeps chains walkable
+    across silent plumbing events.  The pre-promotion origin is cached
+    here (``_origin_peid``) so later records of the same event still
+    stamp the ancestor, not the event itself — all records of one event
+    agree on their parent.  With no provenance bound (e.g. campaign-side
+    emission outside any simulation) records carry the root context
+    ``(0, 0)``.
+    """
+
+    __slots__ = ("tracer", "metrics", "profiler", "provenance",
+                 "_origin_peid")
 
     def __init__(self, tracer: Optional[Tracer] = None,
                  metrics: Optional[MetricRegistry] = None,
-                 profiler: Optional[_profile.EventProfiler] = None) -> None:
+                 profiler: Optional[_profile.EventProfiler] = None,
+                 provenance: Optional[Any] = None) -> None:
         self.tracer = tracer
         self.metrics = metrics if metrics is not None else MetricRegistry()
         self.profiler = profiler
+        self.provenance = provenance
+        self._origin_peid = 0
 
     def emit(self, time: float, kind: str, flow: int = -1,
              **fields: Any) -> None:
@@ -88,7 +108,22 @@ class Observability:
         tracer = self.tracer
         if tracer is not None and (tracer.kinds is None
                                    or kind in tracer.kinds):
-            tracer.sink.emit(TraceRecord(time, kind, flow, fields))
+            prov = self.provenance
+            eid = 0 if prov is None else prov.current_eid
+            if eid == 0:
+                tracer.sink.emit(TraceRecord(time, kind, flow, fields))
+                return
+            origin = prov._sched_origin
+            if origin != eid:
+                # First record of this event: remember its true origin
+                # for the rest of the event, then promote — events it
+                # schedules from here on cite it as their origin.
+                # (origin == eid can only mean "already promoted": an
+                # event's inherited origin always predates its own eid.)
+                self._origin_peid = origin
+                prov._sched_origin = eid
+            tracer.sink.emit(TraceRecord(
+                time, kind, flow, fields, eid, self._origin_peid))
 
     def close(self) -> None:
         if self.tracer is not None:

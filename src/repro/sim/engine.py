@@ -8,6 +8,25 @@ schedules work through a :class:`Simulator` instance, which guarantees:
 * events scheduled for the same instant fire in scheduling order (FIFO),
   which makes runs fully deterministic for a fixed seed;
 * cancelled events are skipped without disturbing the ordering of the rest.
+
+Causal provenance
+-----------------
+Every scheduled event is assigned a monotonically increasing *event id*
+(``eid``, starting at 1; 0 is the root context outside any event) and
+remembers the eid of the event during whose execution it was scheduled
+(:attr:`EventHandle.parent_eid`).  In addition each event inherits,
+through :meth:`Simulator.schedule`, the eid of its nearest ancestor
+event that emitted at least one trace record (its *origin*): the
+observability layer stamps ``(current_eid, origin)`` onto every
+:class:`~repro.obs.records.TraceRecord` and then promotes the current
+event to be the origin of everything it schedules from then on.  The
+result is that a record's ``parent_eid`` always names an event with
+records *in the same trace*, so a SUSS decision can be walked back
+through the ACK that clocked it — across silent plumbing events such as
+link serialisation — to the data send that provoked the ACK.  Because
+eids are assigned in scheduling order, they are as deterministic as the
+event stream itself (``jobs=1`` and ``jobs=N`` campaign runs agree
+event for event, eids included).
 """
 
 from __future__ import annotations
@@ -41,16 +60,28 @@ class EventHandle:
 
     A handle stays valid after the event fires; cancelling a fired event is
     a harmless no-op so callers do not need to track firing themselves.
+
+    ``eid`` is the event's engine-assigned identity (monotonic, unique
+    within one Simulator); ``parent_eid`` is the eid of the event whose
+    callback scheduled this one (0 when scheduled from outside any
+    event, e.g. simulation setup); ``origin_eid`` is the eid of the
+    nearest ancestor event that emitted a trace record — the causal
+    parent the observability layer stamps onto records.
     """
 
-    __slots__ = ("time", "callback", "args", "_cancelled", "_fired", "_sim")
+    __slots__ = ("time", "callback", "args", "eid", "parent_eid",
+                 "origin_eid", "_cancelled", "_fired", "_sim")
 
     def __init__(self, time: float, callback: Callable[..., None],
                  args: Tuple[Any, ...],
-                 sim: Optional["Simulator"] = None):
+                 sim: Optional["Simulator"] = None,
+                 eid: int = 0, parent_eid: int = 0, origin_eid: int = 0):
         self.time = time
         self.callback = callback
         self.args = args
+        self.eid = eid
+        self.parent_eid = parent_eid
+        self.origin_eid = origin_eid
         self._cancelled = False
         self._fired = False
         self._sim = sim
@@ -96,10 +127,23 @@ class Simulator:
                  obs: Optional[Observability] = _FROM_ENV) -> None:
         self._now = 0.0
         self._heap: List[Tuple[float, int, EventHandle]] = []
-        self._counter = itertools.count()
+        # eid 0 is reserved for the root context (outside any event), so
+        # event ids start at 1.  The counter doubles as the same-instant
+        # FIFO tie-break, which keeps eids in scheduling order.
+        self._counter = itertools.count(1)
         self._running = False
         self._processed = 0
         self._pending = 0
+        #: eid of the event whose callback is currently executing (0
+        #: outside any event).  ``_sched_origin`` is the causal origin
+        #: newly scheduled events inherit: the current event's nearest
+        #: record-emitting ancestor until this event emits its first
+        #: record, the event's own eid afterwards (Observability.emit
+        #: performs that promotion and stamps records' ``parent_eid``
+        #: from this pair — the engine's per-event cost is exactly these
+        #: two assignments).
+        self.current_eid = 0
+        self._sched_origin = 0
         #: runtime invariant checker; defaults to one created from the
         #: ``REPRO_SANITIZE`` environment variable (None when disabled).
         #: Pass ``sanitizer=None`` to opt out explicitly.  Other layers
@@ -113,6 +157,11 @@ class Simulator:
         #: hook site is a single pointer test.
         self.obs: Optional[Observability] = (
             obs_from_env() if obs is _FROM_ENV else obs)
+        if self.obs is not None:
+            # Bind this engine as the bundle's provenance source so every
+            # record it emits carries (eid, parent_eid).  The attribute is
+            # duck-typed — obs stays a dependency-free leaf layer.
+            self.obs.provenance = self
 
     # ------------------------------------------------------------------
     # clock
@@ -161,8 +210,10 @@ class Simulator:
             # After the engine's own argument checks, so callers always see
             # SimulationError for NaN/past; the sanitizer adds the inf check.
             self.sanitizer.check_schedule(self._now, when)
-        handle = EventHandle(when, callback, args, sim=self)
-        heapq.heappush(self._heap, (when, next(self._counter), handle))
+        eid = next(self._counter)
+        handle = EventHandle(when, callback, args, self, eid,
+                             self.current_eid, self._sched_origin)
+        heapq.heappush(self._heap, (when, eid, handle))
         self._pending += 1
         return handle
 
@@ -182,10 +233,16 @@ class Simulator:
             handle._fired = True
             self._pending -= 1
             self._processed += 1
-            if profiler is None:
-                handle.callback(*handle.args)
-            else:
-                profiler.fire(handle.callback, handle.args)
+            self.current_eid = handle.eid
+            self._sched_origin = handle.origin_eid
+            try:
+                if profiler is None:
+                    handle.callback(*handle.args)
+                else:
+                    profiler.fire(handle.callback, handle.args)
+            finally:
+                self.current_eid = 0
+                self._sched_origin = 0
             return True
         return False
 
@@ -201,26 +258,32 @@ class Simulator:
             raise SimulationError("Simulator.run is not reentrant")
         self._running = True
         fired = 0
-        # Resolved once per run: profiling is decided before the loop so
-        # the unprofiled hot path keeps its direct callback dispatch.
+        # Resolved once per run: profiling/sanitizing are decided before
+        # the loop and the heap access is bound to locals, so the
+        # default hot path keeps its direct callback dispatch.
         profiler = self.obs.profiler if self.obs is not None else None
+        sanitizer = self.sanitizer
+        heap = self._heap
+        heappop = heapq.heappop
         try:
-            while self._heap:
-                when, _, handle = self._heap[0]
-                if handle.cancelled:
-                    heapq.heappop(self._heap)
+            while heap:
+                when, _, handle = heap[0]
+                if handle._cancelled:
+                    heappop(heap)
                     continue
                 if until is not None and when > until:
                     break
                 if max_events is not None and fired >= max_events:
                     break
-                heapq.heappop(self._heap)
-                if self.sanitizer is not None:
-                    self.sanitizer.note_fire(when)
+                heappop(heap)
+                if sanitizer is not None:
+                    sanitizer.note_fire(when)
                 self._now = when
                 handle._fired = True
                 self._pending -= 1
                 self._processed += 1
+                self.current_eid = handle.eid
+                self._sched_origin = handle.origin_eid
                 if profiler is None:
                     handle.callback(*handle.args)
                 else:
@@ -228,6 +291,8 @@ class Simulator:
                 fired += 1
         finally:
             self._running = False
+            self.current_eid = 0
+            self._sched_origin = 0
         if until is not None and self._now < until:
             self._now = until
 

@@ -61,6 +61,9 @@ class CsvTraceSink:
     ``Observability`` and every emitted :class:`TraceRecord` becomes a
     ``time,flow,kind,<extra fields>`` row.  Extra fields not present on a
     record are written as empty cells, mirroring :func:`write_events`.
+    The provenance columns ``eid`` and ``peid`` may be requested in
+    ``field_names``; they resolve from the record's provenance slots,
+    not its fields mapping.
     """
 
     def __init__(self, out: Union[str, Path, TextIO],
@@ -75,7 +78,13 @@ class CsvTraceSink:
 
     def emit(self, record: TraceRecord) -> None:
         row = [f"{record.time:.9f}", record.flow, record.kind]
-        row.extend(record.fields.get(name, "") for name in self.field_names)
+        for name in self.field_names:
+            if name == "eid":
+                row.append(record.eid)
+            elif name == "peid":
+                row.append(record.parent_eid)
+            else:
+                row.append(record.fields.get(name, ""))
         self._writer.writerow(row)
         self.rows += 1
 

@@ -199,6 +199,112 @@ class TestProfile:
         assert obs_profile.global_profiler() is None
 
 
+def _golden_trace_path() -> str:
+    from repro.experiments.goldens import DEFAULT_GOLDEN_DIR
+
+    return str(DEFAULT_GOLDEN_DIR / "cubic_suss.jsonl.gz")
+
+
+class TestAnalyze:
+    def test_text_report(self, capsys):
+        assert main(["analyze", _golden_trace_path()]) == 0
+        out = capsys.readouterr().out
+        assert "flow 1" in out and "suss" in out
+
+    def test_json_report_schema(self, capsys):
+        assert main(["analyze", _golden_trace_path(), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert {"records", "flows", "findings"} <= report.keys()
+        flow = report["flows"]["1"]
+        assert flow["summary"]["suss"]["accelerations"] >= 1
+        assert {p["phase"] for p in flow["phases"]} >= {"slow_start",
+                                                        "suss_accelerated"}
+
+    def test_fail_on_findings_passes_clean_golden(self, capsys):
+        assert main(["analyze", _golden_trace_path(),
+                     "--fail-on-findings"]) == 0
+
+    def test_missing_file_rejected(self):
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(["analyze", "/nonexistent/trace.jsonl"])
+
+    def test_non_jsonl_file_rejected(self, tmp_path):
+        junk = tmp_path / "junk.jsonl"
+        junk.write_text("this is not json\n")
+        with pytest.raises(SystemExit, match="not a JSONL trace"):
+            main(["analyze", str(junk)])
+
+    def test_stdin_trace(self, capsys, monkeypatch):
+        import io
+
+        line = json.dumps({"t": 0.0, "kind": "pkt.send", "flow": 1,
+                           "eid": 1, "peid": 0, "seq": 0, "size": 1448})
+        monkeypatch.setattr("sys.stdin", io.StringIO(line + "\n"))
+        assert main(["analyze", "-"]) == 0
+        assert "flow 1" in capsys.readouterr().out
+
+
+class TestExplain:
+    def _accelerate_eid(self) -> int:
+        from repro.obs.analyze import load_trace
+
+        records = load_trace(_golden_trace_path())
+        return next(r.eid for r in records
+                    if r.kind == "suss.decision"
+                    and r.fields.get("verdict") == "accelerate")
+
+    def test_flow_narrative(self, capsys):
+        assert main(["explain", _golden_trace_path()]) == 0
+        out = capsys.readouterr().out
+        assert "flow 1:" in out and "phases:" in out
+
+    def test_event_chain(self, capsys):
+        eid = self._accelerate_eid()
+        assert main(["explain", _golden_trace_path(),
+                     "--event", str(eid)]) == 0
+        out = capsys.readouterr().out
+        assert f"causal chain for event {eid}" in out
+        assert "caused by" in out
+        assert "verdict=accelerate" in out
+
+    def test_event_chain_json(self, capsys):
+        eid = self._accelerate_eid()
+        assert main(["explain", _golden_trace_path(), "--event", str(eid),
+                     "--json"]) == 0
+        explanation = json.loads(capsys.readouterr().out)
+        assert explanation["found"] and explanation["complete"]
+        assert explanation["chain"][0]["eid"] == eid
+
+    def test_unknown_event_exits_nonzero(self, capsys):
+        assert main(["explain", _golden_trace_path(),
+                     "--event", "99999999"]) == 1
+        assert "no records" in capsys.readouterr().out
+
+    def test_at_timestamp_context(self, capsys):
+        assert main(["explain", _golden_trace_path(), "--at", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "at t=0.2:" in out
+        assert "most recent event before t=0.2" in out
+
+    def test_at_json_includes_phase_and_chain(self, capsys):
+        assert main(["explain", _golden_trace_path(), "--at", "0.2",
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["at"]["phase"]["1"] in ("slow_start",
+                                              "suss_accelerated",
+                                              "congestion_avoidance",
+                                              "recovery")
+        assert report["at"]["chain"]["found"]
+
+    def test_at_before_trace_rejected(self):
+        with pytest.raises(SystemExit, match="no records at or before"):
+            main(["explain", _golden_trace_path(), "--at", "-5"])
+
+    def test_unknown_flow_rejected(self):
+        with pytest.raises(SystemExit, match="no flow 99"):
+            main(["explain", _golden_trace_path(), "--flow", "99"])
+
+
 class TestExperimentDispatch:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):

@@ -1,9 +1,11 @@
 """Unit tests for repro.metrics.summary, including registry summaries."""
 
+import math
+
 import pytest
 
-from repro.metrics.summary import Summary, improvement, summarize, \
-    summarize_metric
+from repro.metrics.summary import EMPTY_SUMMARY, Summary, improvement, \
+    summarize, summarize_metric
 from repro.obs.metrics import MetricRegistry
 
 
@@ -62,9 +64,28 @@ class TestSummarizeMetric:
         reg.gauge("g", flow=2).set(5.0)
         reg.histogram("h", flow=1)        # never observed
         assert summarize_metric(reg, "g").n == 1
-        with pytest.raises(ValueError):
-            summarize_metric(reg, "h")
+        assert summarize_metric(reg, "h") is EMPTY_SUMMARY
 
-    def test_unknown_name_raises_like_empty(self):
+    def test_unknown_name_yields_empty_sentinel(self):
+        assert summarize_metric(MetricRegistry(), "nope") is EMPTY_SUMMARY
+
+
+class TestEmptySummary:
+    def test_sentinel_shape(self):
+        assert EMPTY_SUMMARY.empty
+        assert EMPTY_SUMMARY.n == 0
+        # NaN statistics poison any accidental arithmetic loudly
+        assert math.isnan(EMPTY_SUMMARY.mean)
+        assert math.isnan(EMPTY_SUMMARY.std)
+        assert math.isnan(EMPTY_SUMMARY.minimum)
+        assert math.isnan(EMPTY_SUMMARY.maximum)
+        assert str(EMPTY_SUMMARY) == "no samples"
+
+    def test_nonempty_summaries_are_not_empty(self):
+        assert not summarize([1.0]).empty
+
+    def test_direct_summarize_still_rejects_empty(self):
+        # summarize() keeps the strict contract; only the registry
+        # aggregation path returns the sentinel.
         with pytest.raises(ValueError):
-            summarize_metric(MetricRegistry(), "nope")
+            summarize([])

@@ -12,10 +12,11 @@ from repro.obs.golden import (
     load_digests,
     load_stream,
     save_golden,
+    stored_schema,
     stream_path,
     trace_digest,
 )
-from repro.obs.records import TraceRecord
+from repro.obs.records import SCHEMA_VERSION, TraceRecord
 
 
 # ----------------------------------------------------------------------
@@ -104,6 +105,46 @@ class TestCapture:
         index = load_digests(tmp_path)
         assert index["cubic"]["digest"] == digests["cubic"]
         assert gzip.open(stream_path(tmp_path, "cubic"), "rt").read()
+
+
+def test_golden_store_schema_is_current():
+    """The committed store must match the live record schema.
+
+    A digest mismatch caused by a schema change is unexplainable from
+    the line diff alone; this check names the real cause.
+    """
+    assert stored_schema(goldens.DEFAULT_GOLDEN_DIR) == SCHEMA_VERSION, (
+        f"tests/golden was captured under record-schema "
+        f"v{stored_schema(goldens.DEFAULT_GOLDEN_DIR)}, but the code is at "
+        f"v{SCHEMA_VERSION}; run `python -m repro trace --update-golden`")
+
+
+def test_save_golden_stamps_schema(tmp_path):
+    save_golden(tmp_path, "run", ['{"t":1}'])
+    assert stored_schema(tmp_path) == SCHEMA_VERSION
+    # the schema marker never shadows a stream entry
+    assert "_schema" not in load_digests(tmp_path)
+
+
+def test_unmarked_store_reads_as_schema_v1(tmp_path):
+    save_golden(tmp_path, "run", ['{"t":1}'])
+    index_file = tmp_path / "digests.json"
+    import json
+    index = json.loads(index_file.read_text())
+    del index["_schema"]
+    index_file.write_text(json.dumps(index))
+    assert stored_schema(tmp_path) == 1
+
+
+def test_golden_streams_carry_resolvable_provenance():
+    """Every committed record's peid must resolve inside the same stream."""
+    lines = goldens.golden_stream("cubic+suss")
+    records = [TraceRecord.from_line(line) for line in lines]
+    eids = {record.eid for record in records}
+    assert all(record.eid > 0 for record in records)
+    for record in records:
+        assert record.parent_eid == 0 or record.parent_eid in eids, (
+            f"dangling peid {record.parent_eid} at t={record.time}")
 
 
 @pytest.mark.parametrize("name", sorted(goldens.GOLDEN_RUNS))

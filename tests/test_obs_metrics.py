@@ -55,6 +55,35 @@ class TestInstruments:
     def test_empty_histogram_mean_is_none(self):
         assert Histogram().mean is None
 
+    def test_empty_histogram_percentile_is_none(self):
+        assert Histogram().percentile(50) is None
+
+    def test_percentile_interpolates_within_bucket(self):
+        h = Histogram(buckets=(10.0, 20.0))
+        for v in (12.0, 14.0, 16.0, 18.0):  # all in (10, 20]
+            h.observe(v)
+        # rank 2 of 4 lands mid-bucket: 10 + 10 * (2/4) = 15
+        assert h.percentile(50) == pytest.approx(15.0)
+        assert h.percentile(100) == pytest.approx(18.0)  # clamped to max
+        assert h.percentile(0) == pytest.approx(12.0)    # clamped to min
+
+    def test_percentile_spans_buckets(self):
+        h = Histogram(buckets=(1.0, 2.0, 3.0))
+        h.observe(0.5)
+        h.observe(1.5)
+        h.observe(2.5)
+        h.observe(10.0)  # overflow bucket
+        assert h.percentile(25) <= h.percentile(50) <= h.percentile(75)
+        assert h.percentile(100) == pytest.approx(10.0)
+
+    def test_percentile_rejects_out_of_range(self):
+        h = Histogram()
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
 
 class TestMetricRegistry:
     def test_create_on_first_use_then_cached(self):

@@ -61,6 +61,38 @@ class TestEventProfiler:
         assert "Link._finish_transmission" in report
         assert "1 events" in report
 
+    def test_rows_sort_by_count_and_mean(self):
+        prof = EventProfiler()
+        # "often": many cheap fires; "rare": one expensive fire
+        for _ in range(5):
+            prof.note("often", 0.01)
+        prof.note("rare", 0.2)
+        assert [r[0] for r in prof.rows(sort="total")] == ["rare", "often"]
+        assert [r[0] for r in prof.rows(sort="count")] == ["often", "rare"]
+        assert [r[0] for r in prof.rows(sort="mean")] == ["rare", "often"]
+
+    def test_rows_rejects_unknown_sort(self):
+        with pytest.raises(ValueError, match="unknown sort key"):
+            EventProfiler().rows(sort="bogus")
+
+    def test_format_report_sort_changes_row_order(self):
+        prof = EventProfiler()
+        for _ in range(5):
+            prof.note("often", 0.01)
+        prof.note("rare", 0.2)
+        by_total = prof.format_report(sort="total").splitlines()
+        by_count = prof.format_report(sort="count").splitlines()
+        assert by_total[2].startswith("rare")
+        assert by_count[2].startswith("often")
+
+    def test_format_report_top_truncates_after_sort(self):
+        prof = EventProfiler()
+        for _ in range(5):
+            prof.note("often", 0.01)
+        prof.note("rare", 0.2)
+        report = prof.format_report(top=1, sort="count")
+        assert "often" in report and "rare" not in report
+
     def test_reset(self):
         prof = EventProfiler()
         prof.note("k", 0.1)

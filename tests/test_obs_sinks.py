@@ -5,6 +5,7 @@ import io
 import json
 
 import pytest
+from hypothesis import given, strategies as st
 
 from repro.obs.records import ALL_KINDS, TraceRecord, parse_kinds
 from repro.obs.sinks import (
@@ -26,8 +27,24 @@ def rec(i, kind="pkt.send", flow=1, **fields):
 # ----------------------------------------------------------------------
 class TestTraceRecord:
     def test_to_line_is_canonical_json(self):
-        line = TraceRecord(1.25, "cc.cwnd", 3, {"cwnd": 14480}).to_line()
-        assert line == '{"cwnd":14480,"flow":3,"kind":"cc.cwnd","t":1.25}'
+        line = TraceRecord(1.25, "cc.cwnd", 3, {"cwnd": 14480},
+                           eid=7, parent_eid=5).to_line()
+        assert line == ('{"cwnd":14480,"eid":7,"flow":3,"kind":"cc.cwnd",'
+                        '"peid":5,"t":1.25}')
+
+    def test_provenance_defaults_to_root(self):
+        record = TraceRecord(0.0, "pkt.send", 1)
+        assert (record.eid, record.parent_eid) == (0, 0)
+        assert '"eid":0' in record.to_line() and '"peid":0' in record.to_line()
+
+    def test_provenance_roundtrips_and_compares(self):
+        original = TraceRecord(0.5, "pkt.send", 1, {"seq": 0}, eid=12,
+                               parent_eid=9)
+        parsed = TraceRecord.from_line(original.to_line())
+        assert (parsed.eid, parsed.parent_eid) == (12, 9)
+        assert parsed == original
+        assert parsed != TraceRecord(0.5, "pkt.send", 1, {"seq": 0}, eid=12,
+                                     parent_eid=8)
 
     def test_roundtrip_through_line(self):
         original = TraceRecord(0.5, "pkt.send", 1, {"seq": 0, "retx": False})
@@ -97,6 +114,60 @@ class TestRingBufferSink:
         sink.emit(rec(1, "pkt.send"))
         sink.emit(rec(2, "pkt.recv"))
         assert len(sink.by_kind("pkt.recv")) == 1
+
+    def test_exact_wrap_has_no_drops(self):
+        # Filling to exactly capacity must not count any drop; the
+        # drop counter starts at the capacity+1'th emit.
+        sink = RingBufferSink(capacity=4)
+        for i in range(4):
+            sink.emit(rec(i))
+        assert len(sink) == 4 and sink.dropped == 0
+        sink.emit(rec(4))
+        assert len(sink) == 4 and sink.dropped == 1
+        assert [r.time for r in sink.records] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_drain_returns_oldest_first_and_empties(self):
+        sink = RingBufferSink(capacity=3)
+        for i in range(5):
+            sink.emit(rec(i))
+        drained = sink.drain()
+        assert [r.time for r in drained] == [2.0, 3.0, 4.0]
+        assert len(sink) == 0 and sink.records == []
+        # lifetime counters survive the drain
+        assert sink.emitted == 5
+        assert sink.dropped == 2
+
+    def test_drain_does_not_fake_drops(self):
+        # Regression: dropped used to be derived as emitted - len, which
+        # jumps to `emitted` after a drain empties the buffer.
+        sink = RingBufferSink(capacity=8)
+        for i in range(3):
+            sink.emit(rec(i))
+        assert sink.drain() and sink.dropped == 0
+        sink.emit(rec(99))
+        assert sink.dropped == 0 and len(sink) == 1
+
+    @given(capacity=st.integers(min_value=1, max_value=64),
+           n=st.integers(min_value=0, max_value=200),
+           drain_at=st.integers(min_value=0, max_value=200))
+    def test_ring_invariants_random_capacities(self, capacity, n, drain_at):
+        sink = RingBufferSink(capacity=capacity)
+        drained = []
+        for i in range(n):
+            sink.emit(rec(i))
+            if i == drain_at:
+                drained = sink.drain()
+                assert len(sink) == 0
+        in_ring = [r.time for r in sink.records]
+        # contents: the newest min(pending, capacity) records, in order
+        start = drain_at + 1 if drain_at < n else 0
+        pending = list(range(start, n)) if drained else list(range(n))
+        assert in_ring == [float(i) for i in pending[-capacity:]]
+        assert len(sink) == min(len(pending), capacity)
+        # conservation: every record offered is in the ring, drained,
+        # or counted as dropped
+        assert sink.emitted == n
+        assert sink.dropped == n - len(sink) - len(drained)
 
 
 class TestJsonlSink:

@@ -247,6 +247,101 @@ class TestPendingEvents:
         assert t_large < 50 * max(t_small, 1e-7)
 
 
+class TestProvenance:
+    def test_eids_are_monotonic_from_one(self):
+        sim = Simulator(sanitizer=None, obs=None)
+        handles = [sim.schedule(0.1 * i, lambda: None) for i in range(3)]
+        assert [h.eid for h in handles] == [1, 2, 3]
+
+    def test_setup_events_have_root_parent(self):
+        sim = Simulator(sanitizer=None, obs=None)
+        handle = sim.schedule(1.0, lambda: None)
+        assert handle.parent_eid == 0 and handle.origin_eid == 0
+
+    def test_nested_schedule_records_parent(self):
+        sim = Simulator(sanitizer=None, obs=None)
+        child = []
+
+        def parent():
+            child.append(sim.schedule(0.1, lambda: None))
+
+        root = sim.schedule(1.0, parent)
+        sim.run()
+        assert child[0].parent_eid == root.eid
+
+    def test_current_eid_zero_outside_events(self):
+        sim = Simulator(sanitizer=None, obs=None)
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(sim.current_eid))
+        assert sim.current_eid == 0
+        sim.run()
+        assert seen == [1]
+        assert sim.current_eid == 0
+
+    def test_origin_threads_through_silent_events(self):
+        # A (emits) -> B (silent) -> C (emits): C's record must cite A,
+        # bridging the silent plumbing event B.
+        from repro.obs.sinks import MemorySink
+        from repro.obs.tracer import Observability, Tracer
+
+        sink = MemorySink()
+        sim = Simulator(sanitizer=None, obs=Observability(tracer=Tracer(sink)))
+        eids = {}
+
+        def a():
+            eids["a"] = sim.current_eid
+            sim.obs.emit(sim.now, "pkt.send", 1, seq=0)
+            sim.schedule(0.1, b)
+
+        def b():
+            eids["b"] = sim.current_eid
+            sim.schedule(0.1, c)  # emits nothing
+
+        def c():
+            eids["c"] = sim.current_eid
+            sim.obs.emit(sim.now, "pkt.recv", 1, seq=0)
+
+        sim.schedule(1.0, a)
+        sim.run()
+        rec_a, rec_c = sink.records
+        assert rec_a.eid == eids["a"] and rec_a.parent_eid == 0
+        assert rec_c.eid == eids["c"]
+        assert rec_c.parent_eid == eids["a"]  # not the silent b
+
+    def test_all_records_of_one_event_share_parent(self):
+        # Promotion must not leak into the promoting event's own later
+        # records: both emissions cite the same ancestor.
+        from repro.obs.sinks import MemorySink
+        from repro.obs.tracer import Observability, Tracer
+
+        sink = MemorySink()
+        sim = Simulator(sanitizer=None, obs=Observability(tracer=Tracer(sink)))
+
+        def a():
+            sim.obs.emit(sim.now, "pkt.send", 1, seq=0)
+            sim.schedule(0.1, b)
+
+        def b():
+            sim.obs.emit(sim.now, "cc.cwnd", 1, cwnd=1)
+            sim.obs.emit(sim.now, "cc.cwnd", 1, cwnd=2)
+
+        sim.schedule(1.0, a)
+        sim.run()
+        first, second, third = sink.records
+        assert second.eid == third.eid
+        assert second.parent_eid == third.parent_eid == first.eid
+
+    def test_emission_outside_any_event_is_root(self):
+        from repro.obs.sinks import MemorySink
+        from repro.obs.tracer import Observability, Tracer
+
+        sink = MemorySink()
+        sim = Simulator(sanitizer=None, obs=Observability(tracer=Tracer(sink)))
+        sim.obs.emit(0.0, "campaign.job", -1, label="x")
+        (record,) = sink.records
+        assert (record.eid, record.parent_eid) == (0, 0)
+
+
 class TestPropertyBased:
     @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
                               allow_nan=False), min_size=1, max_size=50))
