@@ -50,6 +50,11 @@ DEFAULT_LAYER_DAG: Dict[str, Optional[Set[str]]] = {
     "campaign": {"workloads", "analysis", "obs"},
     "experiments": {"sim", "net", "tcp", "cc", "core", "metrics", "trace",
                     "workloads", "campaign", "analysis", "obs"},
+    # validate sits above experiments: it *reads* every harness to bind
+    # claims but nothing below it may know validation exists (an
+    # experiments -> validate import is LAY001).
+    "validate": {"sim", "net", "tcp", "cc", "core", "metrics", "trace",
+                 "workloads", "campaign", "experiments", "analysis", "obs"},
     "top": None,
 }
 

@@ -26,6 +26,7 @@ from repro.campaign.scheduler import (
 from repro.campaign.spec import (
     JobSpec,
     canonical_json,
+    fairness_job,
     single_flow_job,
     stability_job,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "code_fingerprint",
     "collect_values",
     "execute_job",
+    "fairness_job",
     "register",
     "run_campaign",
     "single_flow_job",

@@ -115,11 +115,26 @@ def run_stability_job(params: Mapping[str, Any]) -> Dict[str, Any]:
     return {
         "large_cc": params["large_cc"],
         "seed": params["seed"],
+        "horizon": params["horizon"],
         "large_fct": run.fct_of(1),
         "small_fct_mean": (sum(done) / len(done)) if done else None,
         "n_small_done": len(done),
         "n_small": n_small,
     }
+
+
+@register("fairness_cell")
+def run_fairness_cell_job(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """One Fig.-15 Jain-fairness cell (four staggered flows + late joiner)."""
+    from repro.experiments.runner import run_fairness_cell
+
+    return run_fairness_cell(
+        params["rtt"], params["buffer_bdp"], params["cc"],
+        bottleneck_mbps=params["bottleneck_mbps"],
+        join_time=params["join_time"], horizon=params["horizon"],
+        seed=params["seed"],
+        recovery_threshold=params.get("recovery_threshold", 0.95),
+        window=params.get("window", 2.0))
 
 
 @contextlib.contextmanager

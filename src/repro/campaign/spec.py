@@ -130,3 +130,27 @@ def stability_job(large_cc: str, buffer_bdp: float, large_rtt: float,
                    label=(f"table1 {large_cc} buf={buffer_bdp} "
                           f"rtt={large_rtt * 1000:.0f}ms {suss_tag} "
                           f"seed={seed}"))
+
+
+def fairness_job(rtt: float, buffer_bdp: float, cc: str, *,
+                 bottleneck_mbps: float = 50.0, join_time: float = 16.0,
+                 horizon: float = 40.0, seed: int = 0,
+                 recovery_threshold: float = 0.95, window: float = 2.0,
+                 knobs: Optional[Mapping[str, Any]] = None) -> JobSpec:
+    """Spec for one Fig.-15 fairness cell (four flows plus a late joiner)."""
+    params: Dict[str, Any] = {
+        "rtt": float(rtt),
+        "buffer_bdp": float(buffer_bdp),
+        "cc": cc,
+        "bottleneck_mbps": float(bottleneck_mbps),
+        "join_time": float(join_time),
+        "horizon": float(horizon),
+        "seed": int(seed),
+        "recovery_threshold": float(recovery_threshold),
+        "window": float(window),
+    }
+    if knobs:
+        params["knobs"] = dict(knobs)
+    return JobSpec(kind="fairness_cell", params=params,
+                   label=(f"fig15 {cc} rtt={rtt * 1000:.0f}ms "
+                          f"buf={buffer_bdp} seed={seed}"))

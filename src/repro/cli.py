@@ -9,6 +9,7 @@ Usage (after ``pip install -e .``)::
     python -m repro sweep --scenario google-tokyo/4g \
         --ccs cubic,cubic+suss --sizes 1000000,2000000 --iterations 3
     python -m repro experiment fig10
+    python -m repro validate --quick --json
     python -m repro lint src tests --json
 """
 
@@ -405,6 +406,108 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_validate(args: argparse.Namespace) -> int:
+    """Statistical validation of the paper's claims (repro.validate)."""
+    import dataclasses
+
+    from repro.validate import (
+        FAIL,
+        INCONCLUSIVE,
+        BaselineStore,
+        check_perf,
+        detect_drift,
+        iter_claims,
+        load_perf_baseline,
+        measure_core_speed,
+        report_json,
+        resolve_fingerprint,
+        run_validation,
+    )
+
+    if args.list:
+        for claim in iter_claims():
+            print(f"{claim.id:32s} {claim.paper:10s} {claim.kind:15s} "
+                  f"[{claim.harness}]")
+        return 0
+
+    mode = "full" if args.full else "quick"
+    claim_ids = args.claims.split(",") if args.claims else None
+    try:
+        iter_claims(claim_ids)
+    except KeyError as exc:
+        raise SystemExit(f"repro validate: {exc.args[0]}")
+
+    try:
+        report = run_validation(
+            claim_ids, mode=mode, base_seed=args.seed,
+            timeout=args.timeout, retries=args.retries,
+            **_campaign_kwargs(args))
+    except RuntimeError as exc:
+        raise SystemExit(f"repro validate: {exc}")
+
+    if args.against:
+        try:
+            fingerprint = resolve_fingerprint(args.against,
+                                              args.baseline_fingerprint)
+        except (FileNotFoundError, KeyError) as exc:
+            raise SystemExit(f"repro validate: {exc.args[0]}")
+        baselines = BaselineStore(args.against, fingerprint)
+        patched = []
+        for verdict in report.verdicts:
+            record = baselines.load(verdict.claim_id)
+            if record is None:
+                patched.append(verdict)
+                continue
+            drift = detect_drift(verdict.claim_id, record["samples"],
+                                 verdict.treatment_samples,
+                                 base_seed=args.seed)
+            drift["fingerprint"] = fingerprint
+            changes = {"drift": drift}
+            if drift["drifted"]:
+                changes["verdict"] = FAIL
+                changes["reason"] = (
+                    f"treatment distribution drifted from recorded "
+                    f"baseline (p={drift['p_value']:.4f}, cliffs delta "
+                    f"{drift['cliffs_delta']:+.2f}); was: {verdict.reason}")
+            patched.append(dataclasses.replace(verdict, **changes))
+        report.verdicts = patched
+
+    if args.record_baseline:
+        baselines = BaselineStore(args.record_baseline,
+                                  report.code_fingerprint)
+        for verdict in report.verdicts:
+            baselines.record(verdict.claim_id, mode=mode,
+                             base_seed=args.seed,
+                             samples=verdict.treatment_samples)
+        print(f"recorded {len(report.verdicts)} claim baselines under "
+              f"{baselines.generation_dir}", file=sys.stderr)
+
+    if args.perf:
+        try:
+            perf_baseline = load_perf_baseline(args.perf_baseline)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"repro validate: --perf: {exc}")
+        report.perf = check_perf(perf_baseline, measure_core_speed(),
+                                 scale=args.perf_scale)
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(report_json(report))
+    if args.as_json:
+        print(report_json(report), end="")
+    else:
+        print(report.render_text())
+
+    counts = report.counts()
+    if args.fail_on == "none":
+        return 0
+    if counts[FAIL]:
+        return 1
+    if args.fail_on == "inconclusive" and counts[INCONCLUSIVE]:
+        return 1
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Determinism/layering lint — delegates to repro.analysis.cli."""
     from repro.analysis.cli import main as lint_main
@@ -553,6 +656,58 @@ def build_parser() -> argparse.ArgumentParser:
                         help="report column to sort by (descending)")
     _add_campaign_flags(prof_p)
     prof_p.set_defaults(func=cmd_profile)
+
+    val_p = sub.add_parser(
+        "validate",
+        help="statistical validation of the paper's claims "
+             "(exit 1 on FAIL)")
+    val_mode = val_p.add_mutually_exclusive_group()
+    val_mode.add_argument("--quick", action="store_true",
+                          help="scaled-down workloads, few seeds "
+                               "(default; the PR smoke gate)")
+    val_mode.add_argument("--full", action="store_true",
+                          help="paper-scale workloads and seed counts")
+    val_p.add_argument("--claims",
+                       help="comma-separated claim ids (default: all; "
+                            "see --list)")
+    val_p.add_argument("--list", action="store_true",
+                       help="list registered claims and exit")
+    val_p.add_argument("--seed", type=int, default=0,
+                       help="base seed for the multi-seed fan-out")
+    val_p.add_argument("--timeout", type=float, default=None,
+                       help="per-job wall-clock timeout in seconds")
+    val_p.add_argument("--retries", type=int, default=1,
+                       help="retries per job after a failure/crash")
+    val_p.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit the ValidationReport as canonical JSON "
+                            "(byte-identical across same-seed runs)")
+    val_p.add_argument("--out",
+                       help="also write the JSON report to this path")
+    val_p.add_argument("--fail-on", choices=["fail", "inconclusive", "none"],
+                       default="fail",
+                       help="exit non-zero on FAIL (default), on FAIL or "
+                            "INCONCLUSIVE, or never")
+    val_p.add_argument("--record-baseline", metavar="DIR",
+                       help="record each claim's treatment samples under "
+                            "DIR/<code fingerprint>/ for later --against")
+    val_p.add_argument("--against", metavar="DIR",
+                       help="drift-check treatment samples against "
+                            "baselines recorded under DIR; drift flips "
+                            "the claim to FAIL")
+    val_p.add_argument("--baseline-fingerprint",
+                       help="baseline generation to use when DIR holds "
+                            "more than one (prefix accepted)")
+    val_p.add_argument("--perf", action="store_true",
+                       help="also re-time the bench_core_speed workloads "
+                            "against --perf-baseline")
+    val_p.add_argument("--perf-baseline",
+                       default="benchmarks/baseline.json",
+                       help="recorded perf numbers "
+                            "(default: benchmarks/baseline.json)")
+    val_p.add_argument("--perf-scale", type=float, default=1.0,
+                       help="multiply perf tolerances (noisy CI runners)")
+    _add_campaign_flags(val_p)
+    val_p.set_defaults(func=cmd_validate)
 
     lint_p = sub.add_parser(
         "lint",

@@ -21,6 +21,12 @@ from repro.workloads.scenarios import PathScenario, get_scenario
 DEFAULT_SIZES = (int(0.5 * MB), 1 * MB, 2 * MB, 4 * MB, 8 * MB, 12 * MB)
 SCHEMES = ("bbr", "cubic+suss", "cubic")
 
+#: paper claims checked by ``repro validate`` against this harness
+#: (see :mod:`repro.validate.claims`).
+CLAIM_IDS = ("fig11-fct-wired-2mb", "fig11-fct-5g-2mb",
+             "fig11-fct-wifi-1mb", "fig11-fct-vs-bbr-wired",
+             "fig12-fct-4g-no-regression")
+
 
 @dataclass
 class FctSweep:

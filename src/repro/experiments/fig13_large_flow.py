@@ -17,6 +17,10 @@ from repro.metrics.timeseries import TimeSeries
 from repro.workloads.flows import MB
 from repro.workloads.scenarios import FIG13_SCENARIO, PathScenario
 
+#: paper claims checked by ``repro validate`` against this harness
+#: (see :mod:`repro.validate.claims`).
+CLAIM_IDS = ("fig13-large-flow-no-regression",)
+
 
 @dataclass
 class Fig13Result:

@@ -19,6 +19,10 @@ from repro.workloads.scenarios import FIG14_SCENARIO, PathScenario
 
 DEFAULT_SIZES = (2 * MB, 4 * MB, 8 * MB, 16 * MB, 28 * MB, 40 * MB)
 
+#: paper claims checked by ``repro validate`` against this harness
+#: (see :mod:`repro.validate.claims`).
+CLAIM_IDS = ("fig14-loss-no-regression",)
+
 
 @dataclass
 class Fig14Result:

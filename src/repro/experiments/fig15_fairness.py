@@ -14,13 +14,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.report import render_table
-from repro.experiments.runner import run_local_testbed
-from repro.metrics.fairness import fairness_over_time
-from repro.workloads.flows import FlowSpec
-from repro.workloads.scenarios import LocalTestbedConfig
+from repro.experiments.runner import run_fairness_cell
 
 DEFAULT_RTTS = (0.025, 0.050, 0.100, 0.200)
 DEFAULT_BUFFERS = (1.0, 1.5, 2.0)
+
+#: paper claims checked by ``repro validate`` against this harness
+#: (see :mod:`repro.validate.claims`).
+CLAIM_IDS = ("fig15-fairness-recovery", "fig15-fairness-floor")
 
 
 @dataclass
@@ -46,31 +47,16 @@ def run_cell(rtt: float, buffer_bdp: float, suss: bool,
              recovery_threshold: float = 0.95,
              window: float = 2.0) -> Fig15Cell:
     cc = "cubic+suss" if suss else "cubic"
-    config = LocalTestbedConfig(bottleneck_mbps=bottleneck_mbps,
-                                rtts=(rtt,) * 5, buffer_bdp=buffer_bdp)
-    bulk = int(horizon * config.btl_bw)
-    specs = [FlowSpec(flow_id=i + 1, size_bytes=bulk, cc=cc,
-                      start_time=2.0 * i) for i in range(4)]
-    specs.append(FlowSpec(flow_id=5, size_bytes=bulk, cc=cc,
-                          start_time=join_time))
-    result = run_local_testbed(config, specs, until=horizon, seed=seed)
-    delivered = {fid: result.telemetry.flow(fid).delivered
-                 for fid in range(1, 6)}
-    points = fairness_over_time(delivered, t_start=join_time - window,
-                                t_end=horizon, window=window, step=0.25)
-    recovery: Optional[float] = None
-    dipped = False
-    for t, f in points:
-        if t < join_time:
-            continue
-        if f < recovery_threshold:
-            dipped = True
-        elif dipped and recovery is None:
-            recovery = t - join_time
-            break
+    value = run_fairness_cell(rtt, buffer_bdp, cc,
+                              bottleneck_mbps=bottleneck_mbps,
+                              join_time=join_time, horizon=horizon,
+                              seed=seed,
+                              recovery_threshold=recovery_threshold,
+                              window=window)
     return Fig15Cell(rtt=rtt, buffer_bdp=buffer_bdp, suss=suss,
-                     fairness=points, join_time=join_time,
-                     recovery_time=recovery)
+                     fairness=[(t, f) for t, f in value["fairness"]],
+                     join_time=join_time,
+                     recovery_time=value["recovery_time"])
 
 
 def run(rtts: Sequence[float] = DEFAULT_RTTS,

@@ -208,3 +208,55 @@ def run_local_testbed(config: LocalTestbedConfig, specs: Sequence[FlowSpec],
         sim.sanitizer.verify_conservation(sim.pending_events)
     return LocalRun(sim=sim, net=net, transfers=transfers,
                     telemetry=telemetry)
+
+
+def run_fairness_cell(rtt: float, buffer_bdp: float, cc: str,
+                      bottleneck_mbps: float = 50.0, join_time: float = 16.0,
+                      horizon: float = 40.0, seed: int = 0,
+                      recovery_threshold: float = 0.95,
+                      window: float = 2.0) -> Dict[str, Any]:
+    """One Fig. 15 fairness cell: four staggered flows plus a late joiner.
+
+    Returns a JSON-serialisable dict so the run can double as a campaign
+    job (``fairness_cell`` kind): the Jain-index timeline, the minimum
+    index after the fifth flow joins, and the recovery time back above
+    ``recovery_threshold`` (``None`` when fairness never recovers within
+    the horizon).  :mod:`repro.experiments.fig15_fairness` wraps the same
+    dict into its report cells.
+    """
+    from repro.metrics.fairness import fairness_over_time
+
+    config = LocalTestbedConfig(bottleneck_mbps=bottleneck_mbps,
+                                rtts=(rtt,) * 5, buffer_bdp=buffer_bdp)
+    bulk = int(horizon * config.btl_bw)
+    specs = [FlowSpec(flow_id=i + 1, size_bytes=bulk, cc=cc,
+                      start_time=2.0 * i) for i in range(4)]
+    specs.append(FlowSpec(flow_id=5, size_bytes=bulk, cc=cc,
+                          start_time=join_time))
+    result = run_local_testbed(config, specs, until=horizon, seed=seed)
+    delivered = {fid: result.telemetry.flow(fid).delivered
+                 for fid in range(1, 6)}
+    points = fairness_over_time(delivered, t_start=join_time - window,
+                                t_end=horizon, window=window, step=0.25)
+    recovery: Optional[float] = None
+    dipped = False
+    post_join = []
+    for t, f in points:
+        if t < join_time:
+            continue
+        post_join.append(f)
+        if f < recovery_threshold:
+            dipped = True
+        elif dipped and recovery is None:
+            recovery = t - join_time
+    return {
+        "rtt": rtt,
+        "buffer_bdp": buffer_bdp,
+        "cc": cc,
+        "seed": seed,
+        "join_time": join_time,
+        "horizon": horizon,
+        "fairness": [[t, f] for t, f in points],
+        "min_fairness_after_join": min(post_join) if post_join else 1.0,
+        "recovery_time": recovery,
+    }

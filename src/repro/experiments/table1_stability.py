@@ -26,6 +26,10 @@ DEFAULT_RTTS = (0.025, 0.050, 0.100, 0.200)
 DEFAULT_BUFFERS = (1.0, 2.0)
 LARGE_CCAS = ("cubic", "bbr", "bbr2")
 
+#: paper claims checked by ``repro validate`` against this harness
+#: (see :mod:`repro.validate.claims`).
+CLAIM_IDS = ("table1-small-flow-cubic", "table1-large-flow-cubic")
+
 
 @dataclass(frozen=True)
 class Table1Key:

@@ -1,7 +1,9 @@
 """Aggregate statistics helpers for experiment iterations.
 
 The paper reports means over 50 iterations with standard deviations shown
-as shaded areas; :class:`Summary` carries exactly those aggregates.
+as shaded areas, and medians for the FCT distributions; :class:`Summary`
+carries exactly those aggregates (plus the p95 tail the validation
+subsystem gates on).
 """
 
 from __future__ import annotations
@@ -13,15 +15,35 @@ from typing import Sequence
 from repro.obs.metrics import Histogram, MetricRegistry
 
 
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of ``samples`` (``q`` in [0, 100])."""
+    if not samples:
+        raise ValueError("need at least one sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be within [0, 100]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] + frac * (ordered[high] - ordered[low])
+
+
 @dataclass(frozen=True)
 class Summary:
-    """Mean / standard deviation / extremes of a sample set."""
+    """Mean / std / extremes / median / p95 of a sample set."""
 
     n: int
     mean: float
     std: float
     minimum: float
     maximum: float
+    median: float
+    p95: float
 
     @property
     def empty(self) -> bool:
@@ -40,7 +62,8 @@ class Summary:
 #: :func:`summarize_metric` returns this instead of raising.  The NaN
 #: statistics poison any arithmetic loudly; test with ``summary.empty``.
 EMPTY_SUMMARY = Summary(n=0, mean=float("nan"), std=float("nan"),
-                        minimum=float("nan"), maximum=float("nan"))
+                        minimum=float("nan"), maximum=float("nan"),
+                        median=float("nan"), p95=float("nan"))
 
 
 def summarize(samples: Sequence[float]) -> Summary:
@@ -54,7 +77,9 @@ def summarize(samples: Sequence[float]) -> Summary:
     else:
         var = 0.0
     return Summary(n=n, mean=mean, std=math.sqrt(var),
-                   minimum=min(samples), maximum=max(samples))
+                   minimum=min(samples), maximum=max(samples),
+                   median=percentile(samples, 50.0),
+                   p95=percentile(samples, 95.0))
 
 
 def summarize_metric(registry: MetricRegistry, name: str) -> Summary:

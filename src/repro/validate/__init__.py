@@ -1,0 +1,75 @@
+"""``repro.validate`` — statistical paper-fidelity and regression gate.
+
+The subsystem answers one question with evidence: *does this tree still
+reproduce the paper's claims?*  It has four pieces:
+
+* :mod:`~repro.validate.stats` — pure-stdlib estimators (t and BCa
+  bootstrap CIs, Mann-Whitney U, permutation test, Cliff's delta), all
+  deterministic via seeded streams;
+* :mod:`~repro.validate.claims` — the declarative registry binding each
+  paper assertion to an experiment harness, seed counts, and a
+  calibrated tolerance;
+* :mod:`~repro.validate.driver` — expands claims into cached
+  :mod:`repro.campaign` jobs and folds the multi-seed results into
+  PASS / FAIL / INCONCLUSIVE verdicts;
+* :mod:`~repro.validate.baseline` — recorded metric distributions for
+  drift detection across code versions, plus the wall-clock perf gate
+  over ``benchmarks/baseline.json``.
+
+Entry point: ``repro validate`` (see :mod:`repro.cli`), or
+:func:`run_validation` directly.
+"""
+
+from repro.validate.baseline import (
+    BaselineStore,
+    check_perf,
+    detect_drift,
+    load_perf_baseline,
+    measure_core_speed,
+    resolve_fingerprint,
+)
+from repro.validate.claims import (
+    CLAIMS,
+    MODES,
+    Claim,
+    get_claim,
+    iter_claims,
+    register_claim,
+)
+from repro.validate.driver import fold_claim, plan_jobs, run_validation
+from repro.validate.report import (
+    FAIL,
+    INCONCLUSIVE,
+    PASS,
+    ClaimVerdict,
+    PerfVerdict,
+    ValidationReport,
+    load_report,
+    report_json,
+)
+
+__all__ = [
+    "BaselineStore",
+    "CLAIMS",
+    "Claim",
+    "ClaimVerdict",
+    "FAIL",
+    "INCONCLUSIVE",
+    "MODES",
+    "PASS",
+    "PerfVerdict",
+    "ValidationReport",
+    "check_perf",
+    "detect_drift",
+    "fold_claim",
+    "get_claim",
+    "iter_claims",
+    "load_perf_baseline",
+    "load_report",
+    "measure_core_speed",
+    "plan_jobs",
+    "register_claim",
+    "report_json",
+    "resolve_fingerprint",
+    "run_validation",
+]

@@ -71,6 +71,18 @@ class TestViolationsFlagged:
         assert [f.rule for f in findings] == ["LAY003"]
         assert "TYPE_CHECKING" in findings[0].message
 
+    def test_experiments_importing_validate_is_lay001(self, tmp_path):
+        """No harness may know the validation layer exists."""
+        root = make_package(tmp_path, {
+            "experiments/fig11.py":
+                "from repro.validate.claims import CLAIMS\n",
+            "validate/claims.py": "CLAIMS = {}\n",
+        })
+        findings = check_layering(root)
+        assert [f.rule for f in findings] == ["LAY001"]
+        assert "experiments" in findings[0].message
+        assert "validate" in findings[0].message
+
     def test_type_checking_guarded_cc_to_tcp_is_allowed(self, tmp_path):
         root = make_package(tmp_path, {
             "cc/greedy.py": """\
@@ -130,6 +142,19 @@ class TestNonViolations:
             "sim/engine.py": "class Simulator:\n    pass\n",
         })
         assert [f.rule for f in check_layering(root)] == ["LAY001"]
+
+    def test_validate_may_import_experiments_and_campaign(self, tmp_path):
+        root = make_package(tmp_path, {
+            "validate/claims.py": """\
+                from repro.campaign.spec import single_flow_job
+                from repro.experiments.fig11 import CLAIM_IDS
+                """,
+            "validate/driver.py": "from repro.campaign.spec import JobSpec\n",
+            "campaign/spec.py":
+                "class JobSpec:\n    pass\ndef single_flow_job():\n    pass\n",
+            "experiments/fig11.py": "CLAIM_IDS = ()\n",
+        })
+        assert check_layering(root) == []
 
     def test_composition_root_unrestricted(self, tmp_path):
         root = make_package(tmp_path, {

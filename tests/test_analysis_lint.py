@@ -61,6 +61,15 @@ class TestDET001WallClock:
             """, path="src/repro/obs/profile.py")
         assert findings == []
 
+    def test_validate_layer_exempt(self):
+        # the perf gate re-times micro-benchmarks; wall-clock is its job
+        findings = lint("""\
+            import time
+            def measure():
+                return time.perf_counter()
+            """, path="src/repro/validate/baseline.py")
+        assert findings == []
+
 
 class TestDET002GlobalRandom:
     def test_module_call_flagged(self):
@@ -211,6 +220,11 @@ class TestScoping:
         assert "DET001" not in rules
         assert "DET006" not in rules
         assert "DET003" in rules
+
+    def test_validate_loses_only_wall_clock(self):
+        rules = applicable_rules("src/repro/validate/stats.py")
+        assert "DET001" not in rules
+        assert {"DET002", "DET003", "DET004", "DET005", "DET006"} <= rules
 
     def test_syntax_error_reported_not_raised(self):
         findings = lint("def broken(:\n")

@@ -313,3 +313,85 @@ class TestExperimentDispatch:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestValidate:
+    # The cheapest registered claim: 10 sub-second single-flow jobs.
+    CLAIM = "fig11-fct-wired-2mb"
+
+    def test_list_claims(self, capsys):
+        assert main(["validate", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11-fct-wired-2mb" in out
+        assert "table1-small-flow-cubic" in out
+
+    def test_unknown_claim_rejected(self):
+        with pytest.raises(SystemExit, match="unknown claim"):
+            main(["validate", "--claims", "fig99-nope", "--quiet"])
+
+    def test_single_claim_passes_and_caches(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        rc = main(["validate", "--claims", self.CLAIM, "--quiet",
+                   "--cache-dir", cache])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"[PASS] {self.CLAIM}" in out
+        assert "overall: PASS" in out
+
+    def test_json_byte_identical_across_runs(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        args = ["validate", "--claims", self.CLAIM, "--quiet",
+                "--cache-dir", cache, "--json"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0  # warm cache this time
+        second = capsys.readouterr().out
+        assert first == second
+        report = json.loads(first)
+        assert report["claims"][0]["verdict"] == "PASS"
+        assert report["code_fingerprint"] == "test-fingerprint"
+
+    def test_drift_gate_flips_claim_to_fail(self, tmp_path, capsys):
+        """An injected regression (tampered baseline) must FAIL."""
+        cache = str(tmp_path / "cache")
+        basedir = tmp_path / "baselines"
+        rc = main(["validate", "--claims", self.CLAIM, "--quiet",
+                   "--cache-dir", cache,
+                   "--record-baseline", str(basedir)])
+        assert rc == 0
+        capsys.readouterr()
+        # Tamper the recorded treatment distribution: pretend the code
+        # used to be 3x faster, as if the current tree regressed.
+        record_path = basedir / "test-fingerprint" / f"{self.CLAIM}.json"
+        record = json.loads(record_path.read_text())
+        record["samples"] = [s / 3.0 for s in record["samples"]]
+        record_path.write_text(json.dumps(record))
+        rc = main(["validate", "--claims", self.CLAIM, "--quiet",
+                   "--cache-dir", cache, "--against", str(basedir)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert f"[FAIL] {self.CLAIM}" in out
+        assert "drifted" in out
+        assert "overall: FAIL" in out
+
+    def test_against_unchanged_baseline_stays_green(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        basedir = tmp_path / "baselines"
+        assert main(["validate", "--claims", self.CLAIM, "--quiet",
+                     "--cache-dir", cache,
+                     "--record-baseline", str(basedir)]) == 0
+        capsys.readouterr()
+        rc = main(["validate", "--claims", self.CLAIM, "--quiet",
+                   "--cache-dir", cache, "--against", str(basedir)])
+        assert rc == 0
+        assert "stable" in capsys.readouterr().out
+
+    def test_out_writes_report_file(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        out_path = tmp_path / "report.json"
+        rc = main(["validate", "--claims", self.CLAIM, "--quiet",
+                   "--cache-dir", cache, "--out", str(out_path)])
+        assert rc == 0
+        report = json.loads(out_path.read_text())
+        assert report["overall"] == "PASS"
+        assert capsys.readouterr().out  # text report still printed

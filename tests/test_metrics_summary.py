@@ -5,14 +5,15 @@ import math
 import pytest
 
 from repro.metrics.summary import EMPTY_SUMMARY, Summary, improvement, \
-    summarize, summarize_metric
+    percentile, summarize, summarize_metric
 from repro.obs.metrics import MetricRegistry
 
 
 class TestSummarize:
     def test_single_sample(self):
         s = summarize([2.0])
-        assert s == Summary(n=1, mean=2.0, std=0.0, minimum=2.0, maximum=2.0)
+        assert s == Summary(n=1, mean=2.0, std=0.0, minimum=2.0,
+                            maximum=2.0, median=2.0, p95=2.0)
 
     def test_sample_std_uses_n_minus_one(self):
         s = summarize([1.0, 2.0, 3.0])
@@ -20,12 +21,39 @@ class TestSummarize:
         assert s.std == pytest.approx(1.0)
         assert (s.minimum, s.maximum) == (1.0, 3.0)
 
+    def test_median_and_p95(self):
+        s = summarize(list(range(1, 101)))
+        assert s.median == pytest.approx(50.5)
+        assert s.p95 == pytest.approx(95.05)
+
+    def test_median_interpolates_even_n(self):
+        assert summarize([1.0, 2.0, 3.0, 4.0]).median == pytest.approx(2.5)
+
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             summarize([])
 
     def test_str_format(self):
         assert "n=3" in str(summarize([1.0, 2.0, 3.0]))
+
+
+class TestPercentile:
+    def test_endpoints(self):
+        samples = [3.0, 1.0, 2.0]
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 100.0) == 3.0
+
+    def test_linear_interpolation(self):
+        assert percentile([10.0, 20.0], 50.0) == pytest.approx(15.0)
+        assert percentile([0.0, 10.0, 20.0], 25.0) == pytest.approx(5.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], 100.5)
 
 
 class TestImprovement:
@@ -79,6 +107,8 @@ class TestEmptySummary:
         assert math.isnan(EMPTY_SUMMARY.std)
         assert math.isnan(EMPTY_SUMMARY.minimum)
         assert math.isnan(EMPTY_SUMMARY.maximum)
+        assert math.isnan(EMPTY_SUMMARY.median)
+        assert math.isnan(EMPTY_SUMMARY.p95)
         assert str(EMPTY_SUMMARY) == "no samples"
 
     def test_nonempty_summaries_are_not_empty(self):

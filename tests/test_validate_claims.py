@@ -1,0 +1,121 @@
+"""Tests for the claim registry and its binding to experiment harnesses."""
+
+import importlib
+
+import pytest
+
+from repro.validate.claims import (
+    CLAIMS,
+    MODES,
+    Claim,
+    get_claim,
+    iter_claims,
+    register_claim,
+)
+
+#: every experiment module that declares CLAIM_IDS
+HARNESS_MODULES = (
+    "fig11_12_fct",
+    "fig13_large_flow",
+    "fig14_loss",
+    "fig15_fairness",
+    "table1_stability",
+)
+
+
+class TestRegistry:
+    def test_at_least_eight_claims(self):
+        assert len(CLAIMS) >= 8
+
+    def test_ids_unique_and_sorted_iteration(self):
+        claims = iter_claims()
+        ids = [c.id for c in claims]
+        assert ids == sorted(ids)
+        assert len(ids) == len(set(ids))
+
+    def test_get_claim_unknown(self):
+        with pytest.raises(KeyError):
+            get_claim("nope")
+
+    def test_iter_claims_subset_preserves_request_order(self):
+        subset = iter_claims(["fig14-loss-no-regression",
+                              "fig11-fct-wired-2mb"])
+        assert [c.id for c in subset] == ["fig14-loss-no-regression",
+                                         "fig11-fct-wired-2mb"]
+
+    def test_duplicate_registration_rejected(self):
+        claim = get_claim("fig11-fct-wired-2mb")
+        with pytest.raises(ValueError):
+            register_claim(claim)
+
+    def test_claim_validation(self):
+        good = get_claim("fig11-fct-wired-2mb")
+        with pytest.raises(ValueError):
+            Claim(id="x", title="t", paper="p", harness="h",
+                  kind="wishful", direction="lower", effect="relative",
+                  threshold=0.1, build_arms=good.build_arms,
+                  extract=good.extract)
+        with pytest.raises(ValueError):
+            Claim(id="x", title="t", paper="p", harness="h",
+                  kind="improvement", direction="lower", effect="relative",
+                  threshold=0.1, alpha=1.5, build_arms=good.build_arms,
+                  extract=good.extract)
+
+
+class TestArms:
+    @pytest.mark.parametrize("claim", iter_claims(), ids=lambda c: c.id)
+    @pytest.mark.parametrize("mode", MODES)
+    def test_arms_build_without_running(self, claim, mode):
+        arms = claim.build_arms(mode, 0)
+        assert set(arms) == {"baseline", "treatment"}
+        for specs in arms.values():
+            assert specs
+            for spec in specs:
+                assert spec.kind
+                assert spec.job_hash  # params are hashable JSON
+
+    @pytest.mark.parametrize("claim", iter_claims(), ids=lambda c: c.id)
+    def test_full_mode_uses_at_least_as_many_seeds(self, claim):
+        quick = claim.build_arms("quick", 0)
+        full = claim.build_arms("full", 0)
+        assert len(full["baseline"]) >= len(quick["baseline"])
+
+    @pytest.mark.parametrize("claim", iter_claims(), ids=lambda c: c.id)
+    def test_base_seed_shifts_the_fanout(self, claim):
+        a = claim.build_arms("quick", 0)
+        b = claim.build_arms("quick", 1000)
+        hashes_a = {s.job_hash for arm in a.values() for s in arm}
+        hashes_b = {s.job_hash for arm in b.values() for s in arm}
+        assert hashes_a.isdisjoint(hashes_b)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            get_claim("fig11-fct-wired-2mb").build_arms("leisurely", 0)
+
+    def test_table1_claims_share_jobs(self):
+        """Both Table-1 claims fold the same stability runs."""
+        small = get_claim("table1-small-flow-cubic").build_arms("quick", 0)
+        large = get_claim("table1-large-flow-cubic").build_arms("quick", 0)
+        h = lambda arms: {s.job_hash for arm in arms.values() for s in arm}
+        assert h(small) == h(large)
+
+
+class TestHarnessBinding:
+    def test_every_declared_claim_id_exists(self):
+        for name in HARNESS_MODULES:
+            module = importlib.import_module(f"repro.experiments.{name}")
+            for claim_id in module.CLAIM_IDS:
+                assert claim_id in CLAIMS, (
+                    f"{name}.CLAIM_IDS references unknown claim {claim_id}")
+
+    def test_every_claim_names_a_harness_that_claims_it_back(self):
+        declared = {}
+        for name in HARNESS_MODULES:
+            module = importlib.import_module(f"repro.experiments.{name}")
+            declared[name] = set(module.CLAIM_IDS)
+        for claim in iter_claims():
+            assert claim.harness in declared, (
+                f"claim {claim.id} names unknown harness {claim.harness}")
+            assert claim.id in declared[claim.harness], (
+                f"claim {claim.id} is not listed in "
+                f"{claim.harness}.CLAIM_IDS")

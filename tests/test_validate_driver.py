@@ -1,0 +1,191 @@
+"""Tests for repro.validate.driver — claim expansion and verdict folding.
+
+A synthetic job kind returns canned metric values, so these tests
+exercise the full driver path (campaign fan-out, hash dedupe, caching,
+statistical folding) without running any simulations.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import JobSpec, ResultStore, register
+from repro.validate import (
+    FAIL,
+    INCONCLUSIVE,
+    PASS,
+    Claim,
+    ValidationReport,
+    fold_claim,
+    plan_jobs,
+    report_json,
+    run_validation,
+)
+
+
+@register("canned_metric")
+def _run_canned_metric(params):
+    return {"metric": params["metric"], "seed": params["seed"]}
+
+
+def canned_claim(claim_id, baseline_values, treatment_values, *,
+                 kind="improvement", direction="lower", effect="relative",
+                 threshold=0.10):
+    """A claim whose arms return the given per-seed metric values."""
+    def build_arms(mode, base_seed):
+        def spec(arm, value, i):
+            return JobSpec(kind="canned_metric",
+                           params={"arm": arm, "metric": value,
+                                   "seed": base_seed + i},
+                           label=f"{claim_id} {arm} seed={base_seed + i}")
+        return {
+            "baseline": [spec("baseline", v, i)
+                         for i, v in enumerate(baseline_values)],
+            "treatment": [spec("treatment", v, i)
+                          for i, v in enumerate(treatment_values)],
+        }
+
+    return Claim(
+        id=claim_id, title=f"synthetic claim {claim_id}", paper="test",
+        harness="test", kind=kind, direction=direction, effect=effect,
+        threshold=threshold, build_arms=build_arms,
+        extract=lambda value: value["metric"])
+
+
+class TestFoldClaim:
+    def test_clear_improvement_passes(self):
+        claim = canned_claim("imp", [], [])
+        verdict = fold_claim(claim, [10.0, 10.1, 9.9, 10.2],
+                             [7.0, 7.1, 6.9, 7.2])
+        assert verdict.verdict == PASS
+        assert verdict.improvement == pytest.approx(0.3, abs=0.02)
+        assert verdict.ci_low <= verdict.improvement <= verdict.ci_high
+        assert verdict.p_better < 0.05
+        assert verdict.cliffs_delta == -1.0
+
+    def test_injected_regression_fails(self):
+        # Treatment identical to baseline: zero improvement, degenerate
+        # CI below the threshold — the claimed effect is absent.
+        claim = canned_claim("reg", [], [], threshold=0.15)
+        verdict = fold_claim(claim, [10.0, 10.0, 10.0], [10.0, 10.0, 10.0])
+        assert verdict.verdict == FAIL
+        assert verdict.improvement == 0.0
+
+    def test_right_effect_but_underpowered_is_inconclusive(self):
+        # 2-vs-2 cannot reach p <= 0.05 under Mann-Whitney.
+        claim = canned_claim("small-n", [], [])
+        verdict = fold_claim(claim, [10.0, 10.2], [7.0, 7.2])
+        assert verdict.verdict == INCONCLUSIVE
+        assert verdict.improvement > claim.threshold
+
+    def test_non_regression_within_tolerance_passes(self):
+        claim = canned_claim("nr", [], [], kind="non_regression",
+                             threshold=0.05)
+        verdict = fold_claim(claim, [10.0, 10.1, 9.9],
+                             [10.2, 10.3, 10.1])  # ~2% worse, tolerated
+        assert verdict.verdict == PASS
+
+    def test_significant_regression_fails(self):
+        claim = canned_claim("nr-bad", [], [], kind="non_regression",
+                             threshold=0.05)
+        verdict = fold_claim(claim, [10.0, 10.1, 9.9, 10.2, 9.8],
+                             [13.0, 13.1, 12.9, 13.2, 12.8])
+        assert verdict.verdict == FAIL
+        assert verdict.p_worse < 0.05
+
+    def test_higher_is_better_direction(self):
+        claim = canned_claim("hi", [], [], direction="higher")
+        verdict = fold_claim(claim, [1.0, 1.1, 0.9, 1.05],
+                             [2.0, 2.1, 1.9, 2.05])
+        assert verdict.verdict == PASS
+        assert verdict.improvement > 0.5
+
+    def test_absolute_effect_scale(self):
+        claim = canned_claim("abs", [], [], effect="absolute",
+                             threshold=1.0)
+        verdict = fold_claim(claim, [5.0, 5.1, 4.9, 5.0],
+                             [3.0, 3.1, 2.9, 3.0])
+        assert verdict.improvement == pytest.approx(2.0, abs=0.01)
+
+    def test_empty_arm_rejected(self):
+        claim = canned_claim("empty", [], [])
+        with pytest.raises(ValueError):
+            fold_claim(claim, [], [1.0])
+
+
+class TestPlanJobs:
+    def test_shared_jobs_dedupe(self):
+        a = canned_claim("a", [1.0, 2.0], [0.5, 0.6])
+        b = canned_claim("b", [1.0, 2.0], [0.5, 0.6])  # identical params
+        plan, specs = plan_jobs([a, b], "quick", 0)
+        assert len(plan) == 2
+        assert len(specs) == 4  # 8 arm entries, 4 unique simulations
+
+    def test_missing_arm_rejected(self):
+        claim = canned_claim("x", [1.0], [0.5])
+        broken = Claim(
+            id="broken", title="t", paper="p", harness="h",
+            kind="improvement", direction="lower", effect="relative",
+            threshold=0.1,
+            build_arms=lambda mode, seed: {"baseline": []},
+            extract=claim.extract)
+        with pytest.raises(ValueError):
+            plan_jobs([broken], "quick", 0)
+
+
+class TestRunValidation:
+    CLAIMS = None  # built per-test; canned claims never enter the registry
+
+    def make_claims(self):
+        improving = canned_claim(
+            "syn-improves", [10.0, 10.1, 9.9, 10.2, 9.8],
+            [7.0, 7.1, 6.9, 7.2, 6.8])
+        flat = canned_claim(
+            "syn-flat", [10.0, 10.1, 9.9], [10.0, 10.1, 9.9],
+            threshold=0.15)
+        return [improving, flat]
+
+    def test_end_to_end_verdicts(self):
+        report = run_validation(self.make_claims(), fingerprint="pinned")
+        assert isinstance(report, ValidationReport)
+        by_id = {v.claim_id: v for v in report.verdicts}
+        assert by_id["syn-improves"].verdict == PASS
+        assert by_id["syn-flat"].verdict == FAIL
+        assert report.worst == FAIL
+        assert report.counts() == {PASS: 1, FAIL: 1, INCONCLUSIVE: 0}
+
+    def test_report_json_byte_identical_and_cache_invariant(self, tmp_path):
+        store = ResultStore(tmp_path / "cache", fingerprint="pinned")
+        cold = run_validation(self.make_claims(), store=store,
+                              fingerprint="pinned")
+        warm = run_validation(self.make_claims(), store=store,
+                              fingerprint="pinned")
+        nocache = run_validation(self.make_claims(), fingerprint="pinned")
+        assert report_json(cold) == report_json(warm) == report_json(nocache)
+
+    def test_report_json_is_canonical(self):
+        report = run_validation(self.make_claims(), fingerprint="pinned")
+        payload = json.loads(report_json(report))
+        assert payload["overall"] == FAIL
+        assert payload["code_fingerprint"] == "pinned"
+        claim = payload["claims"][0]
+        assert {"claim_id", "verdict", "ci", "p_better", "p_worse",
+                "baseline_samples", "treatment_samples"} <= set(claim)
+
+    def test_failed_job_raises(self):
+        claim = canned_claim("boom", [1.0], [0.5])
+        arms = claim.build_arms("quick", 0)
+        arms["baseline"][0].params["knobs"] = {"_fail_attempts": 99}
+        broken = Claim(
+            id="boom", title="t", paper="p", harness="h",
+            kind="improvement", direction="lower", effect="relative",
+            threshold=0.1, build_arms=lambda mode, seed: arms,
+            extract=claim.extract)
+        with pytest.raises(RuntimeError, match="failed"):
+            run_validation([broken], retries=0, fingerprint="pinned")
+
+    def test_render_text_mentions_every_claim(self):
+        report = run_validation(self.make_claims(), fingerprint="pinned")
+        text = report.render_text()
+        assert "syn-improves" in text and "syn-flat" in text
+        assert "overall: FAIL" in text

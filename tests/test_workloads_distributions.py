@@ -56,6 +56,23 @@ class TestHeavyTailed:
         with pytest.raises(ValueError):
             heavy_tailed_flow_sizes(10, rng, alpha=0)
 
+    def test_same_seed_identical_draws(self):
+        a = heavy_tailed_flow_sizes(200, random.Random(11))
+        b = heavy_tailed_flow_sizes(200, random.Random(11))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = heavy_tailed_flow_sizes(200, random.Random(11))
+        b = heavy_tailed_flow_sizes(200, random.Random(12))
+        assert a != b
+
+    def test_boundary_clamping(self):
+        # A tiny span forces the Pareto tail against both clamps.
+        sizes = heavy_tailed_flow_sizes(2000, random.Random(13),
+                                        minimum=1_000, maximum=1_500)
+        assert min(sizes) >= 1_000
+        assert max(sizes) <= 1_500
+
 
 class TestEmpiricalCdf:
     def test_validation(self):
@@ -67,6 +84,21 @@ class TestEmpiricalCdf:
             EmpiricalCdf([(1, 0.0), (2, 0.9)])
         with pytest.raises(ValueError):
             EmpiricalCdf([(5, 0.0), (2, 1.0)])
+
+    def test_rejects_fewer_than_two_breakpoints(self):
+        with pytest.raises(ValueError):
+            EmpiricalCdf([])
+        with pytest.raises(ValueError):
+            EmpiricalCdf([(1, 0.0)])
+
+    def test_same_seed_identical_draws(self):
+        cdf = EmpiricalCdf([(10, 0.0), (100, 0.5), (1000, 1.0)])
+        a = [cdf.sample(random.Random(21)) for _ in range(100)]
+        b = [cdf.sample(random.Random(21)) for _ in range(100)]
+        assert a == b
+        # One shared stream across calls is equally reproducible.
+        rng1, rng2 = random.Random(22), random.Random(22)
+        assert cdf.sample_sizes(100, rng1) == cdf.sample_sizes(100, rng2)
 
     def test_samples_within_support(self):
         cdf = EmpiricalCdf([(10, 0.0), (100, 0.5), (1000, 1.0)])
