@@ -27,6 +27,7 @@ from repro.campaign.spec import (
     JobSpec,
     canonical_json,
     fairness_job,
+    flowsim_sweep_job,
     single_flow_job,
     stability_job,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "collect_values",
     "execute_job",
     "fairness_job",
+    "flowsim_sweep_job",
     "register",
     "run_campaign",
     "single_flow_job",

@@ -1,0 +1,51 @@
+"""repro.flowsim — the analytical (flow-level) fidelity tier.
+
+Packet-level fidelity caps experiments at thousands of flows; this
+package models flows in closed form at O(1) cost each, unlocking
+million-flow SUSS studies (see DESIGN.md §9 "Fidelity tiers"):
+
+* :mod:`repro.flowsim.model` — the :class:`FlowModel` protocol,
+  :class:`PathParams` (a scenario projected onto the analytical tier)
+  and :class:`FlowEstimate` (per-flow FCT/loss outputs);
+* :mod:`repro.flowsim.csa00` — the CSA00 closed-form FCT structure;
+* :mod:`repro.flowsim.suss_term` — SUSS's compressed slow start as a
+  growth-schedule override;
+* :mod:`repro.flowsim.driver` — memoised fleet driver (millions of
+  flows per second) over `repro.workloads` size/arrival distributions;
+* :mod:`repro.flowsim.crossval` — packet-vs-analytical agreement
+  harness backing the golden tolerance suite.
+"""
+
+from repro.flowsim import csa00 as _csa00          # noqa: F401 (registers)
+from repro.flowsim import suss_term as _suss_term  # noqa: F401 (registers)
+from repro.flowsim.driver import (
+    FleetResult,
+    SweepConfig,
+    SweepResult,
+    estimate_fleet,
+    poisson_arrivals,
+    run_sweep,
+    shard_seed,
+)
+from repro.flowsim.model import (
+    FlowEstimate,
+    FlowModel,
+    PathParams,
+    available_models,
+    create_model,
+)
+
+__all__ = [
+    "FleetResult",
+    "FlowEstimate",
+    "FlowModel",
+    "PathParams",
+    "SweepConfig",
+    "SweepResult",
+    "available_models",
+    "create_model",
+    "estimate_fleet",
+    "poisson_arrivals",
+    "run_sweep",
+    "shard_seed",
+]

@@ -1,0 +1,286 @@
+"""Vectorised fleet driver: model millions of flows in closed form.
+
+The driver is where the analytical tier earns its keep: a
+:class:`~repro.flowsim.model.FlowModel` is a pure function of
+``(segment count, path)``, so a fleet of a million flows drawn from a
+flow-size distribution collapses to one closed-form evaluation per
+*distinct* segment count plus a dictionary lookup per flow.  Internet
+mixes are heavy-tailed but quantised by the MSS — a 100 MB ceiling is
+only ~69k distinct segment counts — so the sweep the acceptance
+criteria time (10^6 flows, both schemes) does a few tens of thousands
+of model evaluations, not two million.
+
+Flow sizes come from :mod:`repro.workloads.distributions` (the same
+mix vocabulary the packet tier's cross-traffic uses) and arrival times
+from a Poisson process on the modelled timeline; both draw from
+:func:`repro.sim.rng.derive_seed`-derived streams so fleets are
+reproducible and independent per purpose.
+
+When an :class:`~repro.obs.tracer.Observability` bundle is supplied the
+driver emits one ``flowsim.flow`` record per flow through the ordinary
+sink machinery — same tooling, different fidelity tier.  For
+million-flow sweeps leave ``obs`` unset; the record stream, not the
+model, would dominate the run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.flowsim.model import FlowEstimate, FlowModel, PathParams, create_model
+from repro.metrics.summary import Summary, summarize
+from repro.obs.records import FLOWSIM_FLOW
+from repro.obs.tracer import Observability
+from repro.sim.rng import derive_seed
+from repro.workloads.distributions import sample_flow_sizes
+
+#: default offered load for the synthetic arrival process, flows/sec.
+DEFAULT_ARRIVAL_RATE = 1000.0
+
+
+def shard_seed(seed: int, shard: int) -> int:
+    """Seed for one shard of a sharded sweep: a distinct derived stream
+    per shard so the union of shard fleets is one deterministic fleet."""
+    return derive_seed(seed, f"flowsim.shard:{shard}")
+
+
+def poisson_arrivals(n: int, rate: float, rng: random.Random) -> List[float]:
+    """Arrival times of a Poisson process with ``rate`` flows/second."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if rate <= 0.0:
+        raise ValueError("rate must be positive")
+    expo = rng.expovariate
+    t = 0.0
+    out: List[float] = []
+    append = out.append
+    for _ in range(n):
+        t += expo(rate)
+        append(t)
+    return out
+
+
+@dataclass
+class FleetResult:
+    """Aggregate outcome of one modelled fleet (one model, one path)."""
+
+    model: str
+    n_flows: int
+    fcts: List[float] = field(repr=False)
+    sizes: List[int] = field(repr=False)
+    total_bytes: int = 0
+    total_segments: int = 0
+    expected_retransmits: float = 0.0
+    rounds_saved_total: int = 0
+    distinct_segment_counts: int = 0
+
+    def fct_summary(self) -> Summary:
+        return summarize(self.fcts)
+
+    @property
+    def mean_rounds_saved(self) -> float:
+        if self.n_flows == 0:
+            return 0.0
+        return self.rounds_saved_total / self.n_flows
+
+
+def estimate_fleet(model: FlowModel, sizes: Sequence[int], path: PathParams,
+                   *, arrivals: Optional[Sequence[float]] = None,
+                   obs: Optional[Observability] = None,
+                   flow_base: int = 1) -> FleetResult:
+    """Model every flow in ``sizes``, memoising by segment count.
+
+    Two sizes that quantise to the same number of MSS-sized segments
+    have identical closed-form outcomes, so the model runs once per
+    distinct segment count.  ``arrivals`` (parallel to ``sizes``) only
+    matters for the timeline stamped onto emitted ``flowsim.flow``
+    records; the analytical tier models flows independently, so
+    arrivals never change an FCT.
+    """
+    if arrivals is not None and len(arrivals) != len(sizes):
+        raise ValueError("arrivals must parallel sizes")
+    mss = path.mss
+    cache: Dict[int, FlowEstimate] = {}
+    estimate = model.estimate
+    fcts: List[float] = []
+    append = fcts.append
+    total_bytes = 0
+    total_segments = 0
+    retx = 0.0
+    saved = 0
+    emit = obs.emit if obs is not None else None
+    for i, size in enumerate(sizes):
+        d = -(-size // mss)
+        est = cache.get(d)
+        if est is None:
+            est = estimate(size, path)
+            cache[d] = est
+        append(est.fct)
+        total_bytes += size
+        total_segments += d
+        retx += est.retransmits
+        saved += est.rounds_saved
+        if emit is not None:
+            t = arrivals[i] if arrivals is not None else 0.0
+            emit(t, FLOWSIM_FLOW, flow=flow_base + i, model=model.name,
+                 size=size, fct=est.fct, rounds=est.ss_rounds,
+                 rounds_saved=est.rounds_saved, retx=est.retransmits)
+    return FleetResult(model=model.name, n_flows=len(sizes), fcts=fcts,
+                       sizes=list(sizes), total_bytes=total_bytes,
+                       total_segments=total_segments,
+                       expected_retransmits=retx, rounds_saved_total=saved,
+                       distinct_segment_counts=len(cache))
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """A reproducible fleet sweep: one path, one mix, N flows per model."""
+
+    path: PathParams
+    flows: int = 100_000
+    size_dist: str = "campus"
+    arrival_rate: float = DEFAULT_ARRIVAL_RATE
+    seed: int = 1
+    models: Tuple[str, ...] = ("csa00", "csa00+suss")
+
+    def __post_init__(self) -> None:
+        if self.flows <= 0:
+            raise ValueError("flows must be positive")
+        if not self.models:
+            raise ValueError("need at least one model")
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Per-model fleet results plus the headline SUSS comparison."""
+
+    config: SweepConfig
+    fleets: Dict[str, FleetResult]
+
+    def improvement(self, baseline: str = "csa00",
+                    treatment: str = "csa00+suss",
+                    stat: str = "mean") -> float:
+        """Relative FCT improvement of ``treatment`` over ``baseline``
+        (positive means the treatment is faster — the direction of the
+        paper's Fig. 11/12).
+
+        The headline statistic is the mean: on internet mixes the
+        *median* flow fits in two slow-start rounds (IW covers it), a
+        regime SUSS cannot compress, so the median is often identical
+        while the mean captures the tail SUSS accelerates.
+        """
+        base_summary = self.fleets[baseline].fct_summary()
+        treat_summary = self.fleets[treatment].fct_summary()
+        base = getattr(base_summary, stat)
+        treat = getattr(treat_summary, stat)
+        if base == 0.0:
+            return 0.0
+        return (base - treat) / base
+
+
+def fleet_to_value(fleet: FleetResult) -> Dict[str, object]:
+    """JSON-serialisable digest of one fleet (campaign result unit)."""
+    s = fleet.fct_summary()
+    return {
+        "n": fleet.n_flows,
+        "fct_mean": s.mean,
+        "fct_std": s.std,
+        "fct_median": s.median,
+        "fct_p95": s.p95,
+        "fct_min": s.minimum,
+        "fct_max": s.maximum,
+        "total_bytes": fleet.total_bytes,
+        "total_segments": fleet.total_segments,
+        "expected_retransmits": fleet.expected_retransmits,
+        "rounds_saved_mean": fleet.mean_rounds_saved,
+        "distinct_segment_counts": fleet.distinct_segment_counts,
+    }
+
+
+def sweep_to_value(result: SweepResult) -> Dict[str, object]:
+    """JSON-serialisable digest of a whole sweep."""
+    cfg = result.config
+    value: Dict[str, object] = {
+        "flows": cfg.flows,
+        "size_dist": cfg.size_dist,
+        "seed": cfg.seed,
+        "arrival_rate": cfg.arrival_rate,
+        "models": {name: fleet_to_value(fleet)
+                   for name, fleet in result.fleets.items()},
+    }
+    if "csa00" in result.fleets and "csa00+suss" in result.fleets:
+        value["improvement"] = result.improvement()
+    return value
+
+
+def merge_sweep_values(values: Sequence[Dict[str, object]]
+                       ) -> Dict[str, object]:
+    """Merge per-shard sweep digests (from :func:`sweep_to_value`).
+
+    Counts, byte totals, retransmit expectations and extremes merge
+    exactly; means merge as flow-weighted averages.  Medians and p95s
+    are flow-weighted averages of the shard statistics — each shard
+    draws i.i.d. from the same size distribution, so shard quantiles
+    estimate the same population quantile and averaging them is an
+    unbiased combination, not an exact pooled quantile.
+    """
+    if not values:
+        raise ValueError("need at least one shard value")
+    model_names = list(values[0]["models"])  # type: ignore[arg-type]
+    merged_models: Dict[str, Dict[str, float]] = {}
+    for name in model_names:
+        shards = [v["models"][name] for v in values]  # type: ignore[index]
+        n = sum(s["n"] for s in shards)
+        weighted = lambda key: sum(s[key] * s["n"] for s in shards) / n
+        merged_models[name] = {
+            "n": n,
+            "fct_mean": weighted("fct_mean"),
+            "fct_std": weighted("fct_std"),
+            "fct_median": weighted("fct_median"),
+            "fct_p95": weighted("fct_p95"),
+            "fct_min": min(s["fct_min"] for s in shards),
+            "fct_max": max(s["fct_max"] for s in shards),
+            "total_bytes": sum(s["total_bytes"] for s in shards),
+            "total_segments": sum(s["total_segments"] for s in shards),
+            "expected_retransmits": sum(s["expected_retransmits"]
+                                        for s in shards),
+            "rounds_saved_mean": weighted("rounds_saved_mean"),
+            "distinct_segment_counts": max(s["distinct_segment_counts"]
+                                           for s in shards),
+        }
+    merged: Dict[str, object] = {
+        "flows": sum(v["flows"] for v in values),  # type: ignore[misc]
+        "size_dist": values[0]["size_dist"],
+        "seed": values[0]["seed"],
+        "arrival_rate": values[0]["arrival_rate"],
+        "shards": len(values),
+        "models": merged_models,
+    }
+    if "csa00" in merged_models and "csa00+suss" in merged_models:
+        base = merged_models["csa00"]["fct_mean"]
+        treat = merged_models["csa00+suss"]["fct_mean"]
+        merged["improvement"] = (base - treat) / base if base else 0.0
+    return merged
+
+
+def run_sweep(config: SweepConfig,
+              obs: Optional[Observability] = None) -> SweepResult:
+    """Run the configured fleet through every model on identical draws.
+
+    All models see the *same* sizes and arrivals (streams derived from
+    the sweep seed by purpose), so a ±SUSS comparison is paired at the
+    flow level, not merely distribution-level.
+    """
+    size_rng = random.Random(derive_seed(config.seed, "flowsim.sizes"))
+    arr_rng = random.Random(derive_seed(config.seed, "flowsim.arrivals"))
+    sizes = sample_flow_sizes(config.size_dist, config.flows, size_rng)
+    arrivals = (poisson_arrivals(config.flows, config.arrival_rate, arr_rng)
+                if obs is not None else None)
+    fleets: Dict[str, FleetResult] = {}
+    for name in config.models:
+        model = create_model(name)
+        fleets[name] = estimate_fleet(model, sizes, config.path,
+                                      arrivals=arrivals, obs=obs)
+    return SweepResult(config=config, fleets=fleets)

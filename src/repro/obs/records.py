@@ -70,6 +70,11 @@ SUSS_ABORT = "suss.abort"
 #: fields are allowed here; campaign records are never part of golden
 #: digests, which hash simulation streams only.
 CAMPAIGN_JOB = "campaign.job"
+#: one analytically modelled flow from the flowsim fidelity tier
+#: (model, size, fct, rounds, retx).  ``t`` is the flow's arrival time
+#: on the modelled timeline, not an engine timestamp — flowsim runs no
+#: engine events, so these records always carry the root causal context.
+FLOWSIM_FLOW = "flowsim.flow"
 
 #: every kind the stack can emit, for filter validation
 ALL_KINDS = frozenset({
@@ -77,7 +82,7 @@ ALL_KINDS = frozenset({
     CC_CWND, CC_SS_EXIT,
     TCP_RTT, TCP_RTO, TCP_RECOVERY, TCP_PACING, TCP_DELIVERED,
     SUSS_DECISION, SUSS_PLAN, SUSS_ABORT,
-    CAMPAIGN_JOB,
+    CAMPAIGN_JOB, FLOWSIM_FLOW,
 })
 
 

@@ -180,10 +180,23 @@ def _bench_download(cc: str) -> None:
     assert transfer.completed
 
 
+def _bench_flowsim_fleet() -> None:
+    from repro.flowsim.driver import SweepConfig, run_sweep
+    from repro.flowsim.model import PathParams
+
+    config = SweepConfig(path=PathParams(rtt=0.04, btl_bw=2_500_000),
+                         flows=100_000, size_dist="campus", seed=1)
+    result = run_sweep(config)
+    assert result.fleets["csa00"].n_flows == 100_000
+
+
 _PERF_WORKLOADS = {
     "engine_event_throughput": _bench_engine_events,
     "transfer_packet_throughput": lambda: _bench_download("cubic"),
     "suss_transfer_throughput": lambda: _bench_download("cubic+suss"),
+    # 2x100k modelled flows; the baseline entry keeps the analytical
+    # tier honest about its >= 1e5 flows/sec promise.
+    "flowsim_fleet_throughput": _bench_flowsim_fleet,
 }
 
 

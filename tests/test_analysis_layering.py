@@ -164,6 +164,74 @@ class TestNonViolations:
         assert check_layering(root) == []
 
 
+class TestFlowsimLayer:
+    """The analytical tier's declared position: above workloads and
+    metrics, below experiments/campaign/validate."""
+
+    def test_flowsim_may_import_its_foundations(self, tmp_path):
+        root = make_package(tmp_path, {
+            "flowsim/driver.py": """\
+                from repro.workloads.distributions import sample_flow_sizes
+                from repro.metrics.summary import summarize
+                from repro.sim.rng import derive_seed
+                from repro.obs.tracer import Observability
+                """,
+            "flowsim/crossval.py": """\
+                from repro.sim.engine import Simulator
+                from repro.tcp.connection import open_transfer
+                from repro.core.growth import growth_factor
+                """,
+            "workloads/distributions.py": "def sample_flow_sizes():\n    pass\n",
+            "metrics/summary.py": "def summarize():\n    pass\n",
+            "sim/rng.py": "def derive_seed():\n    pass\n",
+            "sim/engine.py": "class Simulator:\n    pass\n",
+            "tcp/connection.py": "def open_transfer():\n    pass\n",
+            "core/growth.py": "def growth_factor():\n    pass\n",
+            "obs/tracer.py": "class Observability:\n    pass\n",
+        })
+        assert check_layering(root) == []
+
+    def test_flowsim_importing_experiments_is_lay001(self, tmp_path):
+        """Experiments drive flowsim, never the reverse — the crossval
+        harness re-implements the single-flow recipe for this reason."""
+        root = make_package(tmp_path, {
+            "flowsim/crossval.py":
+                "from repro.experiments.runner import run_single_flow\n",
+            "experiments/runner.py": "def run_single_flow():\n    pass\n",
+        })
+        findings = check_layering(root)
+        assert [f.rule for f in findings] == ["LAY001"]
+        assert "flowsim" in findings[0].message
+
+    def test_campaign_and_experiments_may_import_flowsim(self, tmp_path):
+        root = make_package(tmp_path, {
+            "campaign/jobs.py":
+                "from repro.flowsim.driver import run_sweep\n",
+            "experiments/ext_fleet.py":
+                "from repro.flowsim.model import create_model\n",
+            "flowsim/driver.py": "def run_sweep():\n    pass\n",
+            "flowsim/model.py": "def create_model():\n    pass\n",
+        })
+        assert check_layering(root) == []
+
+    def test_flowsim_validate_stats_waiver_is_narrow(self, tmp_path):
+        """``validate.stats`` (pure stdlib statistics) is waived for the
+        crossval scoring; the rest of the validate layer is not."""
+        allowed = make_package(tmp_path / "ok", {
+            "flowsim/crossval.py":
+                "from repro.validate.stats import cliffs_delta\n",
+            "validate/stats.py": "def cliffs_delta():\n    pass\n",
+        })
+        assert check_layering(allowed) == []
+        denied = make_package(tmp_path / "bad", {
+            "flowsim/crossval.py":
+                "from repro.validate.claims import CLAIMS\n",
+            "validate/claims.py": "CLAIMS = {}\n",
+        })
+        findings = check_layering(denied)
+        assert [f.rule for f in findings] == ["LAY001"]
+
+
 class TestRealTree:
     def test_repro_tree_satisfies_declared_dag(self):
         repo = Path(__file__).resolve().parent.parent

@@ -18,6 +18,8 @@ from repro.campaign import (
     campaign_stats,
     code_fingerprint,
     collect_values,
+    execute_job,
+    flowsim_sweep_job,
     run_campaign,
     single_flow_job,
     stability_job,
@@ -280,3 +282,91 @@ class TestProgressReporter:
         assert reporter.eta is None
         reporter.job_done("a", "ok", runtime=2.0)
         assert reporter.eta == pytest.approx(2.0 * 3 / 2)
+
+
+class TestFlowsimJobs:
+    """The analytical fidelity tier as campaign work: the ``fidelity``
+    arm of single-flow jobs and the ``flowsim_sweep`` kind."""
+
+    PATH = {"rtt": 0.04, "btl_bw": 2_500_000}
+
+    def test_default_fidelity_keeps_hash_and_params(self):
+        """Pre-flowsim job hashes must not move: the default fidelity
+        is omitted from params entirely."""
+        plain = spec_for(1)
+        explicit = spec_for(1, fidelity="packet")
+        assert "fidelity" not in plain.params
+        assert plain.job_hash == explicit.job_hash
+
+    def test_analytical_fidelity_is_a_distinct_job(self):
+        spec = spec_for(1, fidelity="analytical")
+        assert spec.params["fidelity"] == "analytical"
+        assert spec.job_hash != spec_for(1).job_hash
+        assert "[analytical]" in spec.label
+
+    def test_unknown_fidelity_rejected(self):
+        with pytest.raises(ValueError):
+            spec_for(1, fidelity="quantum")
+
+    def test_analytical_job_keeps_packet_schema(self):
+        from repro.flowsim.model import PathParams, create_model
+
+        spec = spec_for(3, fidelity="analytical")
+        value = execute_job(spec.to_json(), attempt=1)["value"]
+        packet_keys = {"scenario", "cc", "size_bytes", "seed", "fct",
+                       "completed", "retransmissions", "rto_count",
+                       "data_packets_sent", "drops", "loss_rate"}
+        assert packet_keys <= set(value)
+        assert value["completed"] is True
+        assert value["fidelity"] == "analytical"
+        est = create_model("csa00").estimate(
+            SIZE, PathParams.from_scenario(SCENARIO))
+        assert value["fct"] == est.fct
+        assert value["seed"] == 3  # seeds do not move closed forms
+
+    def test_sweep_job_roundtrip_and_determinism(self):
+        spec = flowsim_sweep_job(self.PATH, 400, seed=5)
+        value = execute_job(spec.to_json(), attempt=1)["value"]
+        assert value["flows"] == 400
+        assert value["seed"] == 5
+        assert value["models"]["csa00"]["n"] == 400
+        assert value["improvement"] >= 0.0
+        again = execute_job(spec.to_json(), attempt=1)["value"]
+        assert again == value
+
+    def test_unsharded_hash_has_no_shard_keys(self):
+        plain = flowsim_sweep_job(self.PATH, 100)
+        explicit = flowsim_sweep_job(self.PATH, 100, shard=0, shards=1)
+        assert "shard" not in plain.params
+        assert plain.job_hash == explicit.job_hash
+
+    def test_shard_split_covers_all_flows(self):
+        specs = [flowsim_sweep_job(self.PATH, 1002, shard=i, shards=4)
+                 for i in range(4)]
+        assert [s.params["flows"] for s in specs] == [251, 251, 250, 250]
+        assert len({s.job_hash for s in specs}) == 4
+
+    def test_sharded_sweep_merges_to_deterministic_union(self):
+        from repro.flowsim.driver import merge_sweep_values
+
+        specs = [flowsim_sweep_job(self.PATH, 900, shard=i, shards=3,
+                                   seed=7) for i in range(3)]
+        values = [execute_job(s.to_json(), attempt=1)["value"]
+                  for s in specs]
+        for i, value in enumerate(values):
+            assert value["shard"] == i
+            assert value["shards"] == 3
+            assert value["seed"] == 7  # the sweep seed, not the derived one
+        merged = merge_sweep_values(values)
+        assert merged["flows"] == 900
+        assert merged["shards"] == 3
+        assert merged["models"]["csa00"]["n"] == 900
+        # Distinct derived streams per shard: the shard fleets differ.
+        means = {v["models"]["csa00"]["fct_mean"] for v in values}
+        assert len(means) == 3
+
+    def test_shard_validation(self):
+        with pytest.raises(ValueError):
+            flowsim_sweep_job(self.PATH, 100, shard=2, shards=2)
+        with pytest.raises(ValueError):
+            flowsim_sweep_job(self.PATH, 0)

@@ -395,3 +395,68 @@ class TestValidate:
         report = json.loads(out_path.read_text())
         assert report["overall"] == "PASS"
         assert capsys.readouterr().out  # text report still printed
+
+
+class TestFlowsim:
+    """The ``repro flowsim`` analytical-tier command."""
+
+    def test_single_query_breakdown(self, capsys):
+        rc = main(["flowsim", "--size", "60000", "--rtt", "0.04",
+                   "--bw", "20"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fct:" in out
+        assert "slow start:" in out
+        assert "csa00+suss" in out  # default model
+
+    def test_single_query_json_schema(self, capsys):
+        rc = main(["flowsim", "--size", "60000", "--model", "csa00",
+                   "--json"])
+        assert rc == 0
+        est = json.loads(capsys.readouterr().out)
+        assert est["model"] == "csa00"
+        assert est["segments"] == 42
+        assert est["fct"] > 0.0
+
+    def test_query_accepts_scenario_name(self, capsys):
+        rc = main(["flowsim", "--size", "100000",
+                   "--scenario", "google-tokyo/wired"])
+        assert rc == 0
+        assert "fct:" in capsys.readouterr().out
+
+    def test_sweep_reports_improvement_and_throughput(self, capsys):
+        rc = main(["flowsim", "--flows", "2000", "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "SUSS mean-FCT improvement" in out
+        assert "flows/sec" in out
+
+    def test_sweep_json_value(self, capsys):
+        rc = main(["flowsim", "--flows", "1000", "--json"])
+        assert rc == 0
+        value = json.loads(capsys.readouterr().out)
+        assert value["flows"] == 1000
+        assert value["improvement"] >= 0.0
+        assert value["models"]["csa00"]["n"] == 1000
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["flowsim", "--flows", "10", "--models", "bogus"])
+
+    def test_crossval_quick_passes_and_writes_report(self, tmp_path,
+                                                     capsys):
+        report_path = tmp_path / "agreement.json"
+        rc = main(["flowsim", "--cross-validate", "--quick", "--json",
+                   "--report", str(report_path)])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passed"] is True
+        on_disk = json.loads(report_path.read_text())
+        assert on_disk["passed"] is True
+        assert len(on_disk["cases"]) >= 6
+
+    def test_crossval_strict_tolerance_fails(self, capsys):
+        rc = main(["flowsim", "--cross-validate", "--quick", "--json",
+                   "--tolerance", "0.00001"])
+        assert rc == 1
+        assert json.loads(capsys.readouterr().out)["passed"] is False

@@ -1,0 +1,139 @@
+"""Cross-validation suite: packet tier vs analytical tier agreement.
+
+The committed golden file (``tests/golden/flowsim_crossval.json``,
+regenerable with ``repro flowsim --cross-validate --update-golden``)
+pins the agreement numbers of the full validation matrix.  Two kinds of
+drift fail loudly here:
+
+* **model drift** — any change to the analytical closed forms moves
+  ``analytical_fct`` off its recorded value (exact float equality, the
+  models are deterministic), and
+* **packet-tier drift** — any change to the simulator/TCP/SUSS stack
+  moves the fixed-seed packet FCTs off their recorded values.
+
+Agreement itself (every cell within the documented 15% band) is
+asserted both on the recorded numbers and on the fresh run.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.flowsim.crossval import (
+    SCHEME_PAIRS,
+    TOLERANCE_REL_MEDIAN_FCT,
+    default_cases,
+    quick_cases,
+    run_case,
+    run_crossval,
+)
+from repro.flowsim.model import PathParams, create_model
+
+GOLDEN = Path(__file__).parent / "golden" / "flowsim_crossval.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+@pytest.fixture(scope="module")
+def fresh_report():
+    """One full both-tier run shared by the agreement/drift tests."""
+    return run_crossval()
+
+
+class TestGoldenFile:
+    def test_covers_full_matrix(self, golden):
+        names = {c["name"] for c in golden["cases"]}
+        assert names == {c.name for c in default_cases()}
+        assert len(names) >= 6  # the acceptance floor
+
+    def test_recorded_agreement_within_tolerance(self, golden):
+        assert golden["tolerance"] == TOLERANCE_REL_MEDIAN_FCT
+        assert golden["passed"] is True
+        for case in golden["cases"]:
+            assert case["rel_median_error"] <= golden["tolerance"], (
+                case["name"])
+
+    def test_recorded_errors_consistent(self, golden):
+        for case in golden["cases"]:
+            expect = (abs(case["analytical_fct"] - case["packet_median"])
+                      / case["packet_median"])
+            assert case["rel_median_error"] == pytest.approx(expect)
+
+    def test_scheme_pairing_recorded(self, golden):
+        for case in golden["cases"]:
+            assert case["model"] == SCHEME_PAIRS[case["cc"]]
+
+
+class TestAnalyticalDrift:
+    def test_analytical_fcts_match_golden_exactly(self, golden):
+        """The closed forms are deterministic: any deviation from the
+        recorded value is a model change and must re-record the golden
+        file deliberately."""
+        by_name = {c.name: c for c in default_cases()}
+        for case in golden["cases"]:
+            spec = by_name[case["name"]]
+            path = PathParams.from_scenario(spec.scenario)
+            est = create_model(spec.model).estimate(spec.size_bytes, path)
+            assert est.fct == case["analytical_fct"], case["name"]
+
+
+class TestPacketDrift:
+    def test_packet_fcts_match_golden_exactly(self, golden, fresh_report):
+        """Fixed seeds make the packet tier deterministic: the fresh
+        per-seed FCT vectors must be byte-identical to the recording."""
+        recorded = {c["name"]: c["packet_fcts"] for c in golden["cases"]}
+        for case in fresh_report.cases:
+            assert list(case.packet_fcts) == recorded[case.name], case.name
+
+
+class TestFreshAgreement:
+    def test_every_cell_within_tolerance(self, fresh_report):
+        for case in fresh_report.cases:
+            assert case.within(), (
+                f"{case.name}: rel error {case.rel_median_error:.3f} "
+                f"exceeds {TOLERANCE_REL_MEDIAN_FCT:.0%}")
+        assert fresh_report.passed
+
+    def test_no_systematic_bias(self, fresh_report):
+        """Cliff's delta between the tiers' FCT vectors stays far from
+        ±1 — the analytical tier is not uniformly on one side by a
+        distribution-dominating margin."""
+        assert abs(fresh_report.delta) < 1.0
+
+    def test_suss_direction_matches_packet_tier(self, fresh_report):
+        """Fig. 11/12 direction in both tiers: each SUSS cell beats its
+        base cell within the same scenario/size."""
+        by_name = {c.name: c for c in fresh_report.cases}
+        for name, case in by_name.items():
+            if not name.endswith("-suss"):
+                continue
+            base = by_name[name[: -len("suss")] + "base"]
+            assert case.packet_median < base.packet_median, name
+            assert case.analytical_fct < base.analytical_fct, name
+
+
+class TestQuickCases:
+    def test_quick_subset_of_default(self):
+        quick = quick_cases()
+        assert len(quick) >= 6
+        default_names = {c.name for c in default_cases()}
+        for case in quick:
+            assert case.name in default_names
+            assert case.seeds == (1,)
+
+    def test_run_case_scores_one_cell(self):
+        result = run_case(quick_cases()[0])
+        assert result.packet_fcts
+        assert result.rel_median_error >= 0.0
+        assert result.within()
+
+
+class TestRunCrossval:
+    def test_empty_case_list_rejected(self):
+        with pytest.raises(ValueError):
+            run_crossval([])

@@ -137,6 +137,7 @@ class TestPerfBaselineFile:
             "engine_event_throughput",
             "transfer_packet_throughput",
             "suss_transfer_throughput",
+            "flowsim_fleet_throughput",
         }
         for entry in baseline["metrics"].values():
             assert entry["value"] > 0.0
