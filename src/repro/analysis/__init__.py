@@ -8,6 +8,8 @@ This package makes both enforceable:
 
 * :mod:`repro.analysis.lint` — AST determinism rules (DET0xx);
 * :mod:`repro.analysis.layering` — import-graph DAG checker (LAY0xx);
+* :mod:`repro.analysis.units` — flow-sensitive unit/dimension checker
+  (UNIT0xx) anchored on the :mod:`repro.core.units` annotations;
 * :mod:`repro.analysis.sanitize` — runtime invariant checks (SAN0xx),
   wired into the engine/net/tcp layers behind ``REPRO_SANITIZE=1``;
 * :mod:`repro.analysis.cli` — the ``repro lint`` subcommand.
@@ -16,13 +18,25 @@ This package makes both enforceable:
 even :mod:`repro.sim` may depend on it without inverting the layer DAG.
 """
 
-from repro.analysis.findings import RULES, Finding, render_json, render_text
+from repro.analysis.findings import (
+    RULES,
+    Finding,
+    explain,
+    render_json,
+    render_text,
+)
 from repro.analysis.layering import (
     DEFAULT_LAYER_DAG,
     check_layering,
     find_package_roots,
 )
 from repro.analysis.lint import applicable_rules, lint_paths, lint_source
+from repro.analysis.units import (
+    applicable_unit_rules,
+    check_units_paths,
+    check_units_source,
+    check_units_sources,
+)
 from repro.analysis.sanitize import (
     ENV_VAR,
     SanitizeError,
@@ -34,6 +48,7 @@ from repro.analysis.sanitize import (
 __all__ = [
     "RULES",
     "Finding",
+    "explain",
     "render_json",
     "render_text",
     "DEFAULT_LAYER_DAG",
@@ -42,6 +57,10 @@ __all__ = [
     "applicable_rules",
     "lint_paths",
     "lint_source",
+    "applicable_unit_rules",
+    "check_units_paths",
+    "check_units_source",
+    "check_units_sources",
     "ENV_VAR",
     "SanitizeError",
     "SimSanitizer",

@@ -1,9 +1,11 @@
-"""Entry point for ``repro lint``: determinism lint + layering check.
+"""Entry point for ``repro lint``: determinism, layering and unit checks.
 
-Runs the AST determinism rules over every ``.py`` file under the given
-paths and, for each ``repro`` package found among them (e.g. ``src``),
-the import-graph layering checker.  Exit status is 0 for a clean tree
-and 1 when there are findings, so CI can gate on it directly.
+Runs the AST determinism rules and the flow-sensitive unit checker over
+every ``.py`` file under the given paths and, for each ``repro`` package
+found among them (e.g. ``src``), the import-graph layering checker.
+Exit status is 0 for a clean tree and 1 when there are findings, so CI
+can gate on it directly.  ``--explain RULE`` prints the catalogue entry
+for any DET/LAY/SAN/UNIT code and exits.
 """
 
 from __future__ import annotations
@@ -12,14 +14,24 @@ import argparse
 from pathlib import Path
 from typing import List, Optional
 
-from repro.analysis.findings import Finding, render_json, render_text, sort_findings
+from repro.analysis.findings import (
+    Finding,
+    explain,
+    render_json,
+    render_text,
+    sort_findings,
+)
 from repro.analysis.layering import check_layering, find_package_roots
 from repro.analysis.lint import lint_paths
+from repro.analysis.units import check_units_paths
 
 
-def run_lint(paths: List[str], layering: bool = True) -> List[Finding]:
-    """All findings for ``paths``: determinism rules plus layering."""
+def run_lint(paths: List[str], layering: bool = True,
+             units: bool = True) -> List[Finding]:
+    """All findings for ``paths``: determinism, layering and unit rules."""
     findings = list(lint_paths(paths))
+    if units:
+        findings.extend(check_units_paths(paths))
     if layering:
         for root in find_package_roots([Path(p) for p in paths]):
             findings.extend(check_layering(root))
@@ -29,7 +41,8 @@ def run_lint(paths: List[str], layering: bool = True) -> List[Finding]:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description="determinism/layering linter for the SUSS reproduction")
+        description="determinism/layering/unit linter for the SUSS "
+                    "reproduction")
     parser.add_argument("paths", nargs="*", default=["src", "tests"],
                         help="files or directories to lint "
                              "(default: src tests)")
@@ -37,14 +50,28 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="emit findings as JSON")
     parser.add_argument("--no-layering", action="store_true",
                         help="skip the import-graph layering check")
+    parser.add_argument("--no-units", action="store_true",
+                        help="skip the unit/dimension checker")
+    parser.add_argument("--explain", metavar="RULE",
+                        help="print the catalogue entry for a rule ID "
+                             "(e.g. DET003, UNIT002) and exit")
     args = parser.parse_args(argv)
+
+    if args.explain:
+        try:
+            print(explain(args.explain))
+        except KeyError as exc:
+            print(exc.args[0])
+            return 2
+        return 0
 
     paths = [p for p in args.paths if Path(p).exists()]
     missing = sorted(set(args.paths) - set(paths))
     if missing:
         parser.error(f"no such path(s): {', '.join(missing)}")
 
-    findings = run_lint(paths, layering=not args.no_layering)
+    findings = run_lint(paths, layering=not args.no_layering,
+                        units=not args.no_units)
     if args.as_json:
         print(render_json(findings))
     elif findings:

@@ -39,7 +39,139 @@ RULES: Dict[str, str] = {
     "SAN003": "packet conservation violated (sent != delivered + dropped + in-flight)",
     "SAN004": "cwnd fell below 1 MSS or became non-finite",
     "SAN005": "pacing rate is non-finite or not positive",
+    "UNIT001": "add/subtract/compare mixes values of different physical dimensions "
+               "(e.g. seconds with bytes)",
+    "UNIT002": "multiply/divide produces a dimensionally malformed quantity "
+               "(squared time, seconds*millis, bits*bytes)",
+    "UNIT003": "argument dimension contradicts the parameter's unit annotation",
+    "UNIT004": "raw conversion literal (* 8, * 1000, / 1e6, 125_000) on a "
+               "dimensioned value; use the named repro.core.units constant",
+    "UNIT005": "returned dimension contradicts the annotated return unit",
+    "UNIT006": "quantity-named parameter or field in an annotated module lacks "
+               "a unit annotation (bare float/int)",
 }
+
+#: rule ID -> multi-line catalogue entry for ``repro lint --explain``.
+#: The one-liners above summarise; these say why the rule exists, what it
+#: matches, and how to fix or deliberately suppress a finding.
+EXPLANATIONS: Dict[str, str] = {
+    "DET000": """\
+The file failed to parse, so none of the AST rules ran on it.  Fix the
+syntax error; the finding points at the parser's position.""",
+    "DET001": """\
+Wall-clock access (time.time/monotonic/perf_counter, datetime.now, ...)
+in simulation code.  Results must be a pure function of the seed, and
+the campaign cache is content-addressed on that assumption; only
+campaign/ (worker timeouts, ETA), obs/ (profiling), validate/ (perf
+gates) and analysis/ may observe real time.  Use Simulator.now.""",
+    "DET002": """\
+A call to the random module's global functions (random.random(),
+random.choice(), ...) or `from random import <function>`.  The global
+RNG is process-wide shared state: any import-order or call-order change
+perturbs every downstream draw.  Inject a seeded random.Random stream
+derived via repro.sim.rng.derive_seed instead.""",
+    "DET003": """\
+random.Random() with no seed is seeded from the OS and differs every
+run.  Pass an explicit derived seed (repro.sim.rng).""",
+    "DET004": """\
+A default-seeded RNG fallback (`rng or random.Random(0)`, parameter
+defaults, lambda factories).  Two components left un-wired silently
+share identical streams — correlated loss/jitter with no error message.
+Require the rng and fail loudly when it is missing.""",
+    "DET005": """\
+A mutable default argument ([], {}, set(), list()) is evaluated once
+and shared by every call, leaking state between simulation runs.  Use
+None and construct inside the function.""",
+    "DET006": """\
+== or != against simulated time.  Float time accumulates rounding
+error, so exact equality flips with seed and platform.  Compare with
+orderings or an explicit tolerance.""",
+    "LAY001": """\
+An import crosses the declared layer DAG (DESIGN.md §6).  The
+reproduction mirrors the paper's patch boundaries: SUSS stays behind
+the cc API, the simulator never learns about experiments.  Move the
+dependency below the boundary, pass data instead of importing, or — for
+a genuinely layer-free leaf — add a narrow module waiver in
+repro.analysis.layering with a justification.""",
+    "LAY002": """\
+campaign may reach the experiments layer only through
+repro.experiments.runner, the single deliberately-lazy seam that lets
+campaign jobs execute experiment harnesses.""",
+    "LAY003": """\
+A runtime import of a layer that is allowed for typing only.  Guard it
+with `if typing.TYPE_CHECKING:` so the API dependency stays
+compile-time only.""",
+    "SAN001": """\
+Runtime sanitizer: an event was scheduled into the past or at a
+non-finite time.  Almost always a negative delay computed from a unit
+mix-up or an uninitialised timestamp.""",
+    "SAN002": """\
+Runtime sanitizer: the event heap dispatched an event behind the
+simulation clock — heap discipline or clock monotonicity is broken.""",
+    "SAN003": """\
+Runtime sanitizer: packet conservation failed; packets sent must equal
+delivered + dropped + in-flight at every check.""",
+    "SAN004": """\
+Runtime sanitizer: cwnd fell below 1 MSS or became non-finite; no CC
+algorithm in the reproduction may do either.""",
+    "SAN005": """\
+Runtime sanitizer: a pacing rate became non-finite or non-positive
+(Eq. 11 rates are strictly positive by construction).""",
+    "UNIT001": """\
+An add, subtract or comparison mixes two different physical dimensions
+— e.g. `rtt + size_bytes`, `dt_at <= capacity_bytes`.  Both operand
+dimensions were inferred from unit annotations (repro.core.units
+aliases) or named conversion constants, so the conflict is real:
+convert one side explicitly (multiply by a conversion constant or a
+rate) or fix the annotation that is wrong.  Deliberate exceptions take
+`# noqa: UNIT001` with a justification comment.""",
+    "UNIT002": """\
+A multiply or divide produced a quantity no simulator value can have:
+squared time or bytes (`rtt / btl_bw` is sec^2/byte — almost always a
+flipped divide), or a product mixing two encodings of one dimension
+(seconds*millis, bits*bytes — a missing conversion constant).  Rewrite
+the expression so the dimensions cancel; the conversion constants in
+repro.core.units carry ratio dimensions precisely so correct
+conversions type out.""",
+    "UNIT003": """\
+A call passes a value of one dimension to a parameter annotated with
+another (e.g. a Seconds value into a Bytes parameter).  One of the two
+annotations is wrong, or a conversion is missing at the call site.""",
+    "UNIT004": """\
+A raw conversion literal (`* 8`, `* 1000`, `/ 1e6`, `125_000`) was
+applied to a value with a known dimension.  Named constants exist for
+every such factor (repro.core.units: BITS_PER_BYTE,
+MILLIS_PER_SECOND, MB, MBIT, MBPS) and they carry ratio dimensions, so
+using them both documents the conversion and lets the checker verify
+it.  Literals touching only dimensionless values (protocol parameters
+like CSA00's b) are never flagged.""",
+    "UNIT005": """\
+A return statement's inferred dimension contradicts the function's
+annotated return unit.  Either the computation or the annotation is
+wrong; fix whichever lies.  The rule only fires when the inferred
+dimension is itself a named unit — dimensionless results (ratios that
+carry an implicit unit, like byte/byte = segments) stay permissive.""",
+    "UNIT006": """\
+A public signature in an annotated module (one importing
+repro.core.units) has a quantity-named parameter or dataclass field
+(`rtt`, `interval`, `*_bytes`, `*_rate`, ...) that is unannotated or a
+bare float/int.  Annotated modules opt into full dimensioning: give
+the parameter a repro.core.units alias so inference has an anchor.
+Genuinely dimensionless names (probabilities like loss_rate) are
+exempt by the heuristic; anything else deliberate takes
+`# noqa: UNIT006` with a justification.""",
+}
+
+
+def explain(rule: str) -> str:
+    """Catalogue entry for ``rule`` (for ``repro lint --explain``)."""
+    rule = rule.strip().upper()
+    if rule not in RULES:
+        known = ", ".join(sorted(RULES))
+        raise KeyError(f"unknown rule {rule!r}; known rules: {known}")
+    body = EXPLANATIONS.get(rule, "")
+    header = f"{rule}: {RULES[rule]}"
+    return f"{header}\n\n{body}" if body else header
 
 
 @dataclass(frozen=True)

@@ -74,12 +74,24 @@ DEFAULT_TYPE_ONLY: Dict[str, Set[str]] = {
 #: ``__init__`` is the bare ``import repro`` — campaign's result store
 #: hashes the package sources and only needs ``repro.__file__``.
 DEFAULT_MODULE_EXCEPTIONS: Dict[str, Set[str]] = {
-    "campaign": {"experiments.runner", "__init__"},
+    "campaign": {"experiments.runner", "__init__", "core.units"},
     # The cross-validation harness scores agreement with Cliff's delta;
     # validate.stats is a pure-stdlib statistics module with no imports
     # of its own layer, so this waiver cannot smuggle validation policy
     # below the boundary.
     "flowsim": {"validate.stats"},
+    # core.units is a dependency-free leaf of unit type aliases and
+    # conversion constants (the unit checker's annotation vocabulary);
+    # like analysis/obs it must be importable from every layer without
+    # inverting the DAG, but unlike them it lives in core because the
+    # vocabulary is the paper's (Seconds/Bytes/Segments of Eq. 11/12).
+    "sim": {"core.units"},
+    "net": {"core.units"},
+    "cc": {"core.units"},
+    "tcp": {"core.units"},
+    "metrics": {"core.units"},
+    "trace": {"core.units"},
+    "obs": {"core.units"},
 }
 
 

@@ -1,0 +1,1201 @@
+"""Annotation-driven, flow-sensitive unit/dimension checker (UNIT0xx).
+
+Every simulator quantity is a plain ``float`` at runtime; this pass
+recovers their physical dimensions statically.  Signatures annotated
+with the aliases from :mod:`repro.core.units` (``Seconds``, ``Bytes``,
+``BytesPerSec``, ...) anchor an abstract interpretation over each
+function body: dimensions flow through assignments, arithmetic,
+attribute reads, returns and calls, and the rules below flag the
+mixed-unit arithmetic the DET/LAY/SAN families cannot see:
+
+``UNIT001``
+    Adding, subtracting or comparing values of different dimensions
+    (``rtt + size_bytes``, ``dt_at <= capacity_bytes``).
+``UNIT002``
+    A multiply/divide whose result is dimensionally malformed —
+    squared time or bytes (``rtt / btl_bw``), or a product that mixes
+    two encodings of one dimension (seconds·millis, bits·bytes).
+``UNIT003``
+    Passing a value of one dimension to a parameter annotated with
+    another (``f(rtt)`` where ``f`` expects ``Bytes``).
+``UNIT004``
+    A raw conversion literal (``* 8``, ``* 1000``, ``/ 1e6``,
+    ``* 125_000``) applied to a dimensioned value where a named
+    constant from :mod:`repro.core.units` exists.
+``UNIT005``
+    A ``return`` whose inferred dimension contradicts the function's
+    annotated return unit.
+``UNIT006``
+    A public signature in an annotated module (one that imports
+    :mod:`repro.core.units`) with a quantity-named parameter or field
+    (``rtt``, ``*_bytes``, ``interval``, ...) left as a bare
+    ``float``/``int`` or unannotated.
+
+Inference is deliberately optimistic: anything unresolved is *unknown*
+and unknown mixes with everything silently, so a finding always traces
+back to two explicit annotations (or a named constant) in conflict.
+Ratios of like quantities (``size_bytes / mss``) become dimensionless
+and stay permissive — a dimensionless value may carry an implicit unit
+(segments) that the algebra cannot see.  Byte·segment products are
+likewise dropped to unknown rather than flagged: ``segments *
+wire_segment`` is how the closed-form models convert window units.
+
+Findings suppress exactly like the determinism rules: ``# noqa:
+UNIT00x`` on the offending line, which the zero-findings CI gate
+requires to carry a justification comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, NamedTuple, Optional, Sequence, Set, Tuple, Union
+
+from repro.analysis.findings import Finding
+from repro.analysis.lint import _AliasCollector, _dotted, _noqa_rules
+
+PathLike = Union[str, Path]
+
+# --------------------------------------------------------------------------
+# Dimension algebra
+# --------------------------------------------------------------------------
+# A dimension is a canonical sorted tuple of (atom, exponent) pairs with
+# zero exponents removed; the empty tuple is dimensionless.  Conversion
+# constants carry *ratio* dimensions (MILLIS_PER_SECOND is ms/sec), so
+# ordinary exponent cancellation makes well-formed conversions
+# (``rtt * MILLIS_PER_SECOND`` -> ms) type out naturally.
+
+Dim = Tuple[Tuple[str, int], ...]
+
+SCALAR: Dim = ()
+
+
+def _dim(**atoms: int) -> Dim:
+    return tuple(sorted((a, e) for a, e in atoms.items() if e))
+
+
+SEC = _dim(sec=1)
+MS = _dim(ms=1)
+BYTE = _dim(byte=1)
+BIT = _dim(bit=1)
+SEG = _dim(segment=1)
+BYTES_PER_SEC = _dim(byte=1, sec=-1)
+BITS_PER_SEC = _dim(bit=1, sec=-1)
+PER_SEC = _dim(sec=-1)
+
+#: annotation alias name -> dimension (the vocabulary of repro.core.units).
+UNIT_ALIAS_DIMS: Dict[str, Dim] = {
+    "Seconds": SEC,
+    "Millis": MS,
+    "Bytes": BYTE,
+    "Bits": BIT,
+    "Segments": SEG,
+    "BytesPerSec": BYTES_PER_SEC,
+    "BitsPerSec": BITS_PER_SEC,
+    "PerSecond": PER_SEC,
+}
+
+#: repro.core.units constant name -> dimension of its value.
+UNIT_CONSTANT_DIMS: Dict[str, Dim] = {
+    "MBPS": BYTES_PER_SEC,          # bytes/sec per (dimensionless) Mbit/s
+    "BITS_PER_BYTE": _dim(bit=1, byte=-1),
+    "MB": BYTE,
+    "MBIT": BIT,
+    "MILLIS_PER_SECOND": _dim(ms=1, sec=-1),
+    "MSS": BYTE,
+}
+
+_DIM_NAMES: Dict[Dim, str] = {dim: name for name, dim in UNIT_ALIAS_DIMS.items()}
+
+
+def dim_name(dim: Dim) -> str:
+    """Human name for a dimension (alias name when one exists)."""
+    if dim == SCALAR:
+        return "dimensionless"
+    named = _DIM_NAMES.get(dim)
+    if named is not None:
+        return named
+    return "*".join(atom if exp == 1 else f"{atom}^{exp}" for atom, exp in dim)
+
+
+def _combine(a: Dim, b: Dim, sign: int) -> Dim:
+    exps: Dict[str, int] = dict(a)
+    for atom, exp in b:
+        exps[atom] = exps.get(atom, 0) + sign * exp
+    return tuple(sorted((atom, exp) for atom, exp in exps.items() if exp))
+
+
+def _malformed(dim: Dim) -> Optional[str]:
+    """Why ``dim`` cannot be a sensible simulator quantity, or None."""
+    atoms = dict(dim)
+    for atom, exp in atoms.items():
+        if abs(exp) >= 2:
+            return f"carries {atom}^{exp}"
+    if "sec" in atoms and "ms" in atoms:
+        return "mixes seconds with milliseconds"
+    if "bit" in atoms and "byte" in atoms:
+        return "mixes bits with bytes"
+    return None
+
+
+def _opaque(dim: Dim) -> bool:
+    """Dimensions the checker refuses to reason about (drop to unknown).
+
+    Byte*segment products are the closed-form models' window-unit
+    conversions (``segments * wire_segment``); treating them as errors
+    would flag correct physics.
+    """
+    atoms = dict(dim)
+    return "segment" in atoms and ("byte" in atoms or "bit" in atoms)
+
+
+# --------------------------------------------------------------------------
+# Quantity-name heuristics (UNIT006)
+# --------------------------------------------------------------------------
+
+#: exact parameter/field names that denote dimensioned quantities.
+QUANTITY_NAMES: Set[str] = {
+    "rtt", "srtt", "min_rtt", "mo_rtt", "delay", "jitter", "duration",
+    "timeout", "interval", "guard", "dt_bat", "dt_at", "fct",
+    "rate", "bandwidth", "bw", "btl_bw",
+    "nbytes", "mss",
+}
+
+#: name suffixes that denote dimensioned quantities.
+QUANTITY_SUFFIXES: Tuple[str, ...] = (
+    "_rtt", "_time", "_seconds", "_bytes", "_rate", "_delay",
+    "_duration", "_interval", "_bw", "_segments",
+)
+
+#: quantity-shaped names that are dimensionless ratios/probabilities or
+#: rates with no alias in the vocabulary (per-event probabilities).
+QUANTITY_EXEMPT: Set[str] = {"loss_rate", "drop_rate", "retransmit_rate"}
+
+
+def is_quantity_name(name: str) -> bool:
+    if name in QUANTITY_EXEMPT:
+        return False
+    return name in QUANTITY_NAMES or name.endswith(QUANTITY_SUFFIXES)
+
+
+ALL_UNIT_RULES: Set[str] = {
+    "UNIT001", "UNIT002", "UNIT003", "UNIT004", "UNIT005", "UNIT006",
+}
+
+
+def applicable_unit_rules(path: PathLike) -> Set[str]:
+    """Unit rules applying to ``path``.
+
+    Tests build deliberately degenerate values (negative rates, raw
+    literals standing in for traces) and drive internals out of
+    context, so the whole family is scoped to non-test code.
+    """
+    parts = Path(path).parts
+    name = Path(path).name
+    if "tests" in parts or name.startswith(("test_", "conftest")):
+        return set()
+    return set(ALL_UNIT_RULES)
+
+
+# --------------------------------------------------------------------------
+# Pass 1: module/class/function tables
+# --------------------------------------------------------------------------
+
+
+class FuncSig(NamedTuple):
+    """What call-site checking needs to know about one function."""
+
+    params: Tuple[Tuple[str, Optional[Dim]], ...]
+    ret: Optional[Dim]
+    ret_class: Optional[str]
+
+
+class ClassInfo:
+    """Per-class dimension knowledge: fields, properties, methods."""
+
+    def __init__(self, name: str, bases: Tuple[str, ...]) -> None:
+        self.name = name
+        self.bases = bases
+        self.attr_dims: Dict[str, Optional[Dim]] = {}
+        self.attr_classes: Dict[str, str] = {}
+        self.methods: Dict[str, FuncSig] = {}
+        self.fields: List[Tuple[str, Optional[Dim]]] = []  # declaration order
+        self.is_dataclass = False
+
+    def init_sig(self) -> Optional[FuncSig]:
+        if self.is_dataclass and self.fields:
+            return FuncSig(tuple(self.fields), None, self.name)
+        init = self.methods.get("__init__")
+        if init is not None:
+            return FuncSig(init.params, None, self.name)
+        return None
+
+
+class ModuleInfo:
+    """Pass-1 knowledge about one file."""
+
+    def __init__(self, path: str, module: str, tree: ast.Module) -> None:
+        self.path = path
+        self.module = module
+        self.tree = tree
+        self.aliases: Dict[str, str] = {}
+        self.opted_in = False
+        self.constants: Dict[str, Dim] = {}
+        self.functions: Dict[str, FuncSig] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+
+
+class _Index:
+    """Cross-module tables shared by every per-function checker."""
+
+    def __init__(self) -> None:
+        self.modules: List[ModuleInfo] = []
+        self.functions_by_qual: Dict[str, FuncSig] = {}
+        self.constants_by_qual: Dict[str, Dim] = {}
+        self.classes_by_name: Dict[str, Optional[ClassInfo]] = {}
+
+    def add(self, info: ModuleInfo) -> None:
+        self.modules.append(info)
+        for name, sig in info.functions.items():
+            self.functions_by_qual[f"{info.module}.{name}"] = sig
+        for name, dim in info.constants.items():
+            self.constants_by_qual[f"{info.module}.{name}"] = dim
+        for name, cls in info.classes.items():
+            # A bare-name collision across modules would make attribute
+            # lookup a guess; refuse to guess (None poisons the name).
+            if name in self.classes_by_name and self.classes_by_name[name] is not cls:
+                self.classes_by_name[name] = None
+            else:
+                self.classes_by_name[name] = cls
+
+    def class_named(self, name: Optional[str]) -> Optional[ClassInfo]:
+        if name is None:
+            return None
+        return self.classes_by_name.get(name)
+
+    def attr_dim(self, cls: ClassInfo, attr: str) -> Optional[Dim]:
+        seen: Set[str] = set()
+        stack = [cls]
+        while stack:
+            c = stack.pop()
+            if c.name in seen:
+                continue
+            seen.add(c.name)
+            if attr in c.attr_dims:
+                return c.attr_dims[attr]
+            for base in c.bases:
+                parent = self.class_named(base)
+                if parent is not None:
+                    stack.append(parent)
+        return None
+
+    def attr_class(self, cls: ClassInfo, attr: str) -> Optional[str]:
+        seen: Set[str] = set()
+        stack = [cls]
+        while stack:
+            c = stack.pop()
+            if c.name in seen:
+                continue
+            seen.add(c.name)
+            if attr in c.attr_classes:
+                return c.attr_classes[attr]
+            for base in c.bases:
+                parent = self.class_named(base)
+                if parent is not None:
+                    stack.append(parent)
+        return None
+
+    def method(self, cls: ClassInfo, name: str) -> Optional[FuncSig]:
+        seen: Set[str] = set()
+        stack = [cls]
+        while stack:
+            c = stack.pop()
+            if c.name in seen:
+                continue
+            seen.add(c.name)
+            if name in c.methods:
+                return c.methods[name]
+            for base in c.bases:
+                parent = self.class_named(base)
+                if parent is not None:
+                    stack.append(parent)
+        return None
+
+
+def module_name_for(path: PathLike) -> str:
+    """Dotted module name for ``path`` (rooted at the ``repro`` package)."""
+    p = Path(path)
+    parts = list(p.with_suffix("").parts)
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1] or ["__init__"]
+    return ".".join(parts)
+
+
+def _ann_expr(node: Optional[ast.AST]) -> Optional[ast.AST]:
+    """Unwrap an annotation down to its dimension-bearing core."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Subscript):
+        base = node.value
+        base_name = base.attr if isinstance(base, ast.Attribute) else (
+            base.id if isinstance(base, ast.Name) else None)
+        if base_name == "Optional":
+            return _ann_expr(node.slice)
+        if base_name == "Union":
+            return None  # a genuine union has no single dimension
+        return None  # containers: element dims are not tracked
+    return node
+
+
+def ann_dim(node: Optional[ast.AST]) -> Optional[Dim]:
+    """Dimension declared by an annotation expression, or None."""
+    core = _ann_expr(node)
+    if isinstance(core, ast.Attribute):
+        return UNIT_ALIAS_DIMS.get(core.attr)
+    if isinstance(core, ast.Name):
+        return UNIT_ALIAS_DIMS.get(core.id)
+    return None
+
+
+def ann_class(node: Optional[ast.AST]) -> Optional[str]:
+    """Class name declared by an annotation, or None for units/builtins."""
+    core = _ann_expr(node)
+    name = None
+    if isinstance(core, ast.Attribute):
+        name = core.attr
+    elif isinstance(core, ast.Name):
+        name = core.id
+    if name is None or name in UNIT_ALIAS_DIMS:
+        return None
+    if name in {"float", "int", "bool", "str", "bytes", "object", "None"}:
+        return None
+    return name
+
+
+def _ann_is_bare_number(node: Optional[ast.AST]) -> bool:
+    """True when the annotation is float/int (possibly Optional-wrapped)."""
+    core = _ann_expr(node)
+    return isinstance(core, ast.Name) and core.id in {"float", "int"}
+
+
+def _decorator_names(node: Union[ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef]) -> Set[str]:
+    names: Set[str] = set()
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Attribute):
+            names.add(target.attr)
+        elif isinstance(target, ast.Name):
+            names.add(target.id)
+    return names
+
+
+def _func_sig(node: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+              drop_first: bool) -> FuncSig:
+    args = list(node.args.posonlyargs) + list(node.args.args)
+    if drop_first and args:
+        args = args[1:]
+    params = tuple((a.arg, ann_dim(a.annotation)) for a in args)
+    kwonly = tuple((a.arg, ann_dim(a.annotation))
+                   for a in node.args.kwonlyargs)
+    return FuncSig(params + kwonly, ann_dim(node.returns),
+                   ann_class(node.returns))
+
+
+def _collect_module(path: str, source: str) -> Optional[ModuleInfo]:
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return None  # the determinism pass reports DET000 for this file
+    info = ModuleInfo(path, module_name_for(path), tree)
+    collector = _AliasCollector()
+    collector.visit(tree)
+    info.aliases = collector.aliases
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "repro.core.units":
+                info.opted_in = True
+        elif isinstance(node, ast.Import):
+            if any(alias.name == "repro.core.units" for alias in node.names):
+                info.opted_in = True
+    for stmt in tree.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            dim = ann_dim(stmt.annotation)
+            if dim is not None:
+                info.constants[stmt.target.id] = dim
+        elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name):
+            dim = _resolved_constant_dim(stmt.value, info)
+            if dim is not None:
+                info.constants[stmt.targets[0].id] = dim
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.functions[stmt.name] = _func_sig(stmt, drop_first=False)
+        elif isinstance(stmt, ast.ClassDef):
+            info.classes[stmt.name] = _collect_class(stmt, info)
+    return info
+
+
+def _resolved_constant_dim(value: ast.AST, info: ModuleInfo) -> Optional[Dim]:
+    """Dimension of a module-level ``NAME = <known constant>`` alias."""
+    if isinstance(value, (ast.Name, ast.Attribute)):
+        qual = _dotted(value, info.aliases)
+        if qual is not None:
+            leaf = qual.rsplit(".", 1)[-1]
+            if qual.startswith("repro.") and leaf in UNIT_CONSTANT_DIMS:
+                return UNIT_CONSTANT_DIMS[leaf]
+            if qual in info.constants:
+                return info.constants[qual]
+    return None
+
+
+def _collect_class(node: ast.ClassDef, info: ModuleInfo) -> ClassInfo:
+    bases = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            bases.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            bases.append(base.attr)
+    cls = ClassInfo(node.name, tuple(bases))
+    cls.is_dataclass = "dataclass" in _decorator_names(node)
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            field = stmt.target.id
+            dim = ann_dim(stmt.annotation)
+            cls.attr_dims[field] = dim
+            ref = ann_class(stmt.annotation)
+            if ref is not None:
+                cls.attr_classes[field] = ref
+            if not (isinstance(stmt.annotation, ast.Name)
+                    and stmt.annotation.id == "ClassVar"):
+                cls.fields.append((field, dim))
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            decorators = _decorator_names(stmt)
+            if decorators & {"property", "cached_property"}:
+                cls.attr_dims[stmt.name] = ann_dim(stmt.returns)
+                ref = ann_class(stmt.returns)
+                if ref is not None:
+                    cls.attr_classes[stmt.name] = ref
+                continue
+            drop_first = "staticmethod" not in decorators
+            cls.methods[stmt.name] = _func_sig(stmt, drop_first=drop_first)
+            if stmt.name == "__init__":
+                _collect_init_attrs(stmt, cls, info)
+    return cls
+
+
+def _collect_init_attrs(init: ast.FunctionDef, cls: ClassInfo,
+                        info: ModuleInfo) -> None:
+    """Attribute dims/classes established by ``__init__`` assignments."""
+    param_dims: Dict[str, Optional[Dim]] = dict(cls.methods["__init__"].params)
+    param_classes: Dict[str, str] = {}
+    args = list(init.args.posonlyargs) + list(init.args.args)[1:] \
+        + list(init.args.kwonlyargs)
+    for a in args:
+        ref = ann_class(a.annotation)
+        if ref is not None:
+            param_classes[a.arg] = ref
+    for stmt in ast.walk(init):
+        target = None
+        value: Optional[ast.AST] = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            target, value = stmt.target, stmt.value
+        if not (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"):
+            continue
+        attr = target.attr
+        if isinstance(stmt, ast.AnnAssign):
+            dim = ann_dim(stmt.annotation)
+            if dim is not None:
+                cls.attr_dims.setdefault(attr, dim)
+            ref = ann_class(stmt.annotation)
+            if ref is not None:
+                cls.attr_classes.setdefault(attr, ref)
+            continue
+        if isinstance(value, ast.Name):
+            if value.id in param_dims and param_dims[value.id] is not None:
+                cls.attr_dims.setdefault(attr, param_dims[value.id])
+            if value.id in param_classes:
+                cls.attr_classes.setdefault(attr, param_classes[value.id])
+        elif isinstance(value, (ast.Attribute,)):
+            dim = _resolved_constant_dim(value, info)
+            if dim is not None:
+                cls.attr_dims.setdefault(attr, dim)
+
+
+# --------------------------------------------------------------------------
+# Pass 2: per-function abstract interpretation
+# --------------------------------------------------------------------------
+
+
+class _Res(NamedTuple):
+    """Inferred dimension of an expression.
+
+    ``dim=None`` means unknown; ``literal`` marks bare numeric literals,
+    which unify with any dimension (``2.0 * rtt`` stays Seconds).
+    """
+
+    dim: Optional[Dim]
+    literal: bool = False
+    cls: Optional[str] = None
+
+
+_UNKNOWN = _Res(None)
+
+#: conversion literal -> (atoms it converts, suggested constants).
+_CONVERSION_LITERALS: Dict[float, Tuple[Set[str], str]] = {
+    8: ({"bit", "byte"}, "BITS_PER_BYTE"),
+    1000: ({"sec", "ms"}, "MILLIS_PER_SECOND"),
+    1_000_000: ({"byte", "bit", "sec"}, "MB / MBIT / MICROS_PER_SECOND"),
+    125_000: ({"byte", "sec"}, "MBPS"),
+}
+
+#: builtins through which a dimension passes unchanged (first argument).
+_PASSTHROUGH_CALLS = {"float", "int", "abs", "round", "math.floor",
+                      "math.ceil", "math.fabs"}
+
+
+class _FunctionChecker:
+    """Infer dimensions through one function body, reporting findings."""
+
+    def __init__(self, index: _Index, info: ModuleInfo,
+                 func: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+                 self_class: Optional[ClassInfo],
+                 findings: List[Finding]) -> None:
+        self.index = index
+        self.info = info
+        self.func = func
+        self.self_class = self_class
+        self.findings = findings
+        self.ret_dim = ann_dim(func.returns)
+        self.env: Dict[str, Optional[Dim]] = {}
+        self.var_classes: Dict[str, str] = {}
+        args = list(func.args.posonlyargs) + list(func.args.args) \
+            + list(func.args.kwonlyargs)
+        for a in args:
+            dim = ann_dim(a.annotation)
+            if dim is not None:
+                self.env[a.arg] = dim
+            ref = ann_class(a.annotation)
+            if ref is not None:
+                self.var_classes[a.arg] = ref
+
+    # -- reporting ------------------------------------------------------
+    def _report(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(Finding(
+            rule=rule, path=self.info.path, line=node.lineno,
+            col=node.col_offset, message=message))
+
+    # -- entry ----------------------------------------------------------
+    def run(self) -> None:
+        self._exec_body(self.func.body)
+
+    def _exec_body(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._exec(stmt)
+
+    # -- statements -----------------------------------------------------
+    def _exec(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Expr):
+            self.infer(stmt.value)
+        elif isinstance(stmt, ast.Assign):
+            res = self.infer(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, res)
+        elif isinstance(stmt, ast.AnnAssign):
+            res = self.infer(stmt.value) if stmt.value is not None else _UNKNOWN
+            declared = ann_dim(stmt.annotation)
+            ref = ann_class(stmt.annotation)
+            bound = _Res(declared if declared is not None else res.dim,
+                         cls=ref if ref is not None else res.cls)
+            self._bind(stmt.target, bound)
+        elif isinstance(stmt, ast.AugAssign):
+            current = self.infer(_load_of(stmt.target))
+            value = self.infer(stmt.value)
+            res = self._binop_result(stmt.op, current, value, stmt)
+            self._bind(stmt.target, res)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                res = self.infer(stmt.value)
+                self._check_return(res, stmt)
+        elif isinstance(stmt, ast.If):
+            self.infer(stmt.test)
+            before = dict(self.env)
+            self._exec_body(stmt.body)
+            after_body = self.env
+            self.env = dict(before)
+            self._exec_body(stmt.orelse)
+            self.env = _merge_envs(after_body, self.env)
+        elif isinstance(stmt, (ast.While,)):
+            self.infer(stmt.test)
+            before = dict(self.env)
+            self._exec_body(stmt.body)
+            self._exec_body(stmt.orelse)
+            self.env = _merge_envs(before, self.env)
+        elif isinstance(stmt, ast.For):
+            self.infer(stmt.iter)
+            self._bind(stmt.target, _UNKNOWN)
+            before = dict(self.env)
+            self._exec_body(stmt.body)
+            self._exec_body(stmt.orelse)
+            self.env = _merge_envs(before, self.env)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self.infer(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, _UNKNOWN)
+            self._exec_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._exec_body(stmt.body)
+            for handler in stmt.handlers:
+                if handler.name:
+                    self.env[handler.name] = None
+                self._exec_body(handler.body)
+            self._exec_body(stmt.orelse)
+            self._exec_body(stmt.finalbody)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.infer(stmt.exc)
+        elif isinstance(stmt, ast.Assert):
+            self.infer(stmt.test)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.env.pop(target.id, None)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            nested = _FunctionChecker(self.index, self.info, stmt,
+                                      self.self_class, self.findings)
+            # A closure sees the enclosing bindings as they stand now.
+            merged = dict(self.env)
+            merged.update(nested.env)
+            nested.env = merged
+            classes = dict(self.var_classes)
+            classes.update(nested.var_classes)
+            nested.var_classes = classes
+            nested.run()
+        # pass/break/continue/global/nonlocal/import: nothing to infer.
+
+    def _bind(self, target: ast.AST, res: _Res) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = res.dim
+            if res.cls is not None:
+                self.var_classes[target.id] = res.cls
+            else:
+                self.var_classes.pop(target.id, None)
+        elif isinstance(target, ast.Attribute) \
+                and isinstance(target.value, ast.Name) \
+                and target.value.id == "self":
+            self.env[f"self.{target.attr}"] = res.dim
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, _UNKNOWN)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, _UNKNOWN)
+        # Subscript targets: container element dims are not tracked.
+
+    def _check_return(self, res: _Res, node: ast.AST) -> None:
+        if self.ret_dim is None or res.dim is None or res.literal:
+            return
+        if res.dim == SCALAR or res.dim == self.ret_dim:
+            return
+        if res.dim not in _DIM_NAMES:
+            return  # compound inferred dims are too speculative to gate on
+        self._report(
+            "UNIT005", node,
+            f"returns {dim_name(res.dim)} but the signature declares "
+            f"{dim_name(self.ret_dim)}")
+
+    # -- expressions ----------------------------------------------------
+    def infer(self, node: Optional[ast.AST]) -> _Res:
+        if node is None:
+            return _UNKNOWN
+        if isinstance(node, ast.Constant):
+            return _Res(None, literal=True)
+        if isinstance(node, ast.Name):
+            return self._infer_name(node)
+        if isinstance(node, ast.Attribute):
+            return self._infer_attribute(node)
+        if isinstance(node, ast.BinOp):
+            left = self.infer(node.left)
+            right = self.infer(node.right)
+            return self._binop_result(node.op, left, right, node,
+                                      left_node=node.left,
+                                      right_node=node.right)
+        if isinstance(node, ast.UnaryOp):
+            inner = self.infer(node.operand)
+            if isinstance(node.op, (ast.UAdd, ast.USub)):
+                return inner
+            return _UNKNOWN
+        if isinstance(node, ast.Call):
+            return self._infer_call(node)
+        if isinstance(node, ast.Compare):
+            self._check_compare(node)
+            return _UNKNOWN
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self.infer(value)
+            return _UNKNOWN
+        if isinstance(node, ast.IfExp):
+            self.infer(node.test)
+            a = self.infer(node.body)
+            b = self.infer(node.orelse)
+            if a.dim is not None and a.dim == b.dim:
+                return _Res(a.dim, cls=a.cls if a.cls == b.cls else None)
+            if a.dim is not None and b.literal:
+                return a
+            if b.dim is not None and a.literal:
+                return b
+            return _UNKNOWN
+        if isinstance(node, ast.Subscript):
+            self.infer(node.value)
+            self.infer(node.slice)
+            return _UNKNOWN
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for element in node.elts:
+                self.infer(element)
+            return _UNKNOWN
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                self.infer(key)
+            for value in node.values:
+                self.infer(value)
+            return _UNKNOWN
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            return self._infer_comprehension(node)
+        if isinstance(node, ast.JoinedStr):
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    self.infer(value.value)
+            return _UNKNOWN
+        if isinstance(node, ast.Lambda):
+            saved_env, saved_classes = dict(self.env), dict(self.var_classes)
+            for a in (list(node.args.posonlyargs) + list(node.args.args)
+                      + list(node.args.kwonlyargs)):
+                self.env[a.arg] = None
+            self.infer(node.body)
+            self.env, self.var_classes = saved_env, saved_classes
+            return _UNKNOWN
+        if isinstance(node, ast.Starred):
+            self.infer(node.value)
+            return _UNKNOWN
+        if isinstance(node, (ast.Await, ast.NamedExpr)):
+            inner = self.infer(node.value)
+            if isinstance(node, ast.NamedExpr):
+                self._bind(node.target, inner)
+            return inner
+        return _UNKNOWN
+
+    def _infer_comprehension(self, node: ast.AST) -> _Res:
+        saved_env, saved_classes = dict(self.env), dict(self.var_classes)
+        for comp in node.generators:  # type: ignore[attr-defined]
+            self.infer(comp.iter)
+            self._bind(comp.target, _UNKNOWN)
+            for cond in comp.ifs:
+                self.infer(cond)
+        if isinstance(node, ast.DictComp):
+            self.infer(node.key)
+            self.infer(node.value)
+        else:
+            self.infer(node.elt)  # type: ignore[attr-defined]
+        self.env, self.var_classes = saved_env, saved_classes
+        return _UNKNOWN
+
+    def _infer_name(self, node: ast.Name) -> _Res:
+        name = node.id
+        if name in self.env:
+            return _Res(self.env[name], cls=self.var_classes.get(name))
+        if name in self.info.constants:
+            return _Res(self.info.constants[name])
+        qual = self.info.aliases.get(name)
+        if qual is not None:
+            leaf = qual.rsplit(".", 1)[-1]
+            if qual.startswith("repro.") and leaf in UNIT_CONSTANT_DIMS:
+                return _Res(UNIT_CONSTANT_DIMS[leaf])
+            if qual in self.index.constants_by_qual:
+                return _Res(self.index.constants_by_qual[qual])
+        if name in UNIT_CONSTANT_DIMS and self.info.opted_in:
+            return _Res(UNIT_CONSTANT_DIMS[name])
+        return _UNKNOWN
+
+    def _class_of(self, node: ast.AST) -> Optional[ClassInfo]:
+        if isinstance(node, ast.Name):
+            if node.id == "self" and self.self_class is not None:
+                return self.self_class
+            return self.index.class_named(self.var_classes.get(node.id))
+        if isinstance(node, ast.Attribute):
+            owner = self._class_of(node.value)
+            if owner is None:
+                return None
+            return self.index.class_named(
+                self.index.attr_class(owner, node.attr))
+        if isinstance(node, ast.Call):
+            return self.index.class_named(self.infer(node).cls)
+        return None
+
+    def _infer_attribute(self, node: ast.Attribute) -> _Res:
+        qual = _dotted(node, self.info.aliases)
+        if qual is not None:
+            leaf = qual.rsplit(".", 1)[-1]
+            if qual.startswith("repro.") and leaf in UNIT_CONSTANT_DIMS:
+                return _Res(UNIT_CONSTANT_DIMS[leaf])
+            if qual in self.index.constants_by_qual:
+                return _Res(self.index.constants_by_qual[qual])
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            key = f"self.{node.attr}"
+            if key in self.env:
+                return _Res(self.env[key])
+        owner = self._class_of(node.value)
+        if owner is not None:
+            dim = self.index.attr_dim(owner, node.attr)
+            cls = self.index.attr_class(owner, node.attr)
+            return _Res(dim, cls=cls)
+        self.infer(node.value)
+        return _UNKNOWN
+
+    # -- arithmetic -----------------------------------------------------
+    def _binop_result(self, op: ast.operator, left: _Res, right: _Res,
+                      node: ast.AST, left_node: Optional[ast.AST] = None,
+                      right_node: Optional[ast.AST] = None) -> _Res:
+        if isinstance(op, (ast.Add, ast.Sub)):
+            return self._additive(op, left, right, node)
+        if isinstance(op, (ast.Mult, ast.Div, ast.FloorDiv)):
+            self._check_conversion_literal(left, right, left_node, right_node,
+                                           node)
+            sign = 1 if isinstance(op, ast.Mult) else -1
+            if left.dim is None or right.dim is None:
+                # literal * unit keeps the unit; unknown poisons it.
+                if left.dim is not None and right.literal:
+                    return _Res(left.dim)
+                if right.dim is not None and left.literal \
+                        and isinstance(op, ast.Mult):
+                    return _Res(right.dim)
+                return _UNKNOWN
+            combined = _combine(left.dim, right.dim, sign)
+            if _opaque(combined):
+                return _UNKNOWN
+            problem = _malformed(combined)
+            if problem is not None:
+                opname = "product" if sign == 1 else "quotient"
+                self._report(
+                    "UNIT002", node,
+                    f"{opname} of {dim_name(left.dim)} and "
+                    f"{dim_name(right.dim)} {problem}; no simulator "
+                    f"quantity has that dimension")
+                return _UNKNOWN
+            return _Res(combined)
+        if isinstance(op, ast.Mod):
+            if left.dim is not None and left.dim == right.dim:
+                return _Res(left.dim)
+            return _UNKNOWN
+        # Pow and bit ops: dimensions deliberately not tracked.
+        return _UNKNOWN
+
+    def _additive(self, op: ast.operator, left: _Res, right: _Res,
+                  node: ast.AST) -> _Res:
+        known_left = left.dim is not None and left.dim != SCALAR
+        known_right = right.dim is not None and right.dim != SCALAR
+        if known_left and known_right and left.dim != right.dim:
+            verb = "add" if isinstance(op, ast.Add) else "subtract"
+            self._report(
+                "UNIT001", node,
+                f"cannot {verb} {dim_name(right.dim)} {'to' if verb == 'add' else 'from'} "
+                f"{dim_name(left.dim)}")
+            return _UNKNOWN
+        if known_left:
+            return _Res(left.dim)
+        if known_right:
+            return _Res(right.dim)
+        if left.dim == SCALAR and right.dim == SCALAR:
+            return _Res(SCALAR)
+        return _UNKNOWN
+
+    def _check_compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        results = [self.infer(op) for op in operands]
+        for (left, right), op in zip(zip(results, results[1:]), node.ops):
+            if isinstance(op, (ast.Is, ast.IsNot, ast.In, ast.NotIn)):
+                continue
+            if left.dim is None or right.dim is None:
+                continue
+            if SCALAR in (left.dim, right.dim):
+                continue
+            if left.dim != right.dim:
+                self._report(
+                    "UNIT001", node,
+                    f"comparison mixes {dim_name(left.dim)} with "
+                    f"{dim_name(right.dim)}")
+                return
+
+    def _check_conversion_literal(self, left: _Res, right: _Res,
+                                  left_node: Optional[ast.AST],
+                                  right_node: Optional[ast.AST],
+                                  node: ast.AST) -> None:
+        for lit_node, other in ((left_node, right), (right_node, left)):
+            if not (isinstance(lit_node, ast.Constant)
+                    and isinstance(lit_node.value, (int, float))
+                    and not isinstance(lit_node.value, bool)):
+                continue
+            entry = _CONVERSION_LITERALS.get(lit_node.value)
+            if entry is None:
+                continue
+            if other.dim is None or other.dim == SCALAR:
+                continue
+            atoms, suggestion = entry
+            if atoms & {atom for atom, _ in other.dim}:
+                self._report(
+                    "UNIT004", node,
+                    f"raw conversion literal {lit_node.value!r} applied to "
+                    f"{dim_name(other.dim)}; use {suggestion} from "
+                    f"repro.core.units")
+                return
+
+    # -- calls ----------------------------------------------------------
+    def _infer_call(self, node: ast.Call) -> _Res:
+        arg_results = [self.infer(a) for a in node.args]
+        kw_results = {kw.arg: self.infer(kw.value) for kw in node.keywords
+                      if kw.arg is not None}
+        for kw in node.keywords:
+            if kw.arg is None:
+                self.infer(kw.value)
+        dotted = _dotted(node.func, self.info.aliases)
+        name = dotted if dotted is not None else None
+        if name in _PASSTHROUGH_CALLS or (
+                name is not None
+                and name.split(".")[-1] in {"floor", "ceil", "fabs"}
+                and name.startswith("math.")):
+            if arg_results:
+                return _Res(arg_results[0].dim)
+            return _UNKNOWN
+        if name in {"max", "min"}:
+            return self._infer_min_max(node, arg_results)
+        sig = self._resolve_signature(node)
+        if sig is None:
+            return _UNKNOWN
+        self._check_call_args(node, sig, arg_results, kw_results)
+        return _Res(sig.ret, cls=sig.ret_class)
+
+    def _infer_min_max(self, node: ast.Call,
+                       arg_results: List[_Res]) -> _Res:
+        known = [r for r in arg_results if r.dim not in (None, SCALAR)]
+        dims = {r.dim for r in known}
+        if len(dims) > 1:
+            pretty = ", ".join(sorted(dim_name(d) for d in dims))
+            self._report(
+                "UNIT001", node,
+                f"comparison mixes {pretty}")
+            return _UNKNOWN
+        if known:
+            return _Res(known[0].dim)
+        return _UNKNOWN
+
+    def _resolve_signature(self, node: ast.Call) -> Optional[FuncSig]:
+        func = node.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in self.env or name in self.var_classes:
+                return None  # shadowed by a local binding
+            if name in self.info.functions:
+                return self.info.functions[name]
+            if name in self.info.classes:
+                return self.info.classes[name].init_sig()
+            qual = self.info.aliases.get(name)
+            if qual is not None:
+                if qual in self.index.functions_by_qual:
+                    return self.index.functions_by_qual[qual]
+                leaf = qual.rsplit(".", 1)[-1]
+                cls = self.index.class_named(leaf)
+                if cls is not None:
+                    return cls.init_sig()
+            return None
+        if isinstance(func, ast.Attribute):
+            owner = self._class_of(func.value)
+            if owner is not None:
+                return self.index.method(owner, func.attr)
+            qual = _dotted(func, self.info.aliases)
+            if qual is not None and qual in self.index.functions_by_qual:
+                return self.index.functions_by_qual[qual]
+            self.infer(func.value)
+            return None
+        self.infer(func)
+        return None
+
+    def _check_call_args(self, node: ast.Call, sig: FuncSig,
+                         arg_results: List[_Res],
+                         kw_results: Dict[str, _Res]) -> None:
+        param_dims = dict(sig.params)
+        if not any(isinstance(a, ast.Starred) for a in node.args):
+            for (pname, pdim), res, arg_node in zip(sig.params, arg_results,
+                                                    node.args):
+                self._check_one_arg(pname, pdim, res, arg_node)
+        for kw in node.keywords:
+            if kw.arg is None or kw.arg not in param_dims:
+                continue
+            self._check_one_arg(kw.arg, param_dims[kw.arg],
+                                kw_results[kw.arg], kw.value)
+
+    def _check_one_arg(self, pname: str, pdim: Optional[Dim], res: _Res,
+                       node: ast.AST) -> None:
+        if pdim is None or res.dim is None or res.literal:
+            return
+        if res.dim in (SCALAR, pdim):
+            return
+        self._report(
+            "UNIT003", node,
+            f"argument for {pname!r} is {dim_name(res.dim)} but the "
+            f"parameter is annotated {dim_name(pdim)}")
+
+
+def _load_of(target: ast.AST) -> ast.AST:
+    """A Load-context copy of an AugAssign target, for reading."""
+    clone = ast.copy_location(
+        ast.parse(ast.unparse(target), mode="eval").body, target)
+    return clone
+
+
+def _merge_envs(a: Dict[str, Optional[Dim]],
+                b: Dict[str, Optional[Dim]]) -> Dict[str, Optional[Dim]]:
+    """Join two branch environments: agreement survives, conflict -> unknown."""
+    merged: Dict[str, Optional[Dim]] = {}
+    for key in set(a) | set(b):
+        va, vb = a.get(key), b.get(key)
+        merged[key] = va if va == vb else None
+    return merged
+
+
+# --------------------------------------------------------------------------
+# UNIT006: unit-less public signatures in annotated modules
+# --------------------------------------------------------------------------
+
+
+def _check_signatures(info: ModuleInfo, findings: List[Finding]) -> None:
+    if not info.opted_in:
+        return
+    for stmt in info.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _check_func_signature(info, stmt, findings)
+        elif isinstance(stmt, ast.ClassDef) and not stmt.name.startswith("_"):
+            for sub in stmt.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    _check_func_signature(info, sub, findings)
+                elif isinstance(sub, ast.AnnAssign) \
+                        and isinstance(sub.target, ast.Name):
+                    field = sub.target.id
+                    if not field.startswith("_") and is_quantity_name(field) \
+                            and _unitless_annotation(sub.annotation):
+                        findings.append(Finding(
+                            rule="UNIT006", path=info.path, line=sub.lineno,
+                            col=sub.col_offset,
+                            message=f"field {field!r} looks dimensioned but "
+                                    f"is annotated as a bare number; use a "
+                                    f"repro.core.units alias"))
+
+
+def _check_func_signature(info: ModuleInfo,
+                          func: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+                          findings: List[Finding]) -> None:
+    name = func.name
+    if name.startswith("_") and name != "__init__":
+        return
+    args = list(func.args.posonlyargs) + list(func.args.args) \
+        + list(func.args.kwonlyargs)
+    for a in args:
+        if a.arg in ("self", "cls") or not is_quantity_name(a.arg):
+            continue
+        if a.annotation is None or _unitless_annotation(a.annotation):
+            findings.append(Finding(
+                rule="UNIT006", path=info.path, line=a.lineno,
+                col=a.col_offset,
+                message=f"parameter {a.arg!r} of {name}() looks dimensioned "
+                        f"but has no unit annotation; use a "
+                        f"repro.core.units alias"))
+
+
+def _unitless_annotation(node: Optional[ast.AST]) -> bool:
+    """Annotated, but as a bare number with no dimension information."""
+    if node is None:
+        return False  # handled separately (missing annotation)
+    if ann_dim(node) is not None:
+        return False
+    return _ann_is_bare_number(node)
+
+
+# --------------------------------------------------------------------------
+# Public API
+# --------------------------------------------------------------------------
+
+
+def _build_index(sources: Sequence[Tuple[str, str]]) -> _Index:
+    index = _Index()
+    for path, source in sources:
+        info = _collect_module(path, source)
+        if info is not None:
+            index.add(info)
+    return index
+
+
+def _check_module(index: _Index, info: ModuleInfo, rules: Set[str],
+                  source: str) -> List[Finding]:
+    findings: List[Finding] = []
+    if "UNIT006" in rules:
+        _check_signatures(info, findings)
+    # Module-level functions, then methods (with their class context).
+    for stmt in info.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _FunctionChecker(index, info, stmt, None, findings).run()
+        elif isinstance(stmt, ast.ClassDef):
+            cls = info.classes.get(stmt.name)
+            for sub in stmt.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    _FunctionChecker(index, info, sub, cls, findings).run()
+    lines = source.splitlines()
+    kept: List[Finding] = []
+    for finding in findings:
+        if finding.rule not in rules:
+            continue
+        line = lines[finding.line - 1] if finding.line - 1 < len(lines) else ""
+        suppressed = _noqa_rules(line)
+        if suppressed is not None and (not suppressed
+                                       or finding.rule in suppressed):
+            continue
+        kept.append(finding)
+    return kept
+
+
+def check_units_sources(sources: Dict[PathLike, str]) -> List[Finding]:
+    """Check a set of in-memory sources (cross-file tables included)."""
+    pairs = [(str(path), text) for path, text in sources.items()]
+    index = _build_index(pairs)
+    by_path = dict(pairs)
+    findings: List[Finding] = []
+    for info in index.modules:
+        rules = applicable_unit_rules(info.path)
+        if not rules:
+            continue
+        findings.extend(_check_module(index, info, rules, by_path[info.path]))
+    return findings
+
+
+def check_units_source(source: str, path: PathLike) -> List[Finding]:
+    """Check one file's source text in isolation (test/fixture entry)."""
+    return check_units_sources({path: source})
+
+
+def check_units_paths(paths: Sequence[PathLike]) -> List[Finding]:
+    """Check every ``.py`` file under ``paths`` with shared tables."""
+    from repro.analysis.lint import iter_python_files
+    sources: Dict[PathLike, str] = {}
+    for file in iter_python_files(paths):
+        sources[file] = file.read_text(encoding="utf-8")
+    return check_units_sources(sources)

@@ -19,6 +19,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Sequence, Union
 
+from repro.core.units import MILLIS_PER_SECOND, Bytes, PerSecond, Seconds
 from repro.workloads.scenarios import INTERNET_SCENARIOS, PathScenario
 
 
@@ -65,7 +66,7 @@ def _resolve_scenario(scenario: Union[str, PathScenario]) -> PathScenario:
 
 
 def single_flow_job(scenario: Union[str, PathScenario], cc: str,
-                    size_bytes: int, seed: int = 0, *,
+                    size_bytes: Bytes, seed: int = 0, *,
                     delayed_ack: bool = False, ecn: bool = False,
                     trace_digest: bool = False,
                     analyze: bool = False,
@@ -116,7 +117,7 @@ def single_flow_job(scenario: Union[str, PathScenario], cc: str,
 def flowsim_sweep_job(path: Mapping[str, Any], flows: int, *,
                       size_dist: str = "campus",
                       models: Sequence[str] = ("csa00", "csa00+suss"),
-                      seed: int = 1, arrival_rate: float = 1000.0,
+                      seed: int = 1, arrival_rate: PerSecond = 1000.0,
                       shard: int = 0, shards: int = 1,
                       knobs: Optional[Mapping[str, Any]] = None) -> JobSpec:
     """Spec for one analytical fleet sweep (the :mod:`repro.flowsim` tier).
@@ -158,10 +159,10 @@ def flowsim_sweep_job(path: Mapping[str, Any], flows: int, *,
                           f"seed={seed}{shard_tag}"))
 
 
-def stability_job(large_cc: str, buffer_bdp: float, large_rtt: float,
-                  suss: bool, large_size: int, small_size: int, n_small: int,
-                  bottleneck_mbps: float, horizon: float, seed: int,
-                  rtts: Sequence[float], *,
+def stability_job(large_cc: str, buffer_bdp: float, large_rtt: Seconds,
+                  suss: bool, large_size: Bytes, small_size: Bytes, n_small: int,
+                  bottleneck_mbps: float, horizon: Seconds, seed: int,
+                  rtts: Sequence[Seconds], *,
                   knobs: Optional[Mapping[str, Any]] = None) -> JobSpec:
     """Spec for one seeded Table-1 stability run (large flow + small flows)."""
     params: Dict[str, Any] = {
@@ -182,13 +183,13 @@ def stability_job(large_cc: str, buffer_bdp: float, large_rtt: float,
     suss_tag = "suss-on" if suss else "suss-off"
     return JobSpec(kind="stability", params=params,
                    label=(f"table1 {large_cc} buf={buffer_bdp} "
-                          f"rtt={large_rtt * 1000:.0f}ms {suss_tag} "
+                          f"rtt={large_rtt * MILLIS_PER_SECOND:.0f}ms {suss_tag} "
                           f"seed={seed}"))
 
 
-def fairness_job(rtt: float, buffer_bdp: float, cc: str, *,
-                 bottleneck_mbps: float = 50.0, join_time: float = 16.0,
-                 horizon: float = 40.0, seed: int = 0,
+def fairness_job(rtt: Seconds, buffer_bdp: float, cc: str, *,
+                 bottleneck_mbps: float = 50.0, join_time: Seconds = 16.0,
+                 horizon: Seconds = 40.0, seed: int = 0,
                  recovery_threshold: float = 0.95, window: float = 2.0,
                  knobs: Optional[Mapping[str, Any]] = None) -> JobSpec:
     """Spec for one Fig.-15 fairness cell (four flows plus a late joiner)."""
@@ -206,5 +207,5 @@ def fairness_job(rtt: float, buffer_bdp: float, cc: str, *,
     if knobs:
         params["knobs"] = dict(knobs)
     return JobSpec(kind="fairness_cell", params=params,
-                   label=(f"fig15 {cc} rtt={rtt * 1000:.0f}ms "
+                   label=(f"fig15 {cc} rtt={rtt * MILLIS_PER_SECOND:.0f}ms "
                           f"buf={buffer_bdp} seed={seed}"))

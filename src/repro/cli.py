@@ -26,7 +26,8 @@ from repro.cc import available
 from repro.experiments.report import pct, render_table
 from repro.experiments.runner import run_single_flow, sweep_summaries
 from repro.trace.csvout import write_multi_timeseries
-from repro.workloads import INTERNET_SCENARIOS, MB, MBPS
+from repro.core.units import BITS_PER_BYTE, MB, MBIT, MBPS, MILLIS_PER_SECOND
+from repro.workloads import INTERNET_SCENARIOS
 from repro.workloads.scenarios import LINK_NAMES, SERVER_NAMES
 
 
@@ -54,9 +55,9 @@ def _scenario(name: str):
 def cmd_list_scenarios(args: argparse.Namespace) -> int:
     rows = []
     for name, sc in sorted(INTERNET_SCENARIOS.items()):
-        rows.append([name, f"{sc.rtt * 1000:.0f} ms",
+        rows.append([name, f"{sc.rtt * MILLIS_PER_SECOND:.0f} ms",
                      f"{sc.btl_bw / MBPS:.0f} Mbps",
-                     f"{sc.bw_variation:.2f}", f"{sc.jitter * 1000:.1f} ms",
+                     f"{sc.bw_variation:.2f}", f"{sc.jitter * MILLIS_PER_SECOND:.1f} ms",
                      f"{sc.buffer_bdp:.2f} BDP", sc.client_location])
     print(render_table(
         ["scenario", "RTT", "BtlBw", "bw var", "jitter", "buffer",
@@ -82,7 +83,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"cc:              {args.cc}")
     print(f"size:            {args.size} bytes")
     print(f"fct:             {result.fct:.4f} s")
-    print(f"goodput:         {args.size / result.fct * 8 / 1e6:.2f} Mbit/s")
+    print(f"goodput:         {args.size / result.fct * BITS_PER_BYTE / MBIT:.2f} Mbit/s")
     print(f"loss rate:       {result.loss_rate * 100:.3f}%")
     print(f"retransmissions: {result.retransmissions}")
     print(f"timeouts:        {result.rto_count}")
@@ -183,7 +184,7 @@ def cmd_flowsim(args: argparse.Namespace) -> int:
                          seed=args.seed, models=models)
     start = time.perf_counter()  # noqa: DET001 - CLI-level throughput report
     result = run_sweep(config)
-    elapsed = time.perf_counter() - start  # noqa: DET001
+    elapsed = time.perf_counter() - start  # noqa: DET001 - CLI-level throughput report
     value = sweep_to_value(result)
     if args.as_json:
         value["elapsed"] = elapsed
@@ -637,11 +638,15 @@ def cmd_validate(args: argparse.Namespace) -> int:
 def cmd_lint(args: argparse.Namespace) -> int:
     """Determinism/layering lint — delegates to repro.analysis.cli."""
     from repro.analysis.cli import main as lint_main
+    if args.explain:
+        return lint_main(["--explain", args.explain])
     argv: List[str] = list(args.paths)
     if args.as_json:
         argv.append("--json")
     if args.no_layering:
         argv.append("--no-layering")
+    if args.no_units:
+        argv.append("--no-units")
     return lint_main(argv)
 
 
@@ -886,6 +891,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit findings as JSON")
     lint_p.add_argument("--no-layering", action="store_true",
                         help="skip the import-graph layering check")
+    lint_p.add_argument("--no-units", action="store_true",
+                        help="skip the unit/dimension checker")
+    lint_p.add_argument("--explain", metavar="RULE",
+                        help="print the catalogue entry for a rule ID "
+                             "(e.g. DET003, UNIT002) and exit")
     lint_p.set_defaults(func=cmd_lint)
     return parser
 

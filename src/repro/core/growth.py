@@ -27,6 +27,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.core.units import Bytes, Seconds
+
 #: HyStart ACK-train threshold: growth continues while the ACK train fits
 #: within this fraction of minRTT (Condition 1 uses minRTT/2).
 ACK_TRAIN_FRACTION = 0.5
@@ -37,8 +39,8 @@ DELAY_FACTOR = 1.125
 DEFAULT_K_MAX = 1
 
 
-def estimate_ack_train(dt_bat: float, data_train_bytes: int,
-                       blue_bytes: int) -> float:
+def estimate_ack_train(dt_bat: Seconds, data_train_bytes: Bytes,
+                       blue_bytes: Bytes) -> Seconds:
     """Eq. 9: scale the blue ACK-train duration up to the full train.
 
     Args:
@@ -61,7 +63,7 @@ def estimate_ack_train(dt_bat: float, data_train_bytes: int,
     return (data_train_bytes / blue_bytes) * dt_bat
 
 
-def predict_mo_rtt(mo_rtt: float, min_rtt: float, r: int, k: int = 1) -> float:
+def predict_mo_rtt(mo_rtt: Seconds, min_rtt: Seconds, r: int, k: int = 1) -> Seconds:
     """Eq. 7 / Eq. 18: extrapolate the minimum observed RTT ``k`` rounds ahead.
 
     The queueing delay accumulated since minRTT was last updated, averaged
@@ -72,7 +74,7 @@ def predict_mo_rtt(mo_rtt: float, min_rtt: float, r: int, k: int = 1) -> float:
     return mo_rtt + k * (mo_rtt - min_rtt) / r
 
 
-def condition1(dt_at: float, min_rtt: float, k: int,
+def condition1(dt_at: Seconds, min_rtt: Seconds, k: int,
                fraction: float = ACK_TRAIN_FRACTION) -> bool:
     """Eq. 6 / Eq. 17: the ACK train leaves room for ``k`` more doublings.
 
@@ -84,7 +86,7 @@ def condition1(dt_at: float, min_rtt: float, k: int,
     return dt_at <= min_rtt * fraction / (2 ** k)
 
 
-def condition2(mo_rtt: float, min_rtt: float, r: int, k: int,
+def condition2(mo_rtt: Seconds, min_rtt: Seconds, r: int, k: int,
                delay_factor: float = DELAY_FACTOR) -> bool:
     """Eq. 8 / Eq. 19: extrapolated queueing delay stays below threshold.
 
@@ -98,7 +100,7 @@ def condition2(mo_rtt: float, min_rtt: float, r: int, k: int,
     return predict_mo_rtt(mo_rtt, min_rtt, r, k) <= delay_factor * min_rtt
 
 
-def growth_factor(dt_at: float, mo_rtt: Optional[float], min_rtt: float,
+def growth_factor(dt_at: Seconds, mo_rtt: Optional[Seconds], min_rtt: Seconds,
                   r: int, k_max: int = DEFAULT_K_MAX,
                   fraction: float = ACK_TRAIN_FRACTION,
                   delay_factor: float = DELAY_FACTOR) -> int:

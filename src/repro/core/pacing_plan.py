@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.units import Bytes, BytesPerSec, Seconds
+
 
 @dataclass(frozen=True)
 class PacingPlan:
@@ -39,17 +41,17 @@ class PacingPlan:
     cwnd_target: int
     s_bdt: int
     s_rdt: int
-    rate: float
-    duration: float
-    guard: float
+    rate: BytesPerSec
+    duration: Seconds
+    guard: Seconds
 
     @property
-    def start_offset(self) -> float:
+    def start_offset(self) -> Seconds:
         return self.guard
 
 
-def make_pacing_plan(cwnd_prev: int, s_bdt_prev: int, growth: int,
-                     min_rtt: float, dt_bat: float) -> PacingPlan:
+def make_pacing_plan(cwnd_prev: Bytes, s_bdt_prev: Bytes, growth: int,
+                     min_rtt: Seconds, dt_bat: Seconds) -> PacingPlan:
     """Compute the pacing plan for the current round.
 
     Args:
@@ -89,6 +91,6 @@ def make_pacing_plan(cwnd_prev: int, s_bdt_prev: int, growth: int,
                       rate=rate, duration=duration, guard=max(guard, 0.0))
 
 
-def lemma1_lower_bound(plan: PacingPlan, min_rtt: float) -> float:
+def lemma1_lower_bound(plan: PacingPlan, min_rtt: Seconds) -> Seconds:
     """Lemma 1's guaranteed lower bound on the guard interval."""
     return (plan.s_bdt / (4.0 * plan.cwnd_target)) * min_rtt

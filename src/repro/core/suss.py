@@ -38,6 +38,7 @@ from repro.cc.cubic import Cubic
 from repro.core.growth import DEFAULT_K_MAX, estimate_ack_train, growth_factor
 from repro.core.hystart_mod import SussHyStart
 from repro.core.pacing_plan import PacingPlan, make_pacing_plan
+from repro.core.units import BytesPerSec, Seconds
 from repro.obs import records as obsrec
 from repro.sim.engine import EventHandle
 
@@ -60,16 +61,16 @@ class SussCubic(Cubic):
         self._prev_train_bytes = 0
 
         # current-round bookkeeping
-        self._round_start_time = 0.0
+        self._round_start_time: Seconds = 0.0
         self._round_first_seq = 0
         self._cur_blue_end: Optional[int] = None
         self._cwnd_at_round_start = 0.0
-        self._mo_rtt: Optional[float] = None
+        self._mo_rtt: Optional[Seconds] = None
         self._measured = False
 
         # pacing-period state
         self._pacing_target: Optional[float] = None
-        self._pacing_rate = 0.0
+        self._pacing_rate: BytesPerSec = 0.0
         self._pacing_handle: Optional[EventHandle] = None
 
         # instrumentation
@@ -113,7 +114,7 @@ class SussCubic(Cubic):
     # ------------------------------------------------------------------
     # round transitions
     # ------------------------------------------------------------------
-    def on_round_start(self, now: float, round_index: int) -> None:
+    def on_round_start(self, now: Seconds, round_index: int) -> None:
         snd_nxt = self.sender.snd_nxt
         # Finalise the round that just ended: its blue part either stopped
         # at the pacing boundary snapshot, or — in a traditional round —
@@ -193,7 +194,7 @@ class SussCubic(Cubic):
     # ------------------------------------------------------------------
     # measurement and acceleration
     # ------------------------------------------------------------------
-    def _on_blue_train_complete(self, now: float) -> None:
+    def _on_blue_train_complete(self, now: Seconds) -> None:
         self._measured = True
         blue = self._prev_blue_end - self._prev_blue_start
         train = self._prev_train_bytes
@@ -285,15 +286,15 @@ class SussCubic(Cubic):
     # ------------------------------------------------------------------
     # reversions to stock CUBIC behaviour
     # ------------------------------------------------------------------
-    def exit_slow_start(self, now: float) -> None:
+    def exit_slow_start(self, now: Seconds) -> None:
         self._abort_pacing()
         super().exit_slow_start(now)
 
-    def on_loss(self, now: float) -> None:
+    def on_loss(self, now: Seconds) -> None:
         self._abort_pacing()
         super().on_loss(now)
 
-    def on_rto(self, now: float) -> None:
+    def on_rto(self, now: Seconds) -> None:
         self._abort_pacing()
         super().on_rto(now)
 

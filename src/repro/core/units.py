@@ -1,0 +1,66 @@
+"""Unit type aliases and canonical conversion constants.
+
+Every quantity in the reproduction is a plain number at runtime; what
+keeps seconds, bytes and bytes-per-second from being mixed up is the
+static unit checker (:mod:`repro.analysis.units`, rules UNIT001-UNIT006)
+and the annotation vocabulary defined here.  Annotating a signature with
+one of these aliases both documents the quantity's dimension and anchors
+the checker's flow-sensitive inference:
+
+>>> def bdp_bytes(rate: BytesPerSec, rtt: Seconds) -> Bytes: ...
+
+The aliases are ordinary ``float`` aliases — they impose no runtime
+cost or behaviour — and the conversion constants are the single source
+of truth for the magic numbers that previously appeared inline
+(``* 8``, ``* 1000``, ``125_000``).  The checker knows each constant's
+dimension, so ``rtt * MILLIS_PER_SECOND`` infers as ``Millis`` while a
+raw ``rtt * 1000`` is flagged (UNIT004).
+
+This module is a dependency-free leaf: any layer (``sim``, ``net``,
+``tcp``, ...) may import it, which the layering checker permits through
+an explicit ``core.units`` waiver (see DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+# -- unit type aliases (annotation vocabulary) -------------------------
+#: elapsed or absolute simulated time, in seconds.
+Seconds = float
+#: time in milliseconds (display/reporting only; simulate in seconds).
+Millis = float
+#: a byte count (sizes, windows, buffer capacities).
+Bytes = float
+#: a bit count (wire-rate arithmetic).
+Bits = float
+#: a count of MSS-sized segments (cwnd in packets, CSA00's ``d``).
+Segments = float
+#: a data rate in bytes per second (bandwidths, pacing rates).
+BytesPerSec = float
+#: a data rate in bits per second (paper-facing Mbit/s figures).
+BitsPerSec = float
+#: an event rate in 1/seconds (e.g. flow arrivals per second).
+PerSecond = float
+
+# -- canonical conversion constants ------------------------------------
+#: bytes/second per Mbit/s: ``50 * MBPS`` is a 50 Mbit/s link's byte rate.
+MBPS = 125_000
+#: bits per byte: ``goodput_bytes_per_sec * BITS_PER_BYTE`` is bits/sec.
+BITS_PER_BYTE = 8
+#: bytes per megabyte (decimal, as in the paper's flow sizes).
+MB = 1_000_000
+#: bits per megabit: ``bits / MBIT`` renders a Mbit figure.
+MBIT = 1e6
+#: milliseconds per second: ``rtt * MILLIS_PER_SECOND`` renders ms.
+MILLIS_PER_SECOND = 1000
+#: microseconds per second (profiler output).
+MICROS_PER_SECOND = 1e6
+#: the reproduction's maximum segment size in payload bytes
+#: (:data:`repro.net.packet.DEFAULT_MSS` re-exports this value).
+MSS = 1448
+
+__all__ = [
+    "Seconds", "Millis", "Bytes", "Bits", "Segments",
+    "BytesPerSec", "BitsPerSec", "PerSecond",
+    "MBPS", "BITS_PER_BYTE", "MB", "MBIT",
+    "MILLIS_PER_SECOND", "MICROS_PER_SECOND", "MSS",
+]

@@ -18,8 +18,8 @@ from repro.experiments.runner import run_single_flow
 from repro.metrics.summary import improvement, summarize
 from repro.net.netem import SteppedBandwidth
 from repro.net.topology import bdp_bytes
-from repro.workloads.flows import MB
-from repro.workloads.scenarios import MBPS, PathScenario, get_scenario
+from repro.core.units import MB, MBPS, Seconds
+from repro.workloads.scenarios import PathScenario, get_scenario
 
 
 def _stepped_scenario(base: PathScenario, drop_time: float,
@@ -41,9 +41,9 @@ def _stepped_scenario(base: PathScenario, drop_time: float,
 
 @dataclass
 class BtlBwDropResult:
-    drop_time: float
-    fct_off: float
-    fct_on: float
+    drop_time: Seconds
+    fct_off: Seconds
+    fct_on: Seconds
     loss_off: float
     loss_on: float
 

@@ -14,6 +14,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Sequence
 
+from repro.core.units import MB
 from repro.experiments.report import pct, render_table
 from repro.experiments.runner import run_single_flow
 from repro.workloads.distributions import CAMPUS_FLOW_CDF
@@ -75,9 +76,9 @@ def run(n_flows: int = 40, seed: int = 0,
 
 def format_report(result: MixResult) -> str:
     small = [imp for size, imp in zip(result.sizes, result.improvements)
-             if size <= 1_000_000]
+             if size <= MB]
     big = [imp for size, imp in zip(result.sizes, result.improvements)
-           if size > 1_000_000]
+           if size > MB]
     rows = [
         ["flows sampled", len(result.sizes)],
         ["median flow size", f"{sorted(result.sizes)[len(result.sizes) // 2] / 1e3:.0f} kB"],

@@ -15,7 +15,8 @@ from typing import Dict, List, Tuple
 from repro.experiments.report import render_table
 from repro.experiments.runner import run_single_flow
 from repro.metrics.timeseries import TimeSeries
-from repro.workloads.scenarios import MBPS, get_scenario
+from repro.core.units import MBPS, Bytes, BytesPerSec, Seconds
+from repro.workloads.scenarios import get_scenario
 
 
 def fig1_scenario():
@@ -30,8 +31,8 @@ class Fig1Result:
     """Per-CCA motivation measurements."""
 
     cc: str
-    fct: float
-    theta: float                      # steady-state delivery rate (bytes/s)
+    fct: Seconds
+    theta: BytesPerSec                # steady-state delivery rate
     delivered: TimeSeries             # cumulative delivered bytes
     checkpoints: List[Tuple[float, float, float]]  # (t, actual, optimal)
 
@@ -44,7 +45,7 @@ class Fig1Result:
         return 0.0
 
 
-def run(size_bytes: int = 25_000_000, seed: int = 0,
+def run(size_bytes: Bytes = 25_000_000, seed: int = 0,
         ccas: Tuple[str, ...] = ("cubic", "bbr2"),
         checkpoint_times: Tuple[float, ...] = (1.0, 2.0, 4.0)
         ) -> Dict[str, Fig1Result]:

@@ -15,7 +15,8 @@ from typing import Dict, List, Optional, Tuple
 from repro.experiments.report import render_table
 from repro.experiments.runner import run_local_testbed
 from repro.metrics.timeseries import TimeSeries
-from repro.workloads.flows import MB, FlowSpec
+from repro.core.units import MB, MBPS, BytesPerSec, Seconds
+from repro.workloads.flows import FlowSpec
 from repro.workloads.scenarios import LocalTestbedConfig
 
 #: goodput-averaging window for trajectory points (seconds)
@@ -25,13 +26,13 @@ GOODPUT_WINDOW = 1.0
 @dataclass
 class Fig2Result:
     cc: str
-    fair_share: float                       # bytes/s per flow (bottleneck / 5)
-    newcomer_goodput: List[Tuple[float, float]]   # (t since join, bytes/s)
-    time_to_fair_share: Optional[float]     # seconds after join, or None
+    fair_share: BytesPerSec                 # per flow (bottleneck / 5)
+    newcomer_goodput: List[Tuple[Seconds, BytesPerSec]]   # (t since join, rate)
+    time_to_fair_share: Optional[Seconds]   # after join, or None
 
 
-def run(cc: str, join_time: float = 20.0, horizon: float = 50.0,
-        bottleneck_mbps: float = 50.0, rtt: float = 0.050,
+def run(cc: str, join_time: Seconds = 20.0, horizon: Seconds = 50.0,
+        bottleneck_mbps: float = 50.0, rtt: Seconds = 0.050,
         buffer_bdp: float = 2.0, seed: int = 0,
         share_fraction: float = 0.8) -> Fig2Result:
     """Run the five-flow competition for one CCA (all flows use ``cc``)."""
@@ -71,7 +72,7 @@ def format_report(results: Dict[str, Fig2Result]) -> str:
         reached = ("never (within horizon)" if r.time_to_fair_share is None
                    else f"{r.time_to_fair_share:.1f} s")
         final = r.newcomer_goodput[-1][1] if r.newcomer_goodput else 0.0
-        rows.append([cc, r.fair_share / 125_000, final / 125_000, reached])
+        rows.append([cc, r.fair_share / MBPS, final / MBPS, reached])
     return render_table(
         ["cca", "fair share (Mbps)", "newcomer final (Mbps)",
          "time to 80% share"], rows,

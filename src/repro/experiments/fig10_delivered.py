@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from repro.core.units import MB, Bytes, BytesPerSec, Seconds
 from repro.experiments.report import render_table
 from repro.experiments.runner import run_single_flow
 from repro.metrics.timeseries import TimeSeries
@@ -20,13 +21,13 @@ from repro.workloads.scenarios import FIG9_SCENARIO, PathScenario
 @dataclass
 class Fig10Result:
     cc: str
-    fct: float
+    fct: Seconds
     delivered: TimeSeries
-    samples: List[Tuple[float, float]]   # (t, delivered bytes)
-    steady_rate: float                   # late-transfer delivery rate
+    samples: List[Tuple[Seconds, Bytes]]  # (t, delivered bytes)
+    steady_rate: BytesPerSec             # late-transfer delivery rate
 
 
-def run(scenario: PathScenario = FIG9_SCENARIO, size_bytes: int = 25_000_000,
+def run(scenario: PathScenario = FIG9_SCENARIO, size_bytes: Bytes = 25_000_000,
         seed: int = 0,
         sample_times: Tuple[float, ...] = (0.5, 1.0, 2.0, 3.0, 4.0)
         ) -> Dict[str, Fig10Result]:
@@ -58,7 +59,7 @@ def format_report(results: Dict[str, Fig10Result]) -> str:
         off = results["cubic"].delivered.value_at(t) or 0.0
         on = results["cubic+suss"].delivered.value_at(t) or 0.0
         ratio = on / off if off else float("inf")
-        rows.append([t, off / 1e6, on / 1e6, f"{ratio:.2f}x"])
+        rows.append([t, off / MB, on / MB, f"{ratio:.2f}x"])
     return render_table(
         ["t (s)", "SUSS off (MB)", "SUSS on (MB)", "ratio"], rows,
         title="Fig. 10 — delivered data over time")

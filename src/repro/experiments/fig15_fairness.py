@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.units import MILLIS_PER_SECOND, Seconds
 from repro.experiments.report import render_table
 from repro.experiments.runner import run_fairness_cell
 
@@ -28,12 +29,12 @@ CLAIM_IDS = ("fig15-fairness-recovery", "fig15-fairness-floor")
 class Fig15Cell:
     """One sub-figure: a (minRTT, buffer) configuration, SUSS on or off."""
 
-    rtt: float
+    rtt: Seconds
     buffer_bdp: float
     suss: bool
-    fairness: List[Tuple[float, float]]      # (t, Jain index)
-    join_time: float
-    recovery_time: Optional[float]           # seconds to F >= threshold after join
+    fairness: List[Tuple[Seconds, float]]    # (t, Jain index)
+    join_time: Seconds
+    recovery_time: Optional[Seconds]         # time to F >= threshold after join
 
     @property
     def min_fairness_after_join(self) -> float:
@@ -41,9 +42,9 @@ class Fig15Cell:
         return min(post) if post else 1.0
 
 
-def run_cell(rtt: float, buffer_bdp: float, suss: bool,
-             bottleneck_mbps: float = 50.0, join_time: float = 16.0,
-             horizon: float = 40.0, seed: int = 0,
+def run_cell(rtt: Seconds, buffer_bdp: float, suss: bool,
+             bottleneck_mbps: float = 50.0, join_time: Seconds = 16.0,
+             horizon: Seconds = 40.0, seed: int = 0,
              recovery_threshold: float = 0.95,
              window: float = 2.0) -> Fig15Cell:
     cc = "cubic+suss" if suss else "cubic"
@@ -80,7 +81,7 @@ def format_report(cells: Dict[Tuple[float, float, bool], Fig15Cell]) -> str:
         on = cells[(rtt, buffer_bdp, True)]
         fmt = lambda c: ("> horizon" if c.recovery_time is None
                          else f"{c.recovery_time:.1f} s")
-        rows.append([f"{rtt * 1000:.0f} ms", buffer_bdp,
+        rows.append([f"{rtt * MILLIS_PER_SECOND:.0f} ms", buffer_bdp,
                      f"{off.min_fairness_after_join:.3f}", fmt(off),
                      f"{on.min_fairness_after_join:.3f}", fmt(on)])
     return render_table(

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.campaign.progress import ProgressReporter
+from repro.core.units import MILLIS_PER_SECOND, Seconds
 from repro.campaign.scheduler import collect_values, run_campaign
 from repro.campaign.spec import stability_job
 from repro.campaign.store import ResultStore
@@ -35,7 +36,7 @@ CLAIM_IDS = ("table1-small-flow-cubic", "table1-large-flow-cubic")
 class Table1Key:
     large_cc: str
     buffer_bdp: float
-    large_rtt: float
+    large_rtt: Seconds
 
 
 @dataclass
@@ -130,7 +131,7 @@ def format_report(cells: Dict[Table1Key, Table1Cell]) -> str:
                                             k.large_rtt)):
         cell = cells[key]
         rows.append([key.large_cc, key.buffer_bdp,
-                     f"{key.large_rtt * 1000:.0f} ms",
+                     f"{key.large_rtt * MILLIS_PER_SECOND:.0f} ms",
                      f"{cell.large_fct_off:.1f}", f"{cell.small_fct_off:.2f}",
                      f"{cell.large_fct_on:.1f}", f"{cell.small_fct_on:.2f}",
                      pct(cell.small_improvement)])

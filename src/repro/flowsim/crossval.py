@@ -26,13 +26,14 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.units import MBPS, Bytes, Seconds
 from repro.flowsim.model import FlowEstimate, PathParams, create_model
 from repro.metrics.summary import percentile
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 from repro.tcp.connection import open_transfer
 from repro.validate.stats import cliffs_delta
-from repro.workloads.scenarios import MBPS, PathScenario
+from repro.workloads.scenarios import PathScenario
 
 #: documented trust boundary: the analytical tier's median FCT must sit
 #: within this relative distance of the packet tier's on every golden
@@ -47,7 +48,7 @@ SCHEME_PAIRS: Dict[str, str] = {
 }
 
 
-def _dumbbell(name: str, rtt: float, mbps: float) -> PathScenario:
+def _dumbbell(name: str, rtt: Seconds, mbps: float) -> PathScenario:
     """A clean validation dumbbell: fixed bandwidth, tiny jitter for
     seed diversity, no random loss."""
     return PathScenario(name=name, server="crossval", link_type="wired",
@@ -71,7 +72,7 @@ class CrossValCase:
     name: str
     scenario: PathScenario
     cc: str                      # packet-tier algorithm
-    size_bytes: int
+    size_bytes: Bytes
     seeds: Tuple[int, ...] = (1, 2, 3)
 
     @property
@@ -102,8 +103,8 @@ def quick_cases() -> List[CrossValCase]:
             if case.name in chosen]
 
 
-def packet_fct(scenario: PathScenario, cc: str, size_bytes: int,
-               seed: int) -> float:
+def packet_fct(scenario: PathScenario, cc: str, size_bytes: Bytes,
+               seed: int) -> Seconds:
     """Reference packet-tier FCT for one seeded single-flow download."""
     sim = Simulator()
     rng = RngRegistry(seed)
@@ -126,10 +127,10 @@ class CaseResult:
     name: str
     cc: str
     model: str
-    size_bytes: int
-    packet_fcts: Tuple[float, ...]
-    packet_median: float
-    analytical_fct: float
+    size_bytes: Bytes
+    packet_fcts: Tuple[Seconds, ...]
+    packet_median: Seconds
+    analytical_fct: Seconds
     rel_median_error: float
 
     def within(self, tolerance: float = TOLERANCE_REL_MEDIAN_FCT) -> bool:

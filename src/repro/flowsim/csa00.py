@@ -31,15 +31,17 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.core.units import Bytes, Seconds
 from repro.flowsim.model import (
     FlowEstimate,
     FlowModel,
     PathParams,
     register_model,
 )
-
-#: the packet tier's retransmission-timeout floor (repro.tcp.rtt.RTO_MIN).
-RTO_MIN = 0.2
+# The packet tier's retransmission-timeout floor; sharing the constant
+# keeps the analytical ladder's RTO arithmetic in lock-step with the
+# simulator's actual timer.
+from repro.tcp.rtt import RTO_MIN
 
 #: slow start is considered to have filled the pipe once the window
 #: covers this fraction of the BDP: HyStart's delay condition fires at
@@ -82,7 +84,7 @@ class Csa00Model(FlowModel):
         return path.gamma
 
     def final_round_time(self, remaining: float, ladder: _Ladder,
-                         path: PathParams) -> float:
+                         path: PathParams) -> Seconds:
         """Time from the final (data-limited) round's start until the
         last byte is ACKed.
 
@@ -167,7 +169,7 @@ class Csa00Model(FlowModel):
                 + 16.0 * p ** 5 + 32.0 * p ** 6)
 
     def loss_episode_time(self, d: int, p: float, exit_cwnd: float,
-                          path: PathParams) -> float:
+                          path: PathParams) -> Seconds:
         """Eqs. 16–20: expected cost of the loss ending slow start."""
         if p <= 0.0:
             return 0.0
@@ -204,7 +206,7 @@ class Csa00Model(FlowModel):
         return min(max(rate, 1e-9), pipe_rate)
 
     # -- the model -----------------------------------------------------
-    def estimate(self, size_bytes: int, path: PathParams) -> FlowEstimate:
+    def estimate(self, size_bytes: Bytes, path: PathParams) -> FlowEstimate:
         d = path.segments_of(size_bytes)
         p = path.loss_rate
         rtt = path.effective_rtt

@@ -29,6 +29,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.units import Bytes, PerSecond, Seconds, Segments
 from repro.flowsim.model import FlowEstimate, FlowModel, PathParams, create_model
 from repro.metrics.summary import Summary, summarize
 from repro.obs.records import FLOWSIM_FLOW
@@ -37,7 +38,7 @@ from repro.sim.rng import derive_seed
 from repro.workloads.distributions import sample_flow_sizes
 
 #: default offered load for the synthetic arrival process, flows/sec.
-DEFAULT_ARRIVAL_RATE = 1000.0
+DEFAULT_ARRIVAL_RATE: PerSecond = 1000.0
 
 
 def shard_seed(seed: int, shard: int) -> int:
@@ -46,7 +47,7 @@ def shard_seed(seed: int, shard: int) -> int:
     return derive_seed(seed, f"flowsim.shard:{shard}")
 
 
-def poisson_arrivals(n: int, rate: float, rng: random.Random) -> List[float]:
+def poisson_arrivals(n: int, rate: PerSecond, rng: random.Random) -> List[Seconds]:
     """Arrival times of a Poisson process with ``rate`` flows/second."""
     if n < 0:
         raise ValueError("n must be non-negative")
@@ -68,10 +69,10 @@ class FleetResult:
 
     model: str
     n_flows: int
-    fcts: List[float] = field(repr=False)
-    sizes: List[int] = field(repr=False)
-    total_bytes: int = 0
-    total_segments: int = 0
+    fcts: List[Seconds] = field(repr=False)
+    sizes: List[Bytes] = field(repr=False)
+    total_bytes: Bytes = 0
+    total_segments: Segments = 0
     expected_retransmits: float = 0.0
     rounds_saved_total: int = 0
     distinct_segment_counts: int = 0
@@ -141,7 +142,7 @@ class SweepConfig:
     path: PathParams
     flows: int = 100_000
     size_dist: str = "campus"
-    arrival_rate: float = DEFAULT_ARRIVAL_RATE
+    arrival_rate: PerSecond = DEFAULT_ARRIVAL_RATE
     seed: int = 1
     models: Tuple[str, ...] = ("csa00", "csa00+suss")
 

@@ -18,6 +18,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List
 
+from repro.core.units import Bytes, BytesPerSec, Seconds, Segments
 from repro.net.packet import DEFAULT_MSS, HEADER_BYTES
 from repro.tcp.sender import DEFAULT_IW_SEGMENTS
 from repro.workloads.scenarios import PathScenario
@@ -38,15 +39,15 @@ ACCESS_SERIALISATION_FACTOR = 1.2
 class PathParams:
     """The analytical tier's path description (all rates in bytes/sec)."""
 
-    rtt: float                    # two-way propagation delay, seconds
-    btl_bw: float                 # bottleneck wire rate, bytes/second
+    rtt: Seconds                  # two-way propagation delay
+    btl_bw: BytesPerSec           # bottleneck wire rate
     loss_rate: float = 0.0        # random (non-congestion) loss probability
-    mss: int = DEFAULT_MSS        # payload bytes per segment
-    header_bytes: int = HEADER_BYTES
-    iw_segments: int = DEFAULT_IW_SEGMENTS
+    mss: Bytes = DEFAULT_MSS      # payload bytes per segment
+    header_bytes: Bytes = HEADER_BYTES
+    iw_segments: Segments = DEFAULT_IW_SEGMENTS
     delayed_ack: bool = False
     buffer_bdp: float = 1.0       # bottleneck buffer in BDP multiples
-    rwnd: int = 1 << 30           # receive window, bytes
+    rwnd: Bytes = 1 << 30         # receive window
 
     def __post_init__(self) -> None:
         if self.rtt <= 0:
@@ -73,7 +74,7 @@ class PathParams:
 
     # -- derived quantities -------------------------------------------
     @property
-    def wire_segment(self) -> int:
+    def wire_segment(self) -> Bytes:
         """Wire bytes of one full segment (payload + headers)."""
         return self.mss + self.header_bytes
 
@@ -83,27 +84,27 @@ class PathParams:
         return GAMMA_DELAYED_ACK if self.delayed_ack else GAMMA_PER_ACK
 
     @property
-    def goodput(self) -> float:
+    def goodput(self) -> BytesPerSec:
         """Payload throughput of a saturated bottleneck (bytes/sec)."""
-        return self.btl_bw * self.mss / self.wire_segment
+        return self.btl_bw * (self.mss / self.wire_segment)
 
     @property
-    def effective_rtt(self) -> float:
+    def effective_rtt(self) -> Seconds:
         """Propagation plus the per-packet serialisation a data/ACK pair
         pays on the dumbbell (bottleneck + two 10x access links)."""
         per_packet = (self.wire_segment + self.header_bytes) / self.btl_bw
         return self.rtt + ACCESS_SERIALISATION_FACTOR * per_packet
 
     @property
-    def bdp_segments(self) -> float:
+    def bdp_segments(self) -> Segments:
         """Pipe capacity in full segments."""
         return self.btl_bw * self.rtt / self.wire_segment
 
     @property
-    def rwnd_segments(self) -> float:
+    def rwnd_segments(self) -> Segments:
         return self.rwnd / self.mss
 
-    def segments_of(self, size_bytes: int) -> int:
+    def segments_of(self, size_bytes: Bytes) -> int:
         """Data packets needed for ``size_bytes`` (CSA00's ``d``)."""
         if size_bytes <= 0:
             raise ValueError("size_bytes must be positive")
@@ -121,16 +122,16 @@ class FlowEstimate:
     """
 
     model: str
-    size_bytes: int
+    size_bytes: Bytes
     segments: int
-    fct: float
-    handshake_time: float
-    ss_time: float                # initial slow-start phase
-    loss_recovery_time: float     # expected loss-episode expansion
-    ca_time: float                # steady-state / congestion-avoidance tail
+    fct: Seconds
+    handshake_time: Seconds
+    ss_time: Seconds              # initial slow-start phase
+    loss_recovery_time: Seconds   # expected loss-episode expansion
+    ca_time: Seconds              # steady-state / congestion-avoidance tail
     ss_rounds: int
-    ss_segments: float            # expected packets sent in slow start
-    exit_cwnd_segments: float     # window when slow start ended
+    ss_segments: Segments         # expected packets sent in slow start
+    exit_cwnd_segments: Segments  # window when slow start ended
     pipe_saturated: bool          # did the window reach the BDP?
     retransmits: float            # expected retransmissions
     loss_episodes: float          # expected loss events
@@ -155,7 +156,7 @@ class FlowModel:
 
     name: str = "abstract"
 
-    def estimate(self, size_bytes: int, path: PathParams) -> FlowEstimate:
+    def estimate(self, size_bytes: Bytes, path: PathParams) -> FlowEstimate:
         raise NotImplementedError
 
 

@@ -38,6 +38,7 @@ improvements.
 from __future__ import annotations
 
 from repro.core.growth import DEFAULT_K_MAX, growth_factor
+from repro.core.units import Seconds
 from repro.flowsim.csa00 import Csa00Model, _Ladder
 from repro.flowsim.model import PathParams, register_model
 
@@ -67,7 +68,7 @@ class SussCsa00Model(Csa00Model):
         return g * (path.gamma / 2.0)
 
     def final_round_time(self, remaining: float, ladder: _Ladder,
-                         path: PathParams) -> float:
+                         path: PathParams) -> Seconds:
         rtt = path.effective_rtt
         ack_clocked = super().final_round_time(remaining, ladder, path)
         if ladder.rounds <= 1:

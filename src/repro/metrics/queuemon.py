@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.core.units import Bytes, Seconds
 from repro.metrics.timeseries import TimeSeries
 from repro.net.queue import DropTailQueue
 from repro.sim.engine import EventHandle, Simulator
@@ -20,8 +21,8 @@ class QueueMonitor:
     """Periodically samples a queue's byte occupancy."""
 
     def __init__(self, sim: Simulator, queue: DropTailQueue,
-                 interval: float = 0.005,
-                 max_duration: Optional[float] = 600.0) -> None:
+                 interval: Seconds = 0.005,
+                 max_duration: Optional[Seconds] = 600.0) -> None:
         if interval <= 0:
             raise ValueError("interval must be positive")
         self.sim = sim
@@ -49,14 +50,14 @@ class QueueMonitor:
             self._handle.cancel()
 
     # -- summaries ---------------------------------------------------------
-    def peak(self, t_start: float = 0.0,
-             t_end: Optional[float] = None) -> float:
+    def peak(self, t_start: Seconds = 0.0,
+             t_end: Optional[Seconds] = None) -> Bytes:
         """Maximum occupancy in [t_start, t_end]."""
         values = self._window(t_start, t_end)
         return max(values) if values else 0.0
 
-    def percentile(self, q: float, t_start: float = 0.0,
-                   t_end: Optional[float] = None) -> float:
+    def percentile(self, q: float, t_start: Seconds = 0.0,
+                   t_end: Optional[Seconds] = None) -> Bytes:
         """q-th percentile (q in [0, 100]) of occupancy in the window."""
         if not 0 <= q <= 100:
             raise ValueError("q must be in [0, 100]")
@@ -66,11 +67,11 @@ class QueueMonitor:
         index = min(int(len(values) * q / 100.0), len(values) - 1)
         return values[index]
 
-    def mean(self, t_start: float = 0.0,
-             t_end: Optional[float] = None) -> float:
+    def mean(self, t_start: Seconds = 0.0,
+             t_end: Optional[Seconds] = None) -> Bytes:
         values = self._window(t_start, t_end)
         return sum(values) / len(values) if values else 0.0
 
-    def _window(self, t_start: float, t_end: Optional[float]) -> List[float]:
+    def _window(self, t_start: Seconds, t_end: Optional[Seconds]) -> List[Bytes]:
         return [v for t, v in self.series
                 if t >= t_start and (t_end is None or t <= t_end)]

@@ -11,16 +11,18 @@ from __future__ import annotations
 import bisect
 from typing import Iterator, List, Optional, Tuple
 
+from repro.core.units import Seconds
+
 
 class TimeSeries:
     """Append-only (time, value) series with step semantics."""
 
     def __init__(self, name: str = "") -> None:
         self.name = name
-        self.times: List[float] = []
+        self.times: List[Seconds] = []
         self.values: List[float] = []
 
-    def append(self, t: float, value: float) -> None:
+    def append(self, t: Seconds, value: float) -> None:
         if self.times and t < self.times[-1]:
             raise ValueError("time must be non-decreasing")
         self.times.append(t)
@@ -36,14 +38,14 @@ class TimeSeries:
     def empty(self) -> bool:
         return not self.times
 
-    def value_at(self, t: float) -> Optional[float]:
+    def value_at(self, t: Seconds) -> Optional[float]:
         """Step-interpolated value at time ``t`` (last sample <= t)."""
         idx = bisect.bisect_right(self.times, t) - 1
         if idx < 0:
             return None
         return self.values[idx]
 
-    def window_delta(self, t0: float, t1: float) -> float:
+    def window_delta(self, t0: Seconds, t1: Seconds) -> float:
         """Change in value over [t0, t1] for cumulative series."""
         if t1 <= t0:
             raise ValueError("t1 must exceed t0")
@@ -51,7 +53,7 @@ class TimeSeries:
         v1 = self.value_at(t1) or 0.0
         return v1 - v0
 
-    def rate(self, t0: float, t1: float) -> float:
+    def rate(self, t0: Seconds, t1: Seconds) -> float:
         """Mean growth rate over [t0, t1] (goodput for delivered-bytes series)."""
         return self.window_delta(t0, t1) / (t1 - t0)
 
@@ -61,7 +63,7 @@ class TimeSeries:
     def min_value(self) -> Optional[float]:
         return min(self.values) if self.values else None
 
-    def resample(self, interval: float, t_end: Optional[float] = None
+    def resample(self, interval: Seconds, t_end: Optional[Seconds] = None
                  ) -> "TimeSeries":
         """Step-resample at fixed ``interval`` (useful for plotting/export)."""
         if interval <= 0:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Optional, Protocol
 
+from repro.core.units import Bytes, BytesPerSec, Seconds
 from repro.net.netem import BandwidthProfile, ConstantBandwidth, JitterModel, LossModel
 from repro.net.packet import Packet
 from repro.net.queue import DropTailQueue
@@ -33,13 +34,16 @@ class Link:
     """One direction of a link: queue → serialiser → propagation → dst."""
 
     def __init__(self, sim: Simulator, dst: Receiver, bandwidth: BandwidthProfile,
-                 delay: float, queue: Optional[DropTailQueue] = None,
+                 delay: Seconds, queue: Optional[DropTailQueue] = None,
                  jitter: Optional[JitterModel] = None,
                  loss: Optional[LossModel] = None,
                  name: str = "link") -> None:
         if delay < 0:
             raise ValueError("propagation delay must be non-negative")
         if isinstance(bandwidth, (int, float)):
+            # ConstantBandwidth validates the scalar (positive + finite),
+            # so a zero/negative/NaN rate fails here instead of poisoning
+            # serialisation times downstream.
             bandwidth = ConstantBandwidth(float(bandwidth))
         self.sim = sim
         self.dst = dst
@@ -50,9 +54,9 @@ class Link:
         self.loss = loss
         self.name = name
         self._busy = False
-        self._last_arrival = 0.0
+        self._last_arrival: Seconds = 0.0
         self.packets_sent = 0
-        self.bytes_sent = 0
+        self.bytes_sent: Bytes = 0
         self.packets_lost = 0
         # Metric handles are resolved once here so the per-packet cost of
         # instrumentation is a single ``is not None`` test when disabled.
@@ -136,7 +140,7 @@ class Link:
     def busy(self) -> bool:
         return self._busy
 
-    def utilization_rate(self) -> float:
+    def utilization_rate(self) -> BytesPerSec:
         """Mean bytes/second pushed through the link so far."""
         if self.sim.now <= 0.0:
             return 0.0

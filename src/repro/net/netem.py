@@ -13,8 +13,23 @@ module provides the equivalent knobs:
 
 from __future__ import annotations
 
+import math
 import random
 from typing import List, Optional, Sequence, Tuple
+
+from repro.core.units import BytesPerSec, Seconds
+
+
+def _require_positive_rate(rate: float) -> float:
+    """Reject zero/negative/NaN/inf bandwidths at construction.
+
+    ``nan <= 0`` is False, so a plain sign check silently accepts NaN —
+    which then poisons every serialisation time computed from the rate.
+    """
+    if not math.isfinite(rate) or rate <= 0:
+        raise ValueError(
+            f"bandwidth must be positive and finite, got {rate!r}")
+    return float(rate)
 
 
 def _require_rng(rng: Optional[random.Random], component: str) -> random.Random:
@@ -36,10 +51,10 @@ def _require_rng(rng: Optional[random.Random], component: str) -> random.Random:
 class BandwidthProfile:
     """Base class: bottleneck bandwidth (bytes/second) as a function of time."""
 
-    def rate_at(self, now: float) -> float:
+    def rate_at(self, now: Seconds) -> BytesPerSec:
         raise NotImplementedError
 
-    def mean_rate(self) -> float:
+    def mean_rate(self) -> BytesPerSec:
         """Nominal long-run average rate (used to size BDP-relative buffers)."""
         raise NotImplementedError
 
@@ -47,15 +62,13 @@ class BandwidthProfile:
 class ConstantBandwidth(BandwidthProfile):
     """Fixed bandwidth (wired links, shaped testbed bottleneck)."""
 
-    def __init__(self, rate: float) -> None:
-        if rate <= 0:
-            raise ValueError("bandwidth must be positive")
-        self.rate = float(rate)
+    def __init__(self, rate: BytesPerSec) -> None:
+        self.rate: BytesPerSec = _require_positive_rate(rate)
 
-    def rate_at(self, now: float) -> float:
+    def rate_at(self, now: Seconds) -> BytesPerSec:
         return self.rate
 
-    def mean_rate(self) -> float:
+    def mean_rate(self) -> BytesPerSec:
         return self.rate
 
 
@@ -65,13 +78,12 @@ class SteppedBandwidth(BandwidthProfile):
     def __init__(self, steps: Sequence[Tuple[float, float]]) -> None:
         if not steps:
             raise ValueError("at least one step required")
-        self.steps: List[Tuple[float, float]] = sorted((float(t), float(r)) for t, r in steps)
+        self.steps: List[Tuple[float, float]] = sorted(
+            (float(t), _require_positive_rate(r)) for t, r in steps)
         if self.steps[0][0] > 0:
             raise ValueError("first step must start at or before t=0")
-        if any(r <= 0 for _, r in self.steps):
-            raise ValueError("rates must be positive")
 
-    def rate_at(self, now: float) -> float:
+    def rate_at(self, now: Seconds) -> BytesPerSec:
         rate = self.steps[0][1]
         for start, r in self.steps:
             if start <= now:
@@ -80,7 +92,7 @@ class SteppedBandwidth(BandwidthProfile):
                 break
         return rate
 
-    def mean_rate(self) -> float:
+    def mean_rate(self) -> BytesPerSec:
         return sum(r for _, r in self.steps) / len(self.steps)
 
 
@@ -94,22 +106,20 @@ class RandomWalkBandwidth(BandwidthProfile):
     is fully determined by the supplied RNG.
     """
 
-    def __init__(self, base_rate: float, span: float = 0.4,
-                 hold_time: float = 0.2, rng: Optional[random.Random] = None) -> None:
-        if base_rate <= 0:
-            raise ValueError("bandwidth must be positive")
+    def __init__(self, base_rate: BytesPerSec, span: float = 0.4,
+                 hold_time: Seconds = 0.2, rng: Optional[random.Random] = None) -> None:
         if not 0 <= span < 1:
             raise ValueError("span must be in [0, 1)")
         if hold_time <= 0:
             raise ValueError("hold_time must be positive")
-        self.base_rate = float(base_rate)
+        self.base_rate: BytesPerSec = _require_positive_rate(base_rate)
         self.span = span
         self.hold_time = hold_time
         self.rng = _require_rng(rng, "RandomWalkBandwidth")
         self._epoch = -1
         self._rate = base_rate
 
-    def rate_at(self, now: float) -> float:
+    def rate_at(self, now: Seconds) -> BytesPerSec:
         epoch = int(now / self.hold_time)
         while self._epoch < epoch:
             self._epoch += 1
@@ -122,7 +132,7 @@ class RandomWalkBandwidth(BandwidthProfile):
             self._rate = min(max(rate, lo), hi)
         return self._rate
 
-    def mean_rate(self) -> float:
+    def mean_rate(self) -> BytesPerSec:
         return self.base_rate
 
 
@@ -139,8 +149,8 @@ class JitterModel:
     scale, and samples stay within ``[0, 4 * jitter]``.
     """
 
-    def __init__(self, jitter: float, rng: Optional[random.Random] = None,
-                 tau: float = 0.1) -> None:
+    def __init__(self, jitter: Seconds, rng: Optional[random.Random] = None,
+                 tau: Seconds = 0.1) -> None:
         if jitter < 0:
             raise ValueError("jitter must be non-negative")
         if tau <= 0:
@@ -152,7 +162,7 @@ class JitterModel:
         self._value = jitter
         self._last_time = 0.0
 
-    def sample(self, now: float = 0.0) -> float:
+    def sample(self, now: Seconds = 0.0) -> Seconds:
         """Extra delay for a packet departing at time ``now``."""
         if self.jitter == 0:
             return 0.0

@@ -13,11 +13,13 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Optional, Tuple
 
+from repro.core.units import MSS, Bytes, Seconds
+
 #: Fixed per-packet header overhead (IPv4 20 B + TCP 20 B + options 12 B).
-HEADER_BYTES = 52
+HEADER_BYTES: Bytes = 52
 
 #: Default maximum segment size (payload bytes), 1500 MTU minus headers.
-DEFAULT_MSS = 1448
+DEFAULT_MSS: Bytes = MSS
 
 _packet_ids = itertools.count(1)
 
@@ -63,8 +65,8 @@ class Packet:
     seq: int = 0
     payload: int = 0
     ack_seq: int = 0
-    sent_time: float = 0.0
-    ts_echo: Optional[float] = None
+    sent_time: Seconds = 0.0
+    ts_echo: Optional[Seconds] = None
     retransmit: bool = False
     sack: Optional[Tuple[Tuple[int, int], ...]] = None
     ect: bool = False
@@ -74,7 +76,7 @@ class Packet:
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
 
     @property
-    def size(self) -> int:
+    def size(self) -> Bytes:
         """Total wire size in bytes (payload plus header overhead)."""
         return self.payload + HEADER_BYTES
 

@@ -12,6 +12,7 @@ import math
 from collections import deque
 from typing import Callable, Deque, Optional
 
+from repro.core.units import Bytes, Seconds
 from repro.net.packet import Packet
 
 DropCallback = Callable[[Packet, str], None]
@@ -20,7 +21,7 @@ DropCallback = Callable[[Packet, str], None]
 class DropTailQueue:
     """Byte-capacity FIFO queue that drops arriving packets when full."""
 
-    def __init__(self, capacity_bytes: int, name: str = "queue",
+    def __init__(self, capacity_bytes: Bytes, name: str = "queue",
                  on_drop: Optional[DropCallback] = None) -> None:
         if capacity_bytes <= 0:
             raise ValueError("queue capacity must be positive")
@@ -28,7 +29,7 @@ class DropTailQueue:
         self.name = name
         self.on_drop = on_drop
         self._q: Deque[Packet] = deque()
-        self._bytes = 0
+        self._bytes: Bytes = 0
         self.drops = 0
         self.enqueued = 0
         #: high-water mark of queued bytes over the queue's lifetime
@@ -38,7 +39,7 @@ class DropTailQueue:
         return len(self._q)
 
     @property
-    def bytes_queued(self) -> int:
+    def bytes_queued(self) -> Bytes:
         return self._bytes
 
     @property
@@ -60,7 +61,7 @@ class DropTailQueue:
         self.enqueued += 1
         return True
 
-    def pop(self, now: float = 0.0) -> Optional[Packet]:
+    def pop(self, now: Seconds = 0.0) -> Optional[Packet]:
         """Dequeue the head packet, or None when empty."""
         if not self._q:
             return None
@@ -78,8 +79,8 @@ class CoDelQueue(DropTailQueue):
     (``interval / sqrt(count)``).
     """
 
-    def __init__(self, capacity_bytes: int, name: str = "codel",
-                 target: float = 0.005, interval: float = 0.100,
+    def __init__(self, capacity_bytes: Bytes, name: str = "codel",
+                 target: Seconds = 0.005, interval: Seconds = 0.100,
                  ecn: bool = False,
                  on_drop: Optional[DropCallback] = None) -> None:
         super().__init__(capacity_bytes, name, on_drop)
@@ -103,10 +104,10 @@ class CoDelQueue(DropTailQueue):
     # CoDel needs the current time at enqueue; callers set this before push.
     _now_hint: float = 0.0
 
-    def set_now(self, now: float) -> None:
+    def set_now(self, now: Seconds) -> None:
         self._now_hint = now
 
-    def _sojourn_ok(self, now: float) -> bool:
+    def _sojourn_ok(self, now: Seconds) -> bool:
         """Return True when the head packet should be delivered (not dropped)."""
         if not self._q:
             self._first_above_time = 0.0
@@ -120,7 +121,7 @@ class CoDelQueue(DropTailQueue):
             return True
         return now < self._first_above_time
 
-    def pop(self, now: float = 0.0) -> Optional[Packet]:
+    def pop(self, now: Seconds = 0.0) -> Optional[Packet]:
         while self._q:
             ok = self._sojourn_ok(now)
             if not self._dropping:
@@ -148,7 +149,7 @@ class CoDelQueue(DropTailQueue):
             self._enqueue_time.popleft()
         return packet
 
-    def _drop_head(self, now: float) -> bool:
+    def _drop_head(self, now: Seconds) -> bool:
         """Drop (or CE-mark) the head packet; True when it was removed."""
         if not self._q:
             return False

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Union
 
+from repro.core.units import Bytes, BytesPerSec, Seconds
 from repro.net.link import Link
 from repro.net.netem import BandwidthProfile, ConstantBandwidth, JitterModel, LossModel
 from repro.net.node import Host, Router
@@ -26,10 +27,10 @@ from repro.net.queue import DropTailQueue
 from repro.sim.engine import Simulator
 
 #: Propagation delay of each bottleneck link direction (seconds).
-BOTTLENECK_PROP_DELAY = 0.001
+BOTTLENECK_PROP_DELAY: Seconds = 0.001
 
 
-def bdp_bytes(rate_bytes_per_sec: float, rtt_seconds: float) -> int:
+def bdp_bytes(rate_bytes_per_sec: BytesPerSec, rtt_seconds: Seconds) -> Bytes:
     """Bandwidth-delay product in bytes."""
     return max(int(rate_bytes_per_sec * rtt_seconds), 2 * 1500)
 
@@ -56,10 +57,10 @@ class Dumbbell:
 def build_dumbbell(
     sim: Simulator,
     n_pairs: int,
-    bottleneck_rate: Union[float, BandwidthProfile],
-    rtts: Sequence[float],
-    buffer_bytes: int,
-    access_rate: Optional[float] = None,
+    bottleneck_rate: Union[BytesPerSec, BandwidthProfile],
+    rtts: Sequence[Seconds],
+    buffer_bytes: Bytes,
+    access_rate: Optional[BytesPerSec] = None,
     jitter: Optional[JitterModel] = None,
     loss: Optional[LossModel] = None,
     queue: Optional[DropTailQueue] = None,
@@ -139,10 +140,10 @@ def build_dumbbell(
 
 def build_path(
     sim: Simulator,
-    bottleneck_rate: Union[float, BandwidthProfile],
-    rtt: float,
-    buffer_bytes: int,
-    access_rate: Optional[float] = None,
+    bottleneck_rate: Union[BytesPerSec, BandwidthProfile],
+    rtt: Seconds,
+    buffer_bytes: Bytes,
+    access_rate: Optional[BytesPerSec] = None,
     jitter: Optional[JitterModel] = None,
     loss: Optional[LossModel] = None,
     queue: Optional[DropTailQueue] = None,

@@ -26,6 +26,7 @@ from repro.obs.analyze.timeline import (
     FlowTimeline,
     build_timelines,
 )
+from repro.core.units import BITS_PER_BYTE, MBIT
 from repro.obs.records import TraceRecord
 
 
@@ -129,7 +130,7 @@ class TraceAnalysis:
 def render_flow(report: FlowReport) -> str:
     """Human narrative for one flow."""
     s = report.summary()
-    mbit = s["goodput_bps"] * 8 / 1e6
+    mbit = s["goodput_bps"] * BITS_PER_BYTE / MBIT
     lines = [f"flow {report.flow}: {s['bytes_delivered']} bytes delivered "
              f"in {s['duration']:.3f} s ({mbit:.2f} Mbit/s goodput)"]
     phase_bits = [f"{p.phase} {p.start:.3f}-{p.end:.3f}"

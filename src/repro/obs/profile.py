@@ -91,6 +91,11 @@ class EventProfiler:
     def format_report(self, top: Optional[int] = None,
                       sort: str = "total") -> str:
         """Human-readable table of the hottest event types."""
+        # Imported here, not at module scope: obs is loaded while repro.cc
+        # is still initialising, and repro.core.__init__ (which a fresh
+        # core.units import triggers) reaches back into cc for SussCubic.
+        from repro.core.units import MICROS_PER_SECOND
+
         rows = self.rows(sort=sort)
         if top is not None:
             rows = rows[:top]
@@ -103,7 +108,8 @@ class EventProfiler:
         lines.append("-" * len(lines[0]))
         for key, fires, total, mean, peak in rows:
             lines.append(f"{key:<{width}}  {fires:>9}  {total:>9.4f}s  "
-                         f"{mean * 1e6:>8.2f}us  {peak * 1e6:>8.2f}us")
+                         f"{mean * MICROS_PER_SECOND:>8.2f}us  "
+                         f"{peak * MICROS_PER_SECOND:>8.2f}us")
         lines.append(f"{self.events} events, "
                      f"{self.total_seconds():.4f}s in callbacks")
         return "\n".join(lines)

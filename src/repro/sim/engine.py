@@ -36,6 +36,7 @@ import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.analysis.sanitize import SimSanitizer, from_env
+from repro.core.units import Seconds
 from repro.obs.tracer import Observability
 from repro.obs.tracer import from_env as obs_from_env
 
@@ -72,7 +73,7 @@ class EventHandle:
     __slots__ = ("time", "callback", "args", "eid", "parent_eid",
                  "origin_eid", "_cancelled", "_fired", "_sim")
 
-    def __init__(self, time: float, callback: Callable[..., None],
+    def __init__(self, time: Seconds, callback: Callable[..., None],
                  args: Tuple[Any, ...],
                  sim: Optional["Simulator"] = None,
                  eid: int = 0, parent_eid: int = 0, origin_eid: int = 0):
@@ -125,7 +126,7 @@ class Simulator:
 
     def __init__(self, sanitizer: Optional[SimSanitizer] = _FROM_ENV,
                  obs: Optional[Observability] = _FROM_ENV) -> None:
-        self._now = 0.0
+        self._now: Seconds = 0.0
         self._heap: List[Tuple[float, int, EventHandle]] = []
         # eid 0 is reserved for the root context (outside any event), so
         # event ids start at 1.  The counter doubles as the same-instant
@@ -167,7 +168,7 @@ class Simulator:
     # clock
     # ------------------------------------------------------------------
     @property
-    def now(self) -> float:
+    def now(self) -> Seconds:
         """Current simulation time in seconds."""
         return self._now
 
@@ -188,7 +189,7 @@ class Simulator:
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
-    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+    def schedule(self, delay: Seconds, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay != delay:  # NaN: would poison the heap ordering silently
             raise SimulationError(
@@ -197,7 +198,7 @@ class Simulator:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         return self.schedule_at(self._now + delay, callback, *args)
 
-    def schedule_at(self, when: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+    def schedule_at(self, when: Seconds, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute simulation time ``when``."""
         if when != when:  # NaN compares false against everything below
             raise SimulationError(
@@ -246,7 +247,7 @@ class Simulator:
             return True
         return False
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+    def run(self, until: Optional[Seconds] = None, max_events: Optional[int] = None) -> None:
         """Run until the queue drains, ``until`` is reached, or ``max_events`` fire.
 
         ``until`` is an absolute simulation time; events at exactly ``until``
@@ -296,7 +297,7 @@ class Simulator:
         if until is not None and self._now < until:
             self._now = until
 
-    def run_until(self, when: float) -> None:
+    def run_until(self, when: Seconds) -> None:
         """Alias for ``run(until=when)``."""
         self.run(until=when)
 

@@ -10,35 +10,37 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.core.units import Bytes, BytesPerSec, Seconds
+
 
 class Pacer:
     """Serialises departures so they never exceed the configured rate."""
 
     def __init__(self) -> None:
-        self.rate: Optional[float] = None
-        self._next_send_time = 0.0
+        self.rate: Optional[BytesPerSec] = None
+        self._next_send_time: Seconds = 0.0
         # Departure statistics, cheap enough to keep unconditionally;
         # the invariant test suite asserts min_gap is never negative.
         self.departures = 0
-        self.last_departure: Optional[float] = None
-        self.min_gap = float("inf")
+        self.last_departure: Optional[Seconds] = None
+        self.min_gap: Seconds = float("inf")
 
-    def set_rate(self, rate: Optional[float]) -> None:
+    def set_rate(self, rate: Optional[BytesPerSec]) -> None:
         """Update the pacing rate (bytes/second); None disables pacing."""
         if rate is not None and rate <= 0:
             raise ValueError(f"pacing rate must be positive, got {rate}")
         self.rate = rate
 
-    def can_send(self, now: float) -> bool:
+    def can_send(self, now: Seconds) -> bool:
         return self.rate is None or now >= self._next_send_time
 
-    def next_send_time(self, now: float) -> float:
+    def next_send_time(self, now: Seconds) -> Seconds:
         """Earliest time a packet may depart."""
         if self.rate is None:
             return now
         return max(now, self._next_send_time)
 
-    def note_sent(self, now: float, nbytes: int) -> None:
+    def note_sent(self, now: Seconds, nbytes: Bytes) -> None:
         """Account for a departure of ``nbytes`` at time ``now``."""
         self.departures += 1
         if self.last_departure is not None:

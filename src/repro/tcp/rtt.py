@@ -11,13 +11,15 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.core.units import Seconds
+
 #: Lower bound for the retransmission timeout (Linux uses 200 ms).
-RTO_MIN = 0.2
+RTO_MIN: Seconds = 0.2
 #: Upper bound for the retransmission timeout.
-RTO_MAX = 60.0
+RTO_MAX: Seconds = 60.0
 #: RTO before any RTT sample exists (RFC 6298 initial value, scaled down
 #: from 3 s to 1 s per the RFC 8961 discussion / Linux behaviour).
-RTO_INITIAL = 1.0
+RTO_INITIAL: Seconds = 1.0
 
 
 class RttEstimator:
@@ -28,14 +30,14 @@ class RttEstimator:
     K = 4.0
 
     def __init__(self) -> None:
-        self.srtt: Optional[float] = None
-        self.rttvar: Optional[float] = None
-        self.latest: Optional[float] = None
-        self.min_rtt: Optional[float] = None
+        self.srtt: Optional[Seconds] = None
+        self.rttvar: Optional[Seconds] = None
+        self.latest: Optional[Seconds] = None
+        self.min_rtt: Optional[Seconds] = None
         self.min_rtt_round: int = 0
         self.samples = 0
 
-    def update(self, sample: float, round_index: int = 0) -> None:
+    def update(self, sample: Seconds, round_index: int = 0) -> None:
         """Fold in a new RTT sample taken during delivery round ``round_index``."""
         if sample <= 0:
             raise ValueError(f"RTT sample must be positive, got {sample}")
@@ -53,7 +55,7 @@ class RttEstimator:
             self.srtt = (1 - self.ALPHA) * self.srtt + self.ALPHA * sample
 
     @property
-    def rto(self) -> float:
+    def rto(self) -> Seconds:
         """Current retransmission timeout.
 
         As in Linux (``tcp_rtt_estimator``), the variance term is floored

@@ -12,12 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.core.units import MB, Bytes, Seconds
 from repro.metrics.collector import Telemetry
 from repro.net.topology import Dumbbell
 from repro.sim.engine import Simulator
 from repro.tcp.connection import Transfer, open_transfer
-
-MB = 1_000_000
 
 
 @dataclass(frozen=True)
@@ -25,9 +24,9 @@ class FlowSpec:
     """One download to run in a scenario."""
 
     flow_id: int
-    size_bytes: int
+    size_bytes: Bytes
     cc: str
-    start_time: float = 0.0
+    start_time: Seconds = 0.0
     pair_index: Optional[int] = None  # which server/client pair; default flow order
 
 
@@ -49,8 +48,8 @@ def launch_flows(sim: Simulator, net: Dumbbell, specs: Sequence[FlowSpec],
     return transfers
 
 
-def staggered_joiners(n_flows: int, size_bytes: int, cc: str,
-                      interval: float = 2.0, first_start: float = 0.0
+def staggered_joiners(n_flows: int, size_bytes: Bytes, cc: str,
+                      interval: Seconds = 2.0, first_start: Seconds = 0.0
                       ) -> List[FlowSpec]:
     """Flows starting ``interval`` seconds apart (Fig. 2 / Fig. 15 pattern)."""
     return [FlowSpec(flow_id=i + 1, size_bytes=size_bytes, cc=cc,
@@ -58,10 +57,10 @@ def staggered_joiners(n_flows: int, size_bytes: int, cc: str,
             for i in range(n_flows)]
 
 
-def stability_workload(large_size: int, large_cc: str, small_size: int,
+def stability_workload(large_size: Bytes, large_cc: str, small_size: Bytes,
                        small_cc: str, n_small: int = 12,
-                       small_interval: float = 2.0,
-                       small_first_start: float = 2.0) -> List[FlowSpec]:
+                       small_interval: Seconds = 2.0,
+                       small_first_start: Seconds = 2.0) -> List[FlowSpec]:
     """Fig. 16 / Table 1: one large flow plus sequential small flows.
 
     The large flow is flow 1 on pair 0; small flows are numbered from 2 and

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.units import MBPS, Bytes, BytesPerSec, Seconds
 from repro.net.netem import (
     BandwidthProfile,
     ConstantBandwidth,
@@ -33,8 +34,6 @@ from repro.net.netem import (
 from repro.net.topology import Dumbbell, bdp_bytes, build_dumbbell, build_path
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
-
-MBPS = 125_000  # bytes/second per Mbit/s
 
 #: Client location per last-hop link type (paper Fig. 18).
 CLIENT_LOCATION = {"5g": "sweden", "wired": "sweden",
@@ -82,19 +81,19 @@ class PathScenario:
     server: str
     link_type: str
     client_location: str
-    rtt: float            # base two-way propagation delay (seconds)
-    btl_bw: float         # mean bottleneck bandwidth (bytes/second)
+    rtt: Seconds          # base two-way propagation delay
+    btl_bw: BytesPerSec   # mean bottleneck bandwidth
     bw_variation: float   # RandomWalkBandwidth span; 0 disables variation
-    jitter: float         # per-packet jitter std (seconds)
+    jitter: Seconds       # per-packet jitter std
     loss_rate: float      # random (non-congestion) loss probability
     buffer_bdp: float     # bottleneck buffer in BDP multiples
 
     @property
-    def bdp(self) -> int:
+    def bdp(self) -> Bytes:
         return bdp_bytes(self.btl_bw, self.rtt)
 
     @property
-    def buffer_bytes(self) -> int:
+    def buffer_bytes(self) -> Bytes:
         return max(int(self.buffer_bdp * self.bdp), 3000)
 
     def bandwidth_profile(self, rng: Optional[RngRegistry] = None
@@ -178,17 +177,17 @@ class LocalTestbedConfig:
     """The paper's five-pair dumbbell shaped with netem."""
 
     bottleneck_mbps: float = 50.0
-    rtts: Tuple[float, ...] = (0.050, 0.050, 0.050, 0.050, 0.050)
+    rtts: Tuple[Seconds, ...] = (0.050, 0.050, 0.050, 0.050, 0.050)
     buffer_bdp: float = 1.0
-    reference_rtt: Optional[float] = None  # BDP sizing RTT; default max(rtts)
-    jitter: float = 0.0
+    reference_rtt: Optional[Seconds] = None  # BDP sizing RTT; default max(rtts)
+    jitter: Seconds = 0.0
 
     @property
-    def btl_bw(self) -> float:
+    def btl_bw(self) -> BytesPerSec:
         return self.bottleneck_mbps * MBPS
 
     @property
-    def buffer_bytes(self) -> int:
+    def buffer_bytes(self) -> Bytes:
         ref = self.reference_rtt if self.reference_rtt is not None else max(self.rtts)
         return max(int(self.buffer_bdp * bdp_bytes(self.btl_bw, ref)), 3000)
 

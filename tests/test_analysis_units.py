@@ -1,0 +1,389 @@
+"""Unit-checker tests: every UNIT rule must fire on a seeded violation.
+
+Mirrors ``test_analysis_lint.py``: each rule class has at least one
+fixture that fires and one dimensionally-sound twin that stays clean,
+so a regression in either direction (missed violation, false positive)
+trips a test.
+"""
+
+import json
+import textwrap
+
+from repro.analysis.findings import render_json
+from repro.analysis.units import (
+    applicable_unit_rules,
+    check_units_paths,
+    check_units_source,
+    check_units_sources,
+    dim_name,
+    is_quantity_name,
+)
+
+#: path under which the full UNIT rule set applies
+SIM_PATH = "src/repro/net/example.py"
+
+
+def check(source, path=SIM_PATH):
+    return check_units_source(textwrap.dedent(source), path)
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class TestUNIT001MixedAdditive:
+    def test_add_seconds_to_bytes_flagged(self):
+        findings = check("""\
+            from repro.core.units import Bytes, Seconds
+
+            def budget(rtt: Seconds, size_bytes: Bytes):
+                return rtt + size_bytes
+            """)
+        assert rules_of(findings) == ["UNIT001"]
+        assert "Seconds" in findings[0].message
+        assert "Bytes" in findings[0].message
+
+    def test_compare_mixed_dims_flagged(self):
+        findings = check("""\
+            from repro.core.units import Bytes, Seconds
+
+            def late(dt_at: Seconds, capacity_bytes: Bytes):
+                return dt_at <= capacity_bytes
+            """)
+        assert rules_of(findings) == ["UNIT001"]
+
+    def test_min_mixed_dims_flagged(self):
+        findings = check("""\
+            from repro.core.units import Bytes, Seconds
+
+            def clamp(rtt: Seconds, size_bytes: Bytes):
+                return min(rtt, size_bytes)
+            """)
+        assert rules_of(findings) == ["UNIT001"]
+
+    def test_same_dim_add_clean(self):
+        findings = check("""\
+            from repro.core.units import Seconds
+
+            def total(rtt: Seconds, guard: Seconds) -> Seconds:
+                return rtt + guard
+            """)
+        assert findings == []
+
+    def test_scalar_offset_clean(self):
+        # dimensionless values mix permissively with anything
+        findings = check("""\
+            from repro.core.units import Seconds
+
+            def scaled(rtt: Seconds, factor: float) -> Seconds:
+                return rtt + rtt * factor
+            """)
+        assert findings == []
+
+
+class TestUNIT002MalformedProduct:
+    def test_seconds_squared_flagged(self):
+        findings = check("""\
+            from repro.core.units import BytesPerSec, Seconds
+
+            def nonsense(rtt: Seconds, btl_bw: BytesPerSec):
+                return rtt / btl_bw
+            """)
+        assert rules_of(findings) == ["UNIT002"]
+        assert "sec^2" in findings[0].message or "byte^-1" in findings[0].message
+
+    def test_bdp_product_clean(self):
+        findings = check("""\
+            from repro.core.units import Bytes, BytesPerSec, Seconds
+
+            def bdp(rtt: Seconds, btl_bw: BytesPerSec) -> Bytes:
+                return btl_bw * rtt
+            """)
+        assert findings == []
+
+    def test_like_ratio_is_dimensionless_and_clean(self):
+        # bytes / bytes is a ratio; multiplying a rate by it is fine
+        findings = check("""\
+            from repro.core.units import Bytes, BytesPerSec
+
+            def goodput(btl_bw: BytesPerSec, mss: Bytes,
+                        wire_bytes: Bytes) -> BytesPerSec:
+                return btl_bw * (mss / wire_bytes)
+            """)
+        assert findings == []
+
+
+class TestUNIT003WrongCallArg:
+    def test_seconds_passed_for_bytes_flagged(self):
+        findings = check("""\
+            from repro.core.units import Bytes, Seconds
+
+            def enqueue(nbytes: Bytes) -> None:
+                pass
+
+            def caller(rtt: Seconds) -> None:
+                enqueue(rtt)
+            """)
+        assert rules_of(findings) == ["UNIT003"]
+        assert "'nbytes'" in findings[0].message
+
+    def test_keyword_arg_checked(self):
+        findings = check("""\
+            from repro.core.units import Bytes, Seconds
+
+            def enqueue(nbytes: Bytes) -> None:
+                pass
+
+            def caller(rtt: Seconds) -> None:
+                enqueue(nbytes=rtt)
+            """)
+        assert rules_of(findings) == ["UNIT003"]
+
+    def test_matching_arg_clean(self):
+        findings = check("""\
+            from repro.core.units import Bytes
+
+            def enqueue(nbytes: Bytes) -> None:
+                pass
+
+            def caller(size_bytes: Bytes) -> None:
+                enqueue(size_bytes)
+            """)
+        assert findings == []
+
+    def test_cross_file_signature_checked(self):
+        # signatures index across the whole source set, not per file
+        lib = textwrap.dedent("""\
+            from repro.core.units import Seconds
+
+            def wait(timeout: Seconds) -> None:
+                pass
+            """)
+        client = textwrap.dedent("""\
+            from repro.core.units import Bytes
+            from repro.net.lib import wait
+
+            def caller(size_bytes: Bytes) -> None:
+                wait(size_bytes)
+            """)
+        findings = check_units_sources({
+            "src/repro/net/lib.py": lib,
+            "src/repro/net/client.py": client,
+        })
+        assert rules_of(findings) == ["UNIT003"]
+        assert findings[0].path == "src/repro/net/client.py"
+
+
+class TestUNIT004RawConversionLiteral:
+    def test_millis_literal_flagged(self):
+        findings = check("""\
+            from repro.core.units import Seconds
+
+            def as_ms(rtt: Seconds):
+                return rtt * 1000
+            """)
+        assert rules_of(findings) == ["UNIT004"]
+        assert "MILLIS_PER_SECOND" in findings[0].message
+
+    def test_bits_literal_flagged(self):
+        findings = check("""\
+            from repro.core.units import Bytes
+
+            def as_bits(nbytes: Bytes):
+                return nbytes * 8
+            """)
+        assert rules_of(findings) == ["UNIT004"]
+        assert "BITS_PER_BYTE" in findings[0].message
+
+    def test_named_constant_clean(self):
+        findings = check("""\
+            from repro.core.units import MILLIS_PER_SECOND, Millis, Seconds
+
+            def as_ms(rtt: Seconds) -> Millis:
+                return rtt * MILLIS_PER_SECOND
+            """)
+        assert findings == []
+
+    def test_literal_on_dimensionless_clean(self):
+        # conversion literals are only suspicious on dimensioned values
+        findings = check("""\
+            from repro.core.units import Seconds
+
+            def scale(count: int) -> int:
+                return count * 1000
+            """)
+        assert findings == []
+
+
+class TestUNIT005WrongReturn:
+    def test_bytes_returned_as_seconds_flagged(self):
+        findings = check("""\
+            from repro.core.units import Bytes, Seconds
+
+            def fct(size_bytes: Bytes) -> Seconds:
+                return size_bytes
+            """)
+        assert rules_of(findings) == ["UNIT005"]
+        assert "returns Bytes" in findings[0].message
+
+    def test_conversion_chain_return_clean(self):
+        findings = check("""\
+            from repro.core.units import Bytes, BytesPerSec, Seconds
+
+            def fct(size_bytes: Bytes, btl_bw: BytesPerSec) -> Seconds:
+                return size_bytes / btl_bw
+            """)
+        assert findings == []
+
+    def test_compound_inferred_dim_not_gated(self):
+        # unnamed compound dims (bytes/ms here) are too speculative to
+        # gate a return on
+        findings = check("""\
+            from repro.core.units import Bytes, Millis, Seconds
+
+            def ratio(nbytes: Bytes, ms: Millis) -> Seconds:
+                return nbytes / ms
+            """)
+        assert findings == []
+
+
+class TestUNIT006UnitlessQuantitySignature:
+    def test_bare_float_param_flagged(self):
+        findings = check("""\
+            from repro.core.units import Seconds
+
+            def wait(rtt: float) -> None:
+                pass
+            """)
+        assert rules_of(findings) == ["UNIT006"]
+        assert "'rtt'" in findings[0].message
+
+    def test_missing_annotation_flagged(self):
+        findings = check("""\
+            from repro.core.units import Seconds
+
+            def wait(timeout) -> None:
+                pass
+            """)
+        assert rules_of(findings) == ["UNIT006"]
+
+    def test_dataclass_field_flagged(self):
+        findings = check("""\
+            from dataclasses import dataclass
+
+            from repro.core.units import Seconds
+
+            @dataclass
+            class Sample:
+                rtt: float
+            """)
+        assert rules_of(findings) == ["UNIT006"]
+        assert "'rtt'" in findings[0].message
+
+    def test_annotated_signature_clean(self):
+        findings = check("""\
+            from repro.core.units import Seconds
+
+            def wait(rtt: Seconds) -> None:
+                pass
+            """)
+        assert findings == []
+
+    def test_private_function_exempt(self):
+        findings = check("""\
+            from repro.core.units import Seconds
+
+            def _wait(rtt: float) -> None:
+                pass
+            """)
+        assert findings == []
+
+    def test_exempt_ratio_names_clean(self):
+        # loss_rate is a probability, not a dimensioned rate
+        findings = check("""\
+            from repro.core.units import Seconds
+
+            def drop(loss_rate: float) -> None:
+                pass
+            """)
+        assert findings == []
+
+    def test_module_without_units_import_not_opted_in(self):
+        # UNIT006 is opt-in: modules that never import repro.core.units
+        # have not adopted the annotation convention yet
+        findings = check("""\
+            def wait(rtt: float) -> None:
+                pass
+            """)
+        assert findings == []
+
+    def test_is_quantity_name_heuristics(self):
+        assert is_quantity_name("rtt")
+        assert is_quantity_name("size_bytes")
+        assert is_quantity_name("arrival_rate")
+        assert not is_quantity_name("loss_rate")
+        assert not is_quantity_name("count")
+
+
+class TestSuppressionAndScope:
+    def test_noqa_suppresses_named_rule(self):
+        findings = check("""\
+            from repro.core.units import Bytes, Seconds
+
+            def budget(rtt: Seconds, size_bytes: Bytes):
+                return rtt + size_bytes  # noqa: UNIT001 - fixture
+            """)
+        assert findings == []
+
+    def test_noqa_other_rule_does_not_suppress(self):
+        findings = check("""\
+            from repro.core.units import Bytes, Seconds
+
+            def budget(rtt: Seconds, size_bytes: Bytes):
+                return rtt + size_bytes  # noqa: UNIT004
+            """)
+        assert rules_of(findings) == ["UNIT001"]
+
+    def test_tests_paths_exempt(self):
+        assert applicable_unit_rules("tests/test_example.py") == set()
+        assert applicable_unit_rules("src/repro/net/link.py") != set()
+        source = """\
+            from repro.core.units import Bytes, Seconds
+
+            def budget(rtt: Seconds, size_bytes: Bytes):
+                return rtt + size_bytes
+            """
+        assert check(source, path="tests/test_example.py") == []
+
+    def test_dim_name_round_trip(self):
+        findings = check("""\
+            from repro.core.units import BytesPerSec, Seconds
+
+            def bad(rtt: Seconds, btl_bw: BytesPerSec):
+                return rtt + btl_bw
+            """)
+        assert "BytesPerSec" in findings[0].message
+        assert dim_name(()) == "dimensionless"
+
+    def test_render_json_schema(self):
+        findings = check("""\
+            from repro.core.units import Bytes, Seconds
+
+            def budget(rtt: Seconds, size_bytes: Bytes):
+                return rtt + size_bytes
+            """)
+        payload = json.loads(render_json(findings))
+        assert payload["count"] == 1
+        assert "UNIT001" in payload["rules"]
+        entry = payload["findings"][0]
+        assert entry["rule"] == "UNIT001"
+        assert entry["path"] == SIM_PATH
+        assert entry["line"] == 4
+        assert isinstance(entry["col"], int)
+        assert "Seconds" in entry["message"]
+
+
+class TestRealTreeClean:
+    def test_src_has_no_unsuppressed_findings(self):
+        # the CI gate: the shipped tree must be dimensionally clean
+        assert check_units_paths(["src"]) == []

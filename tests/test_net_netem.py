@@ -22,6 +22,14 @@ class TestConstantBandwidth:
     def test_rejects_nonpositive(self):
         with pytest.raises(ValueError):
             ConstantBandwidth(0)
+        with pytest.raises(ValueError):
+            ConstantBandwidth(-125_000)
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError, match="positive and finite"):
+            ConstantBandwidth(float("nan"))
+        with pytest.raises(ValueError, match="positive and finite"):
+            ConstantBandwidth(float("inf"))
 
 
 class TestSteppedBandwidth:
@@ -42,6 +50,12 @@ class TestSteppedBandwidth:
     def test_rejects_nonpositive_rate(self):
         with pytest.raises(ValueError):
             SteppedBandwidth([(0.0, -1.0)])
+
+    def test_rejects_nonfinite_rate(self):
+        with pytest.raises(ValueError, match="positive and finite"):
+            SteppedBandwidth([(0.0, float("nan"))])
+        with pytest.raises(ValueError, match="positive and finite"):
+            SteppedBandwidth([(0.0, float("inf"))])
 
     def test_rejects_empty(self):
         with pytest.raises(ValueError):
@@ -82,6 +96,10 @@ class TestRandomWalkBandwidth:
             RandomWalkBandwidth(1.0, span=1.0)
         with pytest.raises(ValueError):
             RandomWalkBandwidth(1.0, hold_time=0.0)
+        with pytest.raises(ValueError, match="positive and finite"):
+            RandomWalkBandwidth(float("nan"))
+        with pytest.raises(ValueError, match="positive and finite"):
+            RandomWalkBandwidth(float("-inf"))
 
     def test_requires_injected_rng(self):
         """A bandwidth walk is always stochastic: no silent default seed."""
