@@ -24,23 +24,34 @@ def run_download(cc: str, size: int):
     return transfer
 
 
+def run_events(backend=None):
+    """Chained-tick workload: pure schedule-and-fire cost."""
+    sim = Simulator() if backend is None else Simulator(backend=backend)
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        if count[0] < 10_000:
+            sim.schedule(0.001, tick)
+
+    sim.schedule(0.0, tick)
+    sim.run()
+    return count[0]
+
+
 def test_engine_event_throughput(benchmark):
-    """Schedule-and-fire cost of the event loop."""
-
-    def run_events():
-        sim = Simulator()
-        count = [0]
-
-        def tick():
-            count[0] += 1
-            if count[0] < 10_000:
-                sim.schedule(0.001, tick)
-
-        sim.schedule(0.0, tick)
-        sim.run()
-        return count[0]
-
+    """Schedule-and-fire cost of the event loop (default backend)."""
     assert benchmark(run_events) == 10_000
+
+
+def test_engine_event_throughput_classic(benchmark):
+    """The classic EventHandle engine, for speedup comparison."""
+    assert benchmark(lambda: run_events("classic")) == 10_000
+
+
+def test_engine_event_throughput_fast(benchmark):
+    """The array-backed fast engine, pinned explicitly."""
+    assert benchmark(lambda: run_events("fast")) == 10_000
 
 
 def test_transfer_packet_throughput(benchmark):

@@ -40,7 +40,7 @@ from repro.core.hystart_mod import SussHyStart
 from repro.core.pacing_plan import PacingPlan, make_pacing_plan
 from repro.core.units import BytesPerSec, Seconds
 from repro.obs import records as obsrec
-from repro.sim.engine import EventHandle
+from repro.sim.engine import EventRef
 
 
 class SussCubic(Cubic):
@@ -71,7 +71,7 @@ class SussCubic(Cubic):
         # pacing-period state
         self._pacing_target: Optional[float] = None
         self._pacing_rate: BytesPerSec = 0.0
-        self._pacing_handle: Optional[EventHandle] = None
+        self._pacing_handle: Optional[EventRef] = None
 
         # instrumentation
         self.accelerated_rounds = 0
@@ -271,9 +271,9 @@ class SussCubic(Cubic):
 
     def _abort_pacing(self) -> None:
         aborted_midway = (self._pacing_handle is not None
-                          and self._pacing_handle.pending)
+                          and self._sim.event_pending(self._pacing_handle))
         if aborted_midway:
-            self._pacing_handle.cancel()
+            self._sim.cancel_event(self._pacing_handle)
         if aborted_midway and self._pacing_target is not None:
             obs = getattr(self.sender, "obs", None)
             if obs is not None:

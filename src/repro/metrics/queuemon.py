@@ -14,7 +14,7 @@ from typing import List, Optional
 from repro.core.units import Bytes, Seconds
 from repro.metrics.timeseries import TimeSeries
 from repro.net.queue import DropTailQueue
-from repro.sim.engine import EventHandle, Simulator
+from repro.sim.engine import EventRef, Simulator
 
 
 class QueueMonitor:
@@ -31,7 +31,7 @@ class QueueMonitor:
         self.series = TimeSeries("queue_bytes")
         self._deadline = (sim.now + max_duration
                           if max_duration is not None else None)
-        self._handle: Optional[EventHandle] = None
+        self._handle: Optional[EventRef] = None
         self._stopped = False
         self._tick()
 
@@ -46,8 +46,8 @@ class QueueMonitor:
     def stop(self) -> None:
         """Stop sampling (pending tick is cancelled)."""
         self._stopped = True
-        if self._handle is not None and self._handle.pending:
-            self._handle.cancel()
+        if self._handle is not None:
+            self.sim.cancel_event(self._handle)
 
     # -- summaries ---------------------------------------------------------
     def peak(self, t_start: Seconds = 0.0,

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional, Protocol
 
 from repro.net.link import Link
-from repro.net.packet import Packet
+from repro.net.packet import POOL, Packet
 from repro.obs import records as obsrec
 
 
@@ -21,6 +21,11 @@ class Host:
     Endpoints register with :meth:`attach` under their flow id; inbound
     packets are delivered to the endpoint registered for their flow.
     """
+
+    # No __slots__ here on purpose: fault-injection tests replace
+    # ``host.receive`` per instance (delay/reorder shims), which needs an
+    # instance __dict__.  Hosts are per-topology objects, not per-packet,
+    # so the memory/speed win would be negligible anyway.
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -66,8 +71,13 @@ class Host:
         endpoint = self._endpoints.get(packet.flow_id)
         if endpoint is None:
             self.unroutable += 1
+            POOL.release(packet)
             return
         endpoint.on_packet(packet)
+        # Final delivery: the endpoint has copied out everything it needs,
+        # so the packet can rejoin the pool (refcount-guarded — retained
+        # packets stay alive and are simply not recycled).
+        POOL.release(packet)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Host {self.name}>"
@@ -79,6 +89,9 @@ class Router:
     ``add_route(dst_host_name, link)`` installs a next-hop link; packets
     for unknown destinations fall back to ``default_route`` when set.
     """
+
+    __slots__ = ("name", "_routes", "default_route", "packets_forwarded",
+                 "unroutable")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -94,6 +107,7 @@ class Router:
         link = self._routes.get(packet.dst, self.default_route)
         if link is None:
             self.unroutable += 1
+            POOL.release(packet)
             return
         self.packets_forwarded += 1
         link.send(packet)

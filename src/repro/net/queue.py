@@ -21,6 +21,9 @@ DropCallback = Callable[[Packet, str], None]
 class DropTailQueue:
     """Byte-capacity FIFO queue that drops arriving packets when full."""
 
+    __slots__ = ("capacity_bytes", "name", "on_drop", "_q", "_bytes",
+                 "drops", "enqueued", "bytes_peak", "_phantom")
+
     def __init__(self, capacity_bytes: Bytes, name: str = "queue",
                  on_drop: Optional[DropCallback] = None) -> None:
         if capacity_bytes <= 0:
@@ -34,6 +37,10 @@ class DropTailQueue:
         self.enqueued = 0
         #: high-water mark of queued bytes over the queue's lifetime
         self.bytes_peak = 0
+        #: (release_time, size) holds from a batching link: bytes of
+        #: packets already handed to the serialiser that still occupy the
+        #: buffer until their serialisation *starts* (see Link batch mode).
+        self._phantom: Deque[tuple] = deque()
 
     def __len__(self) -> int:
         return len(self._q)
@@ -69,6 +76,25 @@ class DropTailQueue:
         self._bytes -= packet.size
         return packet
 
+    # -- batch-serialisation occupancy holds ---------------------------
+    # A batching link pops a whole busy period's packets in one event but
+    # must not make the buffer look emptier than the per-packet schedule
+    # would: each packet's bytes stay counted (a "phantom") until the
+    # instant its serialisation would have started — exactly when the
+    # classic per-packet path pops it.  ``settle`` is called before every
+    # occupancy-sensitive operation (push) with the current time.
+
+    def hold(self, release_time: Seconds, size: Bytes) -> None:
+        """Re-count ``size`` bytes as buffered until ``release_time``."""
+        self._phantom.append((release_time, size))
+        self._bytes += size
+
+    def settle(self, now: Seconds) -> None:
+        """Release phantom bytes whose serialisation has started by ``now``."""
+        phantom = self._phantom
+        while phantom and phantom[0][0] <= now:
+            self._bytes -= phantom.popleft()[1]
+
 
 class CoDelQueue(DropTailQueue):
     """Controlled-delay AQM (RFC 8289) on top of a byte-capacity FIFO.
@@ -78,6 +104,10 @@ class CoDelQueue(DropTailQueue):
     state and drops head packets at increasing frequency
     (``interval / sqrt(count)``).
     """
+
+    __slots__ = ("target", "interval", "ecn", "marks", "_enqueue_time",
+                 "_first_above_time", "_dropping", "_drop_next", "_count",
+                 "_now_hint")
 
     def __init__(self, capacity_bytes: Bytes, name: str = "codel",
                  target: Seconds = 0.005, interval: Seconds = 0.100,
@@ -94,15 +124,15 @@ class CoDelQueue(DropTailQueue):
         self._dropping = False
         self._drop_next = 0.0
         self._count = 0
+        # CoDel needs the current time at enqueue; callers (Link.send)
+        # set this before push.
+        self._now_hint: float = 0.0
 
     def push(self, packet: Packet) -> bool:
         ok = super().push(packet)
         if ok:
             self._enqueue_time.append(self._now_hint)
         return ok
-
-    # CoDel needs the current time at enqueue; callers set this before push.
-    _now_hint: float = 0.0
 
     def set_now(self, now: Seconds) -> None:
         self._now_hint = now

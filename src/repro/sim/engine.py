@@ -4,6 +4,20 @@ The engine is a classic calendar queue built on a binary heap.  Everything
 else in the repository (links, routers, TCP endpoints, experiment harnesses)
 schedules work through a :class:`Simulator` instance, which guarantees:
 
+Backends
+--------
+``Simulator(...)`` is a backend factory: ``Simulator(backend="fast")``
+(the default, also selectable with ``REPRO_ENGINE=fast|classic``) returns
+a :class:`repro.sim.fastengine.FastSimulator` — an array/closure-backed
+core that is ~3× faster per event and produces a bit-for-bit identical
+event stream (eids, provenance, FIFO ties, error messages).  This module
+implements the ``"classic"`` backend, which doubles as the readable
+reference semantics and the differential-testing oracle
+(``tests/test_engine_equivalence.py``).  Because the fast backend returns
+plain-list records instead of :class:`EventHandle` objects, portable code
+uses :meth:`Simulator.cancel_event` / :meth:`Simulator.event_pending` and
+the module-level ``event_*`` accessors rather than handle attributes.
+
 * events fire in non-decreasing time order;
 * events scheduled for the same instant fire in scheduling order (FIFO),
   which makes runs fully deterministic for a fixed seed;
@@ -33,7 +47,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional, Tuple
+import os
+from typing import Any, Callable, List, Optional, Tuple, Union
 
 from repro.analysis.sanitize import SimSanitizer, from_env
 from repro.core.units import Seconds
@@ -46,6 +61,35 @@ from repro.obs.tracer import from_env as obs_from_env
 #: runs (unit tests that drive links directly, bypassing Host.transmit
 #: accounting).
 _FROM_ENV: Any = object()
+
+#: Valid engine backends: ``"fast"`` (array/closure core, the default —
+#: see :mod:`repro.sim.fastengine`) and ``"classic"`` (this module's
+#: object-per-event reference implementation).  Both produce bit-for-bit
+#: identical event streams; ``tests/test_engine_equivalence.py`` holds
+#: them to that.
+BACKENDS = ("fast", "classic")
+
+_DEFAULT_BACKEND = "fast"
+
+
+def _resolve_sanitizer(value: Optional[SimSanitizer]) -> Optional[SimSanitizer]:
+    """Apply the ``_FROM_ENV`` sentinel convention for ``sanitizer=``."""
+    return from_env() if value is _FROM_ENV else value
+
+
+def _resolve_obs(value: Optional[Observability]) -> Optional[Observability]:
+    """Apply the ``_FROM_ENV`` sentinel convention for ``obs=``."""
+    return obs_from_env() if value is _FROM_ENV else value
+
+
+def _resolve_backend(backend: Optional[str]) -> str:
+    """Pick the engine backend: explicit argument > ``REPRO_ENGINE`` > default."""
+    if backend is None:
+        backend = os.environ.get("REPRO_ENGINE", "").strip().lower() or _DEFAULT_BACKEND
+    if backend not in BACKENDS:
+        raise SimulationError(
+            f"unknown engine backend {backend!r}: expected one of {BACKENDS}")
+    return backend
 
 
 class SimulationError(ValueError):
@@ -124,8 +168,26 @@ class Simulator:
     :meth:`run_until` / :meth:`step`) processes events.
     """
 
+    def __new__(cls, sanitizer: Optional[SimSanitizer] = _FROM_ENV,
+                obs: Optional[Observability] = _FROM_ENV,
+                backend: Optional[str] = None) -> "Simulator":
+        # Backend dispatch happens here (not in a factory function) so the
+        # whole codebase keeps constructing ``Simulator(...)`` unchanged.
+        # Subclasses (including FastSimulator itself) bypass the dispatch.
+        if cls is Simulator and _resolve_backend(backend) == "fast":
+            from repro.sim.fastengine import FastSimulator
+            return object.__new__(FastSimulator)
+        return object.__new__(cls)
+
     def __init__(self, sanitizer: Optional[SimSanitizer] = _FROM_ENV,
-                 obs: Optional[Observability] = _FROM_ENV) -> None:
+                 obs: Optional[Observability] = _FROM_ENV,
+                 backend: Optional[str] = None) -> None:
+        if backend not in (None, "classic"):
+            # ``Simulator(backend="fast")`` never lands here (``__new__``
+            # redirects to FastSimulator); anything else is a typo.
+            _resolve_backend(backend)
+            raise SimulationError(
+                f"classic Simulator constructed with backend={backend!r}")
         self._now: Seconds = 0.0
         self._heap: List[Tuple[float, int, EventHandle]] = []
         # eid 0 is reserved for the root context (outside any event), so
@@ -149,15 +211,13 @@ class Simulator:
         #: ``REPRO_SANITIZE`` environment variable (None when disabled).
         #: Pass ``sanitizer=None`` to opt out explicitly.  Other layers
         #: (net, tcp) consult this attribute for their hooks.
-        self.sanitizer: Optional[SimSanitizer] = (
-            from_env() if sanitizer is _FROM_ENV else sanitizer)
+        self.sanitizer: Optional[SimSanitizer] = _resolve_sanitizer(sanitizer)
         #: observability bundle (tracer/metrics/profiler); defaults to one
         #: created from ``REPRO_TRACE`` / ``REPRO_PROFILE`` (None when
         #: neither is set).  Other layers (net, tcp, cc, core) consult
         #: this attribute for their emit hooks; with ``obs=None`` every
         #: hook site is a single pointer test.
-        self.obs: Optional[Observability] = (
-            obs_from_env() if obs is _FROM_ENV else obs)
+        self.obs: Optional[Observability] = _resolve_obs(obs)
         if self.obs is not None:
             # Bind this engine as the bundle's provenance source so every
             # record it emits carries (eid, parent_eid).  The attribute is
@@ -167,6 +227,11 @@ class Simulator:
     # ------------------------------------------------------------------
     # clock
     # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """Which engine backend this instance is (``"classic"`` here)."""
+        return "classic"
+
     @property
     def now(self) -> Seconds:
         """Current simulation time in seconds."""
@@ -217,6 +282,23 @@ class Simulator:
         heapq.heappush(self._heap, (when, eid, handle))
         self._pending += 1
         return handle
+
+    # ------------------------------------------------------------------
+    # backend-portable handle operations
+    # ------------------------------------------------------------------
+    # The fast backend returns plain-list records from ``schedule`` instead
+    # of EventHandle objects, so code that must work on either backend
+    # cancels/polls through the simulator rather than the handle.  These
+    # are the classic implementations; FastSimulator installs closures of
+    # the same names.
+
+    def cancel_event(self, handle: EventHandle) -> None:
+        """Backend-portable :meth:`EventHandle.cancel`.  Idempotent."""
+        handle.cancel()
+
+    def event_pending(self, handle: EventHandle) -> bool:
+        """Backend-portable :attr:`EventHandle.pending`."""
+        return handle.pending
 
     # ------------------------------------------------------------------
     # execution
@@ -309,3 +391,42 @@ class Simulator:
             handle._cancelled = True
         self._heap.clear()
         self._pending = 0
+
+
+# ----------------------------------------------------------------------
+# backend-portable handle introspection
+# ----------------------------------------------------------------------
+#: A scheduled-event reference: a classic :class:`EventHandle` or a fast
+#: backend plain-list record (``[when, eid, status, callback, args,
+#: parent_eid, origin_eid]``; status 0 pending / 1 fired / 2 cancelled).
+EventRef = Union[EventHandle, list]
+
+
+def event_time(handle: EventRef) -> Seconds:
+    """Scheduled fire time of an event from either backend."""
+    return handle[0] if type(handle) is list else handle.time
+
+
+def event_eid(handle: EventRef) -> int:
+    """Engine-assigned event id of an event from either backend."""
+    return handle[1] if type(handle) is list else handle.eid
+
+
+def event_parent_eid(handle: EventRef) -> int:
+    """eid of the event whose callback scheduled this one (0 = root)."""
+    return handle[5] if type(handle) is list else handle.parent_eid
+
+
+def event_origin_eid(handle: EventRef) -> int:
+    """eid of the nearest record-emitting ancestor event (0 = root)."""
+    return handle[6] if type(handle) is list else handle.origin_eid
+
+
+def event_fired(handle: EventRef) -> bool:
+    """True once the event's callback has run."""
+    return handle[2] == 1 if type(handle) is list else handle.fired
+
+
+def event_cancelled(handle: EventRef) -> bool:
+    """True once the event has been cancelled."""
+    return handle[2] == 2 if type(handle) is list else handle.cancelled

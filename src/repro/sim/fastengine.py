@@ -1,0 +1,524 @@
+"""Array-backed fast engine backend.
+
+:class:`FastSimulator` is a drop-in backend for
+:class:`repro.sim.engine.Simulator` that produces the *bit-for-bit* same
+event stream — same firing order, same eids, same provenance, same
+sanitizer semantics, same error messages — while spending roughly a third
+of the classic engine's time per event.  ``tests/test_engine_equivalence.py``
+is the proof: golden-trace digests (which include eids) are byte-identical
+across backends for a seed × scenario × CC matrix.
+
+Where the time goes (and why this layout)
+-----------------------------------------
+The classic engine pays, per event: one ``EventHandle`` object
+construction, one ``(when, eid, handle)`` tuple, one ``itertools.count``
+call, several ``self``-attribute stores (clock, counters, provenance) and
+bound-method dispatch for ``schedule``.  Measured on the benchmark
+workload that is ~790 ns/event.  This backend removes each of those
+costs:
+
+* **Plain-list event records** ``[when, eid, status, callback, args,
+  parent_eid, origin_eid]`` serve as both the heap entry and the handle
+  returned to callers.  ``heapq`` compares lists in C: ``when`` first,
+  then the unique monotonic ``eid`` — exactly the classic FIFO
+  tie-break — and never reaches the non-comparable elements.  A list
+  subclass with ``cancel()``/``pending`` methods was measured ~2× slower
+  per event than plain lists (generic ``type.__call__`` construction),
+  which is why cancellation lives on the simulator
+  (:meth:`cancel_event` / :meth:`event_pending`) instead of the handle.
+* **Closure core.** The hot methods (``schedule``, ``schedule_at``,
+  ``run``, …) are built by :meth:`_install` as closures over shared
+  nonlocal cells (clock, eid source, provenance pair).  Cell access
+  compiles to ``LOAD_DEREF``/``STORE_DEREF`` — faster than ``self``
+  attribute access — and assigning the closures as *instance*
+  attributes skips bound-method creation on every call.
+* **Single-slot fast path.** The common schedule-one-fire-one pattern
+  (link serialisation, RTO re-arm) never touches the heap: one record
+  is parked in a ``slot`` cell; the pop side compares ``heap[0] <
+  slot`` (a C list comparison, FIFO-safe because eids are unique) to
+  pick the true minimum.
+* **Derived counters.** ``pending_events`` / ``events_processed`` are
+  derived from the eid high-water mark, heap length, and two
+  cancellation counters, so the per-event loop maintains *no* counters
+  at all.  Both remain O(1) reads.
+* **Specialised loops.** ``run()`` with no sanitizer, no profiler and no
+  ``max_events`` uses a minimal dispatch loop; any instrumented run
+  falls back to a generic loop with the classic engine's exact check
+  ordering.  Setting :attr:`sanitizer` or :attr:`obs` re-installs the
+  closures so the specialisation stays correct.
+
+An explicit preallocated free-list for event records was evaluated and
+rejected: records double as caller-visible handles, so recycling a fired
+record while a caller still holds it would alias two events onto one
+handle (`event_pending` would lie).  CPython's small-list free-list
+already makes the allocation ~40 ns; correctness wins.
+
+Record status values: ``0`` pending, ``1`` fired, ``2`` cancelled.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, Callable, List, Optional
+
+from repro.analysis.sanitize import SimSanitizer
+from repro.core.units import Seconds
+from repro.obs.tracer import Observability
+
+from repro.sim.engine import (
+    _FROM_ENV,
+    SimulationError,
+    Simulator,
+    _resolve_obs,
+    _resolve_sanitizer,
+)
+
+#: Event record layout (plain list, also the caller-visible handle):
+#: ``[when, eid, status, callback, args, parent_eid, origin_eid]``.
+REC_WHEN, REC_EID, REC_STATUS, REC_CALLBACK, REC_ARGS, REC_PARENT, REC_ORIGIN = range(7)
+
+
+def _raise_bad_delay(delay: Any) -> None:
+    """Raise the classic engine's exact error for a NaN/negative delay."""
+    if delay != delay:
+        raise SimulationError(
+            f"invalid delay {delay!r}: NaN is not a schedulable delay")
+    raise SimulationError(f"cannot schedule into the past (delay={delay})")
+
+
+def _raise_bad_when(when: Any, now: float) -> None:
+    """Raise the classic engine's exact error for a NaN/past target time."""
+    if when != when:
+        raise SimulationError(
+            f"invalid target time {when!r}: NaN is not a schedulable time")
+    raise SimulationError(
+        f"cannot schedule into the past (when={when}, now={now})"
+    )
+
+
+class FastSimulator(Simulator):
+    """Fast array-backed engine backend (see module docstring).
+
+    Constructed through ``Simulator(backend="fast")`` (or the
+    ``REPRO_ENGINE`` environment variable); direct construction works
+    too.  The public API matches :class:`~repro.sim.engine.Simulator`
+    except that :meth:`schedule` returns an opaque record instead of an
+    :class:`~repro.sim.engine.EventHandle` — use
+    :meth:`~repro.sim.engine.Simulator.cancel_event` /
+    :meth:`~repro.sim.engine.Simulator.event_pending` (both backends) or
+    the ``event_*`` accessors in :mod:`repro.sim.engine` instead of
+    handle attributes.
+    """
+
+    def __init__(self, sanitizer: Optional[SimSanitizer] = _FROM_ENV,
+                 obs: Optional[Observability] = _FROM_ENV,
+                 backend: Optional[str] = None) -> None:
+        if backend not in (None, "fast"):
+            raise SimulationError(
+                f"FastSimulator is the {'fast'!r} backend, got backend={backend!r}")
+        self._heap: List[list] = []
+        self._sanitizer = _resolve_sanitizer(sanitizer)
+        self._obs = _resolve_obs(obs)
+        if self._obs is not None:
+            # Duck-typed provenance binding, same as the classic engine.
+            self._obs.provenance = self
+        self._install(now=0.0, eid_src=0, cancelled_q=0, cancelled_total=0,
+                      cur_eid=0, cur_origin=0, slot=None)
+
+    # ------------------------------------------------------------------
+    # closure factory
+    # ------------------------------------------------------------------
+    def _install(self, now: Seconds, eid_src: int, cancelled_q: int,
+                 cancelled_total: int, cur_eid: int, cur_origin: int,
+                 slot: Optional[list]) -> None:
+        """(Re)build the hot closures around the given engine state.
+
+        Called at construction and whenever :attr:`sanitizer` / :attr:`obs`
+        change, because the closures specialise on whether those hooks are
+        present.  All mutable engine state lives in the nonlocal cells
+        below; ``_snapshot`` reads it back out for the next install.
+        """
+        heap = self._heap
+        san = self._sanitizer
+        obs = self._obs
+        running = False
+
+        # -------------------------------------------------- scheduling
+        if san is None:
+            def schedule(delay: Seconds, callback: Callable[..., None],
+                         *args: Any) -> list:
+                nonlocal eid_src, slot
+                if not delay >= 0.0:  # False for NaN and negatives alike
+                    _raise_bad_delay(delay)
+                eid_src = eid = eid_src + 1
+                rec = [now + delay, eid, 0, callback, args, cur_eid, cur_origin]
+                if slot is None:
+                    slot = rec
+                else:
+                    heappush(heap, rec)
+                return rec
+
+            def schedule_at(when: Seconds, callback: Callable[..., None],
+                            *args: Any) -> list:
+                nonlocal eid_src, slot
+                if not when >= now:  # False for NaN and the past alike
+                    _raise_bad_when(when, now)
+                eid_src = eid = eid_src + 1
+                rec = [when, eid, 0, callback, args, cur_eid, cur_origin]
+                if slot is None:
+                    slot = rec
+                else:
+                    heappush(heap, rec)
+                return rec
+        else:
+            def schedule(delay: Seconds, callback: Callable[..., None],
+                         *args: Any) -> list:
+                nonlocal eid_src, slot
+                if not delay >= 0.0:
+                    _raise_bad_delay(delay)
+                when = now + delay
+                san.check_schedule(now, when)
+                eid_src = eid = eid_src + 1
+                rec = [when, eid, 0, callback, args, cur_eid, cur_origin]
+                if slot is None:
+                    slot = rec
+                else:
+                    heappush(heap, rec)
+                return rec
+
+            def schedule_at(when: Seconds, callback: Callable[..., None],
+                            *args: Any) -> list:
+                nonlocal eid_src, slot
+                if not when >= now:
+                    _raise_bad_when(when, now)
+                san.check_schedule(now, when)
+                eid_src = eid = eid_src + 1
+                rec = [when, eid, 0, callback, args, cur_eid, cur_origin]
+                if slot is None:
+                    slot = rec
+                else:
+                    heappush(heap, rec)
+                return rec
+
+        # -------------------------------------------------- cancellation
+        def cancel_event(rec: list) -> None:
+            nonlocal cancelled_q, cancelled_total
+            if rec[2] == 0:
+                rec[2] = 2
+                cancelled_q += 1
+                cancelled_total += 1
+
+        def event_pending(rec: list) -> bool:
+            return rec[2] == 0
+
+        # -------------------------------------------------- execution
+        def _run_generic(until: Optional[Seconds],
+                         max_events: Optional[int]) -> None:
+            """Classic-ordered loop for sanitized/profiled/bounded runs."""
+            nonlocal now, slot, cur_eid, cur_origin, cancelled_q, running
+            profiler = obs.profiler if obs is not None else None
+            fired = 0
+            try:
+                while True:
+                    s = slot
+                    if s is not None:
+                        if heap and heap[0] < s:
+                            rec = heap[0]
+                            from_heap = True
+                        else:
+                            rec = s
+                            from_heap = False
+                    elif heap:
+                        rec = heap[0]
+                        from_heap = True
+                    else:
+                        break
+                    if rec[2]:
+                        # Cancelled entries are discarded before the
+                        # ``until`` check, exactly like the classic loop.
+                        if from_heap:
+                            heappop(heap)
+                        else:
+                            slot = None
+                        cancelled_q -= 1
+                        continue
+                    when = rec[0]
+                    if until is not None and when > until:
+                        break
+                    if max_events is not None and fired >= max_events:
+                        break
+                    if from_heap:
+                        heappop(heap)
+                    else:
+                        slot = None
+                    if san is not None:
+                        san.note_fire(when)
+                    now = when
+                    rec[2] = 1
+                    cur_eid = rec[1]
+                    cur_origin = rec[6]
+                    if profiler is None:
+                        rec[3](*rec[4])
+                    else:
+                        profiler.fire(rec[3], rec[4])
+                    fired += 1
+            finally:
+                running = False
+                cur_eid = 0
+                cur_origin = 0
+            if until is not None and now < until:
+                now = until
+
+        if san is None:
+            def run(until: Optional[Seconds] = None,
+                    max_events: Optional[int] = None) -> None:
+                nonlocal now, slot, cur_eid, cur_origin, cancelled_q, running
+                if running:
+                    raise SimulationError("Simulator.run is not reentrant")
+                running = True
+                if max_events is not None or (
+                        obs is not None and obs.profiler is not None):
+                    _run_generic(until, max_events)
+                    return
+                if until is not None:
+                    try:
+                        while True:
+                            s = slot
+                            if s is not None:
+                                if heap and heap[0] < s:
+                                    rec = heap[0]
+                                    from_heap = True
+                                else:
+                                    rec = s
+                                    from_heap = False
+                            elif heap:
+                                rec = heap[0]
+                                from_heap = True
+                            else:
+                                break
+                            if rec[2]:
+                                if from_heap:
+                                    heappop(heap)
+                                else:
+                                    slot = None
+                                cancelled_q -= 1
+                                continue
+                            if rec[0] > until:
+                                break
+                            if from_heap:
+                                heappop(heap)
+                            else:
+                                slot = None
+                            now = rec[0]
+                            rec[2] = 1
+                            cur_eid = rec[1]
+                            cur_origin = rec[6]
+                            rec[3](*rec[4])
+                    finally:
+                        running = False
+                        cur_eid = 0
+                        cur_origin = 0
+                    if now < until:
+                        now = until
+                    return
+                # Hot path: drain to empty with direct dispatch.
+                try:
+                    while True:
+                        s = slot
+                        if s is not None:
+                            if heap and heap[0] < s:
+                                rec = heappop(heap)
+                            else:
+                                rec = s
+                                slot = None
+                        elif heap:
+                            rec = heappop(heap)
+                        else:
+                            break
+                        if rec[2]:
+                            cancelled_q -= 1
+                            continue
+                        now = rec[0]
+                        rec[2] = 1
+                        cur_eid = rec[1]
+                        cur_origin = rec[6]
+                        rec[3](*rec[4])
+                finally:
+                    running = False
+                    cur_eid = 0
+                    cur_origin = 0
+        else:
+            def run(until: Optional[Seconds] = None,
+                    max_events: Optional[int] = None) -> None:
+                nonlocal running
+                if running:
+                    raise SimulationError("Simulator.run is not reentrant")
+                running = True
+                _run_generic(until, max_events)
+
+        def step() -> bool:
+            nonlocal now, slot, cur_eid, cur_origin, cancelled_q
+            profiler = obs.profiler if obs is not None else None
+            while True:
+                s = slot
+                if s is not None:
+                    if heap and heap[0] < s:
+                        rec = heappop(heap)
+                    else:
+                        rec = s
+                        slot = None
+                elif heap:
+                    rec = heappop(heap)
+                else:
+                    return False
+                if rec[2]:
+                    cancelled_q -= 1
+                    continue
+                when = rec[0]
+                if san is not None:
+                    san.note_fire(when)
+                now = when
+                rec[2] = 1
+                cur_eid = rec[1]
+                cur_origin = rec[6]
+                try:
+                    if profiler is None:
+                        rec[3](*rec[4])
+                    else:
+                        profiler.fire(rec[3], rec[4])
+                finally:
+                    cur_eid = 0
+                    cur_origin = 0
+                return True
+
+        def clear() -> None:
+            nonlocal slot, cancelled_q, cancelled_total
+            # Mark dropped records cancelled so handles report the truth
+            # and a later cancel_event() cannot skew the counters.
+            newly = 0
+            for rec in heap:
+                if rec[2] == 0:
+                    rec[2] = 2
+                    newly += 1
+            if slot is not None:
+                if slot[2] == 0:
+                    slot[2] = 2
+                    newly += 1
+                slot = None
+            heap.clear()
+            cancelled_total += newly
+            cancelled_q = 0
+
+        # -------------------------------------------------- state bridge
+        def _snapshot() -> tuple:
+            if running:
+                raise SimulationError(
+                    "cannot reconfigure the fast engine while run() is active")
+            return (now, eid_src, cancelled_q, cancelled_total,
+                    cur_eid, cur_origin, slot)
+
+        def _get_now() -> Seconds:
+            return now
+
+        def _get_cur_eid() -> int:
+            return cur_eid
+
+        def _get_origin() -> int:
+            return cur_origin
+
+        def _set_origin(value: int) -> None:
+            nonlocal cur_origin
+            cur_origin = value
+
+        def _get_pending() -> int:
+            return len(heap) + (slot is not None) - cancelled_q
+
+        def _get_processed() -> int:
+            return (eid_src - cancelled_total
+                    - (len(heap) + (slot is not None) - cancelled_q))
+
+        # Closures are assigned as *instance* attributes: calls skip both
+        # the descriptor protocol and bound-method creation.
+        self.schedule = schedule
+        self.schedule_at = schedule_at
+        self.cancel_event = cancel_event
+        self.event_pending = event_pending
+        self.run = run
+        self.step = step
+        self.clear = clear
+        self._snapshot = _snapshot
+        self._get_now = _get_now
+        self._get_cur_eid = _get_cur_eid
+        self._get_origin = _get_origin
+        self._set_origin = _set_origin
+        self._get_pending = _get_pending
+        self._get_processed = _get_processed
+
+    # ------------------------------------------------------------------
+    # bridged read-only views of the closure cells
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        return "fast"
+
+    @property
+    def now(self) -> Seconds:
+        """Current simulation time in seconds."""
+        return self._get_now()
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events that have fired so far (cancelled ones excluded)."""
+        return self._get_processed()
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (cancelled entries excluded).  O(1)."""
+        return self._get_pending()
+
+    @property
+    def current_eid(self) -> int:
+        """eid of the currently executing event (0 outside any event)."""
+        return self._get_cur_eid()
+
+    @property
+    def _sched_origin(self) -> int:
+        # Property (not a plain attribute) so Observability.emit's
+        # promotion write lands in the closure cell the schedule/run
+        # closures actually read.
+        return self._get_origin()
+
+    @_sched_origin.setter
+    def _sched_origin(self, value: int) -> None:
+        self._set_origin(value)
+
+    # ------------------------------------------------------------------
+    # hook reconfiguration (re-specialises the closures)
+    # ------------------------------------------------------------------
+    @property
+    def sanitizer(self) -> Optional[SimSanitizer]:
+        """Runtime invariant checker; assigning re-installs the hot path."""
+        return self._sanitizer
+
+    @sanitizer.setter
+    def sanitizer(self, value: Optional[SimSanitizer]) -> None:
+        state = self._snapshot()
+        self._sanitizer = value
+        self._install(*state)
+
+    @property
+    def obs(self) -> Optional[Observability]:
+        """Observability bundle; assigning re-installs the hot path."""
+        return self._obs
+
+    @obs.setter
+    def obs(self, value: Optional[Observability]) -> None:
+        state = self._snapshot()
+        self._obs = value
+        if value is not None:
+            value.provenance = self
+        self._install(*state)
+
+    def run_until(self, when: Seconds) -> None:
+        """Alias for ``run(until=when)``."""
+        self.run(until=when)

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Tuple
 
 from repro.net.node import Host
-from repro.net.packet import Packet, PacketKind
+from repro.net.packet import Packet, PacketKind, POOL
 from repro.obs import records as obsrec
 from repro.sim.engine import Simulator
 
@@ -124,7 +124,7 @@ class TcpReceiver:
         if self._unacked_segments >= 2:
             self._emit_ack(echo, force=True)
             return
-        if self._delack_timer is None or not self._delack_timer.pending:
+        if self._delack_timer is None or not self.sim.event_pending(self._delack_timer):
             self._delack_timer = self.sim.schedule(
                 DELAYED_ACK_TIMEOUT, self._delack_fire)
 
@@ -153,13 +153,12 @@ class TcpReceiver:
 
     def _emit_ack(self, echo: Optional[float], force: bool) -> None:
         self._unacked_segments = 0
-        if self._delack_timer is not None and self._delack_timer.pending:
-            self._delack_timer.cancel()
+        if self._delack_timer is not None:
+            self.sim.cancel_event(self._delack_timer)
         sack = self._sack_blocks()
-        ack = Packet(flow_id=self.flow_id, src=self.host.name, dst=self.peer,
-                     kind=PacketKind.ACK, ack_seq=self.rcv_nxt,
-                     sent_time=self.sim.now, ts_echo=echo, sack=sack,
-                     ece=self._ece_latched)
+        ack = POOL.acquire_ack(self.flow_id, self.host.name, self.peer,
+                               self.rcv_nxt, self.sim.now, echo, sack,
+                               self._ece_latched)
         self.acks_sent += 1
         self.host.transmit(ack)
 

@@ -27,9 +27,9 @@ from typing import Callable, Deque, List, Optional, Tuple
 
 from repro.cc.base import AckInfo, CongestionControl
 from repro.net.node import Host
-from repro.net.packet import DEFAULT_MSS, Packet, PacketKind
+from repro.net.packet import DEFAULT_MSS, Packet, PacketKind, POOL
 from repro.obs import records as obsrec
-from repro.sim.engine import EventHandle, Simulator
+from repro.sim.engine import EventRef, Simulator
 from repro.tcp.pacer import Pacer
 from repro.tcp.rtt import RttEstimator
 
@@ -114,9 +114,9 @@ class TcpSender:
         # entries: (end_seq, sent_time, delivered_at_send, delivered_time_at_send)
 
         # timers
-        self._rto_handle: Optional[EventHandle] = None
+        self._rto_handle: Optional[EventRef] = None
         self._rto_backoff = 1.0
-        self._pacer_wake: Optional[EventHandle] = None
+        self._pacer_wake: Optional[EventRef] = None
 
         #: False while a streaming application may still extend the flow
         #: (see repro.tcp.stream); completion waits for it.
@@ -416,7 +416,7 @@ class TcpSender:
             self.max_sent_seq = max(self.max_sent_seq, self.snd_nxt)
             self.pacer.note_sent(now, seg)
         if self.bytes_in_flight > 0 and (self._rto_handle is None
-                                         or not self._rto_handle.pending):
+                                         or not self.sim.event_pending(self._rto_handle)):
             self._arm_rto()
 
     def _skip_sacked(self) -> bool:
@@ -430,10 +430,9 @@ class TcpSender:
 
     def _send_segment(self, seq: int, size: int, retransmit: bool) -> None:
         now = self.sim.now
-        pkt = Packet(flow_id=self.flow_id, src=self.host.name, dst=self.peer,
-                     kind=PacketKind.DATA, seq=seq, payload=size,
-                     sent_time=now, retransmit=retransmit,
-                     ect=self.ecn, cwr=self._cwr_pending)
+        pkt = POOL.acquire_data(self.flow_id, self.host.name, self.peer,
+                                seq, size, now, retransmit,
+                                self.ecn, self._cwr_pending)
         self._cwr_pending = False
         self.data_packets_sent += 1
         if retransmit:
@@ -452,7 +451,7 @@ class TcpSender:
         self.host.transmit(pkt)
 
     def _schedule_pacer_wake(self, when: float) -> None:
-        if self._pacer_wake is not None and self._pacer_wake.pending:
+        if self._pacer_wake is not None and self.sim.event_pending(self._pacer_wake):
             return
         self._pacer_wake = self.sim.schedule_at(when, self._maybe_send)
 
@@ -475,8 +474,8 @@ class TcpSender:
     # timers
     # ------------------------------------------------------------------
     def _arm_rto(self) -> None:
-        if self._rto_handle is not None and self._rto_handle.pending:
-            self._rto_handle.cancel()
+        if self._rto_handle is not None:
+            self.sim.cancel_event(self._rto_handle)
         timeout = min(self.rtt.rto * self._rto_backoff, 120.0)
         self._rto_handle = self.sim.schedule(timeout, self._on_rto)
 
@@ -520,9 +519,9 @@ class TcpSender:
         self.completion_time = now
         self.cc.on_flow_complete(now)
         if self._rto_handle is not None:
-            self._rto_handle.cancel()
+            self.sim.cancel_event(self._rto_handle)
         if self._pacer_wake is not None:
-            self._pacer_wake.cancel()
+            self.sim.cancel_event(self._pacer_wake)
         if self.telemetry is not None:
             self.telemetry.on_flow_complete(self.flow_id, now)
         if self.on_complete is not None:

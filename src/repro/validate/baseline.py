@@ -150,10 +150,10 @@ def detect_drift(claim_id: str, recorded: Sequence[float],
 _MSS = 1448
 
 
-def _bench_engine_events() -> None:
+def _bench_engine_events(backend: Optional[str] = None) -> None:
     from repro.sim import Simulator
 
-    sim = Simulator()
+    sim = Simulator() if backend is None else Simulator(backend=backend)
     count = [0]
 
     def tick() -> None:
@@ -200,11 +200,35 @@ _PERF_WORKLOADS = {
 }
 
 
+def measure_engine_speedup(repeats: int = 3) -> float:
+    """Ratio of classic to fast event-loop time on the engine workload.
+
+    Both backends run the identical chained-tick workload best-of-N;
+    the ratio is the fast engine's speedup (> 1 means fast is faster).
+    Interleaving the repeats would not help: min-of-N already takes the
+    least-disturbed run from each side.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    best: Dict[str, float] = {}
+    for backend in ("classic", "fast"):
+        best[backend] = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            _bench_engine_events(backend)
+            best[backend] = min(best[backend],
+                                time.perf_counter() - start)
+    return best["classic"] / best["fast"]
+
+
 def measure_core_speed(repeats: int = 3) -> Dict[str, float]:
     """Best-of-``repeats`` wall-clock seconds per ``bench_core_speed`` metric.
 
     Minimum-of-N is the standard noise reducer for micro-benchmarks: the
-    fastest run is the one least disturbed by the machine.
+    fastest run is the one least disturbed by the machine.  The
+    ``classic_vs_fast_speedup`` entry is a ratio (higher is better), not
+    a duration; :func:`check_perf` reads the entry's ``direction`` field
+    to gate it from the right side.
     """
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
@@ -216,6 +240,7 @@ def measure_core_speed(repeats: int = 3) -> Dict[str, float]:
             workload()
             best = min(best, time.perf_counter() - start)
         out[name] = best
+    out["classic_vs_fast_speedup"] = measure_engine_speedup(repeats)
     return out
 
 
@@ -229,11 +254,14 @@ def load_perf_baseline(path: os.PathLike) -> Dict[str, Any]:
 
 def check_perf(baseline: Dict[str, Any], measured: Dict[str, float], *,
                scale: float = 1.0) -> List[PerfVerdict]:
-    """One verdict per baseline metric; slower than tolerance => FAIL.
+    """One verdict per baseline metric; worse than tolerance => FAIL.
 
     ``scale`` multiplies each tolerance (CI runners are noisier than the
-    machine that recorded the baseline).  Only slowdowns fail — a faster
-    run is a reason to re-record, not an error.
+    machine that recorded the baseline).  Only regressions fail — a
+    better run is a reason to re-record, not an error.  Entries default
+    to durations (lower is better); an entry with ``"direction":
+    "higher"`` (e.g. ``classic_vs_fast_speedup``) fails when the
+    measurement falls *below* ``value / (1 + tolerance)`` instead.
     """
     if scale <= 0.0:
         raise ValueError("scale must be positive")
@@ -241,23 +269,33 @@ def check_perf(baseline: Dict[str, Any], measured: Dict[str, float], *,
     for name in sorted(baseline["metrics"]):
         entry = baseline["metrics"][name]
         value, tolerance = entry["value"], entry["tolerance"] * scale
+        higher_is_better = entry.get("direction") == "higher"
+        unit = "x" if higher_is_better else "s"
         if name not in measured:
             verdicts.append(PerfVerdict(
                 metric=name, baseline=value, measured=float("nan"),
                 tolerance=tolerance, verdict=FAIL,
-                reason="metric missing from measurement"))
+                reason="metric missing from measurement", unit=unit))
             continue
         got = measured[name]
-        limit = value * (1.0 + tolerance)
-        if got <= limit:
+        if higher_is_better:
+            limit = value / (1.0 + tolerance)
+            ok = got >= limit
+            fail_reason = (f"{got / value - 1.0:+.0%} below baseline, "
+                           f"floor {limit:.2f}x")
+        else:
+            limit = value * (1.0 + tolerance)
+            ok = got <= limit
+            fail_reason = (f"{got / value - 1.0:+.0%} slower than baseline, "
+                           f"limit {limit:.4f} s")
+        if ok:
             verdicts.append(PerfVerdict(
                 metric=name, baseline=value, measured=got,
                 tolerance=tolerance, verdict=PASS,
-                reason=f"within {tolerance:.0%} of baseline"))
+                reason=f"within {tolerance:.0%} of baseline", unit=unit))
         else:
             verdicts.append(PerfVerdict(
                 metric=name, baseline=value, measured=got,
-                tolerance=tolerance, verdict=FAIL,
-                reason=(f"{got / value - 1.0:+.0%} slower than baseline, "
-                        f"limit {limit:.4f} s")))
+                tolerance=tolerance, verdict=FAIL, reason=fail_reason,
+                unit=unit))
     return verdicts

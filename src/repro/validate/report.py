@@ -100,6 +100,9 @@ class PerfVerdict:
     tolerance: float
     verdict: str
     reason: str
+    #: display unit — "s" for durations, "x" for ratio metrics
+    #: (e.g. classic_vs_fast_speedup)
+    unit: str = "s"
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -109,6 +112,7 @@ class PerfVerdict:
             "tolerance": self.tolerance,
             "verdict": self.verdict,
             "reason": self.reason,
+            "unit": self.unit,
         }
 
 
@@ -170,8 +174,8 @@ class ValidationReport:
             lines.append("performance gate:")
             for p in self.perf:
                 lines.append(
-                    f"  [{p.verdict}] {p.metric}: {p.measured:.4f} s vs "
-                    f"baseline {p.baseline:.4f} s "
+                    f"  [{p.verdict}] {p.metric}: {p.measured:.4f}{p.unit} "
+                    f"vs baseline {p.baseline:.4f}{p.unit} "
                     f"(tolerance {p.tolerance:.0%}) — {p.reason}")
         lines.append("")
         lines.append(f"overall: {self.worst}")

@@ -39,7 +39,7 @@ class TestSimulatorCounters:
         sim = Simulator()
         keep = sim.schedule(1.0, lambda: None)
         drop = sim.schedule(2.0, lambda: None)
-        drop.cancel()
+        sim.cancel_event(drop)
         assert sim.pending_events == 1
 
 

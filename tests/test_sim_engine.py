@@ -1,78 +1,136 @@
-"""Unit tests for the discrete-event engine."""
+"""Unit tests for the discrete-event engine.
+
+Most classes are parametrized over both engine backends (``classic`` and
+``fast``) through the ``backend`` fixture: the engines must agree on the
+full public API, not just on golden traces.  Handle state is inspected
+through the backend-portable accessors (``sim.cancel_event`` /
+``sim.event_pending`` / the module-level ``event_*`` functions);
+``TestClassicHandleObjects`` pins the classic backend's richer
+:class:`EventHandle` object API, which the fast backend intentionally
+does not provide.
+"""
 
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.sim import SimulationError, Simulator
+from repro.sim import (
+    FastSimulator,
+    SimulationError,
+    Simulator,
+    event_cancelled,
+    event_eid,
+    event_fired,
+    event_origin_eid,
+    event_parent_eid,
+    event_time,
+)
+
+
+@pytest.fixture(params=["classic", "fast"])
+def backend(request):
+    return request.param
+
+
+class TestBackendSelection:
+    def test_default_is_fast(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        sim = Simulator(sanitizer=None, obs=None)
+        assert isinstance(sim, FastSimulator) and sim.backend == "fast"
+
+    def test_explicit_argument(self):
+        assert Simulator(backend="classic").backend == "classic"
+        assert Simulator(backend="fast").backend == "fast"
+
+    def test_env_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "classic")
+        assert Simulator(sanitizer=None, obs=None).backend == "classic"
+        monkeypatch.setenv("REPRO_ENGINE", "fast")
+        assert Simulator(sanitizer=None, obs=None).backend == "fast"
+
+    def test_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "classic")
+        assert Simulator(sanitizer=None, obs=None, backend="fast").backend == "fast"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SimulationError, match="unknown engine backend"):
+            Simulator(backend="turbo")
+
+    def test_unknown_env_backend_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "warp")
+        with pytest.raises(SimulationError, match="unknown engine backend"):
+            Simulator(sanitizer=None, obs=None)
+
+    def test_fast_is_a_simulator(self):
+        assert isinstance(Simulator(backend="fast"), Simulator)
 
 
 class TestScheduling:
-    def test_clock_starts_at_zero(self):
-        assert Simulator().now == 0.0
+    def test_clock_starts_at_zero(self, backend):
+        assert Simulator(backend=backend).now == 0.0
 
-    def test_single_event_fires_at_time(self):
-        sim = Simulator()
+    def test_single_event_fires_at_time(self, backend):
+        sim = Simulator(backend=backend)
         fired = []
         sim.schedule(1.5, lambda: fired.append(sim.now))
         sim.run()
         assert fired == [1.5]
 
-    def test_events_fire_in_time_order(self):
-        sim = Simulator()
+    def test_events_fire_in_time_order(self, backend):
+        sim = Simulator(backend=backend)
         order = []
         for delay in [3.0, 1.0, 2.0]:
             sim.schedule(delay, order.append, delay)
         sim.run()
         assert order == [1.0, 2.0, 3.0]
 
-    def test_same_time_events_fire_fifo(self):
-        sim = Simulator()
+    def test_same_time_events_fire_fifo(self, backend):
+        sim = Simulator(backend=backend)
         order = []
         for tag in range(5):
             sim.schedule(1.0, order.append, tag)
         sim.run()
         assert order == [0, 1, 2, 3, 4]
 
-    def test_zero_delay_event_fires(self):
-        sim = Simulator()
+    def test_zero_delay_event_fires(self, backend):
+        sim = Simulator(backend=backend)
         fired = []
         sim.schedule(0.0, fired.append, 1)
         sim.run()
         assert fired == [1]
 
-    def test_negative_delay_rejected(self):
+    def test_negative_delay_rejected(self, backend):
         with pytest.raises(SimulationError):
-            Simulator().schedule(-0.1, lambda: None)
+            Simulator(backend=backend).schedule(-0.1, lambda: None)
 
-    def test_negative_delay_is_value_error(self):
+    def test_negative_delay_is_value_error(self, backend):
         """SimulationError doubles as ValueError for plain callers."""
         with pytest.raises(ValueError):
-            Simulator().schedule(-0.1, lambda: None)
+            Simulator(backend=backend).schedule(-0.1, lambda: None)
 
-    def test_nan_delay_rejected(self):
+    def test_nan_delay_rejected(self, backend):
         with pytest.raises(SimulationError, match="NaN"):
-            Simulator().schedule(float("nan"), lambda: None)
+            Simulator(backend=backend).schedule(float("nan"), lambda: None)
 
-    def test_nan_time_rejected(self):
+    def test_nan_time_rejected(self, backend):
         with pytest.raises(SimulationError, match="NaN"):
-            Simulator().schedule_at(float("nan"), lambda: None)
+            Simulator(backend=backend).schedule_at(float("nan"), lambda: None)
 
-    def test_schedule_at_past_rejected(self):
-        sim = Simulator()
+    def test_schedule_at_past_rejected(self, backend):
+        sim = Simulator(backend=backend)
         sim.schedule(2.0, lambda: None)
         sim.run()
         with pytest.raises(SimulationError):
             sim.schedule_at(1.0, lambda: None)
 
-    def test_callback_args_passed(self):
-        sim = Simulator()
+    def test_callback_args_passed(self, backend):
+        sim = Simulator(backend=backend)
         got = []
         sim.schedule(0.5, lambda a, b: got.append((a, b)), 1, "x")
         sim.run()
         assert got == [(1, "x")]
 
-    def test_events_scheduled_during_run_fire(self):
-        sim = Simulator()
+    def test_events_scheduled_during_run_fire(self, backend):
+        sim = Simulator(backend=backend)
         fired = []
 
         def chain(n):
@@ -86,43 +144,112 @@ class TestScheduling:
         assert sim.now == 4.0
 
 
+class TestErrorPathParity:
+    """Both backends must raise the same types with the same messages."""
+
+    def _error_for(self, build):
+        errors = {}
+        for backend in ("classic", "fast"):
+            sim = Simulator(sanitizer=None, obs=None, backend=backend)
+            with pytest.raises(SimulationError) as excinfo:
+                build(sim)
+            errors[backend] = str(excinfo.value)
+        return errors
+
+    def test_nan_delay_message_identical(self):
+        errors = self._error_for(
+            lambda sim: sim.schedule(float("nan"), lambda: None))
+        assert errors["classic"] == errors["fast"]
+
+    def test_negative_delay_message_identical(self):
+        errors = self._error_for(
+            lambda sim: sim.schedule(-2.5, lambda: None))
+        assert errors["classic"] == errors["fast"]
+
+    def test_nan_time_message_identical(self):
+        errors = self._error_for(
+            lambda sim: sim.schedule_at(float("nan"), lambda: None))
+        assert errors["classic"] == errors["fast"]
+
+    def test_past_time_message_identical(self):
+        def build(sim):
+            sim.schedule(3.0, lambda: None)
+            sim.run()
+            sim.schedule_at(1.0, lambda: None)
+
+        errors = self._error_for(build)
+        assert errors["classic"] == errors["fast"]
+
+    def test_schedule_after_run_completes(self, backend):
+        """The clock stays at the final event; future times remain legal,
+        earlier times are SimulationError on both backends."""
+        sim = Simulator(backend=backend)
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        assert sim.now == 5.0
+        fired = []
+        sim.schedule(1.0, fired.append, "late")  # relative: always fine
+        with pytest.raises(SimulationError, match="into the past"):
+            sim.schedule_at(4.0, lambda: None)
+        sim.run()
+        assert fired == ["late"] and sim.now == 6.0
+
+    def test_run_not_reentrant_parity(self):
+        for backend in ("classic", "fast"):
+            sim = Simulator(backend=backend)
+
+            def reenter():
+                with pytest.raises(SimulationError, match="not reentrant"):
+                    sim.run()
+
+            sim.schedule(1.0, reenter)
+            sim.run()
+
+
 class TestCancellation:
-    def test_cancelled_event_does_not_fire(self):
-        sim = Simulator()
+    def test_cancelled_event_does_not_fire(self, backend):
+        sim = Simulator(backend=backend)
         fired = []
         handle = sim.schedule(1.0, fired.append, 1)
-        handle.cancel()
+        sim.cancel_event(handle)
         sim.run()
         assert fired == []
 
-    def test_cancel_after_fire_is_noop(self):
-        sim = Simulator()
+    def test_cancel_after_fire_is_noop(self, backend):
+        sim = Simulator(backend=backend)
         handle = sim.schedule(1.0, lambda: None)
         sim.run()
-        handle.cancel()  # should not raise
-        assert handle.fired
+        sim.cancel_event(handle)  # should not raise
+        assert event_fired(handle)
 
-    def test_pending_transitions(self):
-        sim = Simulator()
+    def test_pending_transitions(self, backend):
+        sim = Simulator(backend=backend)
         handle = sim.schedule(1.0, lambda: None)
-        assert handle.pending
+        assert sim.event_pending(handle)
         sim.run()
-        assert not handle.pending
-        assert handle.fired
+        assert not sim.event_pending(handle)
+        assert event_fired(handle)
 
-    def test_cancel_one_of_many(self):
-        sim = Simulator()
+    def test_cancelled_accessor(self, backend):
+        sim = Simulator(backend=backend)
+        handle = sim.schedule(1.0, lambda: None)
+        assert not event_cancelled(handle)
+        sim.cancel_event(handle)
+        assert event_cancelled(handle) and not event_fired(handle)
+
+    def test_cancel_one_of_many(self, backend):
+        sim = Simulator(backend=backend)
         fired = []
         handles = [sim.schedule(float(i + 1), fired.append, i)
                    for i in range(4)]
-        handles[2].cancel()
+        sim.cancel_event(handles[2])
         sim.run()
         assert fired == [0, 1, 3]
 
 
 class TestRunControl:
-    def test_run_until_stops_and_advances_clock(self):
-        sim = Simulator()
+    def test_run_until_stops_and_advances_clock(self, backend):
+        sim = Simulator(backend=backend)
         fired = []
         sim.schedule(1.0, fired.append, 1)
         sim.schedule(5.0, fired.append, 5)
@@ -132,23 +259,23 @@ class TestRunControl:
         sim.run()
         assert fired == [1, 5]
 
-    def test_event_exactly_at_until_fires(self):
-        sim = Simulator()
+    def test_event_exactly_at_until_fires(self, backend):
+        sim = Simulator(backend=backend)
         fired = []
         sim.schedule(3.0, fired.append, 3)
         sim.run(until=3.0)
         assert fired == [3]
 
-    def test_max_events(self):
-        sim = Simulator()
+    def test_max_events(self, backend):
+        sim = Simulator(backend=backend)
         fired = []
         for i in range(10):
             sim.schedule(float(i + 1), fired.append, i)
         sim.run(max_events=4)
         assert fired == [0, 1, 2, 3]
 
-    def test_step(self):
-        sim = Simulator()
+    def test_step(self, backend):
+        sim = Simulator(backend=backend)
         fired = []
         sim.schedule(1.0, fired.append, 1)
         sim.schedule(2.0, fired.append, 2)
@@ -157,16 +284,16 @@ class TestRunControl:
         assert sim.step()
         assert not sim.step()
 
-    def test_clear_drops_pending(self):
-        sim = Simulator()
+    def test_clear_drops_pending(self, backend):
+        sim = Simulator(backend=backend)
         fired = []
         sim.schedule(1.0, fired.append, 1)
         sim.clear()
         sim.run()
         assert fired == []
 
-    def test_run_not_reentrant(self):
-        sim = Simulator()
+    def test_run_not_reentrant(self, backend):
+        sim = Simulator(backend=backend)
 
         def reenter():
             with pytest.raises(SimulationError):
@@ -175,8 +302,22 @@ class TestRunControl:
         sim.schedule(1.0, reenter)
         sim.run()
 
-    def test_events_processed_counter(self):
-        sim = Simulator()
+    def test_run_usable_again_after_error_in_callback(self, backend):
+        sim = Simulator(backend=backend)
+
+        def boom():
+            raise RuntimeError("callback failure")
+
+        sim.schedule(1.0, boom)
+        with pytest.raises(RuntimeError):
+            sim.run()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.run()
+        assert fired == [1]
+
+    def test_events_processed_counter(self, backend):
+        sim = Simulator(backend=backend)
         for i in range(3):
             sim.schedule(float(i), lambda: None)
         sim.run()
@@ -184,16 +325,16 @@ class TestRunControl:
 
 
 class TestPendingEvents:
-    """pending_events is a live counter, not a heap scan."""
+    """pending_events is O(1) on both backends, not a heap scan."""
 
-    def test_counts_scheduled(self):
-        sim = Simulator()
+    def test_counts_scheduled(self, backend):
+        sim = Simulator(backend=backend)
         for i in range(5):
             sim.schedule(float(i + 1), lambda: None)
         assert sim.pending_events == 5
 
-    def test_decrements_on_fire(self):
-        sim = Simulator()
+    def test_decrements_on_fire(self, backend):
+        sim = Simulator(backend=backend)
         sim.schedule(1.0, lambda: None)
         sim.schedule(2.0, lambda: None)
         sim.step()
@@ -201,36 +342,38 @@ class TestPendingEvents:
         sim.run()
         assert sim.pending_events == 0
 
-    def test_decrements_on_cancel(self):
-        sim = Simulator()
+    def test_decrements_on_cancel(self, backend):
+        sim = Simulator(backend=backend)
         handles = [sim.schedule(float(i + 1), lambda: None) for i in range(3)]
-        handles[1].cancel()
+        sim.cancel_event(handles[1])
         assert sim.pending_events == 2
-        handles[1].cancel()  # double-cancel must not decrement twice
+        sim.cancel_event(handles[1])  # double-cancel must not decrement twice
         assert sim.pending_events == 2
         sim.run()
         assert sim.pending_events == 0
+        assert sim.events_processed == 2
 
-    def test_cancel_after_fire_does_not_decrement(self):
-        sim = Simulator()
+    def test_cancel_after_fire_does_not_decrement(self, backend):
+        sim = Simulator(backend=backend)
         handle = sim.schedule(1.0, lambda: None)
         sim.schedule(2.0, lambda: None)
         sim.step()
-        handle.cancel()
+        sim.cancel_event(handle)
         assert sim.pending_events == 1
 
-    def test_clear_resets_to_zero(self):
-        sim = Simulator()
+    def test_clear_resets_to_zero(self, backend):
+        sim = Simulator(backend=backend)
         handles = [sim.schedule(float(i + 1), lambda: None) for i in range(4)]
         sim.clear()
         assert sim.pending_events == 0
         # Cancelling a cleared handle must not drive the counter negative.
-        handles[0].cancel()
+        sim.cancel_event(handles[0])
         assert sim.pending_events == 0
+        assert sim.events_processed == 0
 
-    def test_counter_is_o1(self):
+    def test_counter_is_o1(self, backend):
         """Reading pending_events must not walk the heap."""
-        sim = Simulator()
+        sim = Simulator(backend=backend)
         for i in range(10_000):
             sim.schedule(float(i + 1), lambda: None)
         reads_per_probe = 1000
@@ -238,7 +381,7 @@ class TestPendingEvents:
         import timeit
         t_large = timeit.timeit(lambda: sim.pending_events,
                                 number=reads_per_probe)
-        small = Simulator()
+        small = Simulator(backend=backend)
         small.schedule(1.0, lambda: None)
         t_small = timeit.timeit(lambda: small.pending_events,
                                 number=reads_per_probe)
@@ -248,18 +391,18 @@ class TestPendingEvents:
 
 
 class TestProvenance:
-    def test_eids_are_monotonic_from_one(self):
-        sim = Simulator(sanitizer=None, obs=None)
+    def test_eids_are_monotonic_from_one(self, backend):
+        sim = Simulator(sanitizer=None, obs=None, backend=backend)
         handles = [sim.schedule(0.1 * i, lambda: None) for i in range(3)]
-        assert [h.eid for h in handles] == [1, 2, 3]
+        assert [event_eid(h) for h in handles] == [1, 2, 3]
 
-    def test_setup_events_have_root_parent(self):
-        sim = Simulator(sanitizer=None, obs=None)
+    def test_setup_events_have_root_parent(self, backend):
+        sim = Simulator(sanitizer=None, obs=None, backend=backend)
         handle = sim.schedule(1.0, lambda: None)
-        assert handle.parent_eid == 0 and handle.origin_eid == 0
+        assert event_parent_eid(handle) == 0 and event_origin_eid(handle) == 0
 
-    def test_nested_schedule_records_parent(self):
-        sim = Simulator(sanitizer=None, obs=None)
+    def test_nested_schedule_records_parent(self, backend):
+        sim = Simulator(sanitizer=None, obs=None, backend=backend)
         child = []
 
         def parent():
@@ -267,10 +410,15 @@ class TestProvenance:
 
         root = sim.schedule(1.0, parent)
         sim.run()
-        assert child[0].parent_eid == root.eid
+        assert event_parent_eid(child[0]) == event_eid(root)
 
-    def test_current_eid_zero_outside_events(self):
-        sim = Simulator(sanitizer=None, obs=None)
+    def test_event_time_accessor(self, backend):
+        sim = Simulator(sanitizer=None, obs=None, backend=backend)
+        handle = sim.schedule_at(2.5, lambda: None)
+        assert event_time(handle) == 2.5
+
+    def test_current_eid_zero_outside_events(self, backend):
+        sim = Simulator(sanitizer=None, obs=None, backend=backend)
         seen = []
         sim.schedule(1.0, lambda: seen.append(sim.current_eid))
         assert sim.current_eid == 0
@@ -278,14 +426,15 @@ class TestProvenance:
         assert seen == [1]
         assert sim.current_eid == 0
 
-    def test_origin_threads_through_silent_events(self):
+    def test_origin_threads_through_silent_events(self, backend):
         # A (emits) -> B (silent) -> C (emits): C's record must cite A,
         # bridging the silent plumbing event B.
         from repro.obs.sinks import MemorySink
         from repro.obs.tracer import Observability, Tracer
 
         sink = MemorySink()
-        sim = Simulator(sanitizer=None, obs=Observability(tracer=Tracer(sink)))
+        sim = Simulator(sanitizer=None, obs=Observability(tracer=Tracer(sink)),
+                        backend=backend)
         eids = {}
 
         def a():
@@ -308,14 +457,15 @@ class TestProvenance:
         assert rec_c.eid == eids["c"]
         assert rec_c.parent_eid == eids["a"]  # not the silent b
 
-    def test_all_records_of_one_event_share_parent(self):
+    def test_all_records_of_one_event_share_parent(self, backend):
         # Promotion must not leak into the promoting event's own later
         # records: both emissions cite the same ancestor.
         from repro.obs.sinks import MemorySink
         from repro.obs.tracer import Observability, Tracer
 
         sink = MemorySink()
-        sim = Simulator(sanitizer=None, obs=Observability(tracer=Tracer(sink)))
+        sim = Simulator(sanitizer=None, obs=Observability(tracer=Tracer(sink)),
+                        backend=backend)
 
         def a():
             sim.obs.emit(sim.now, "pkt.send", 1, seq=0)
@@ -331,40 +481,61 @@ class TestProvenance:
         assert second.eid == third.eid
         assert second.parent_eid == third.parent_eid == first.eid
 
-    def test_emission_outside_any_event_is_root(self):
+    def test_emission_outside_any_event_is_root(self, backend):
         from repro.obs.sinks import MemorySink
         from repro.obs.tracer import Observability, Tracer
 
         sink = MemorySink()
-        sim = Simulator(sanitizer=None, obs=Observability(tracer=Tracer(sink)))
+        sim = Simulator(sanitizer=None, obs=Observability(tracer=Tracer(sink)),
+                        backend=backend)
         sim.obs.emit(0.0, "campaign.job", -1, label="x")
         (record,) = sink.records
         assert (record.eid, record.parent_eid) == (0, 0)
+
+
+class TestClassicHandleObjects:
+    """The classic backend's EventHandle object API (not on fast)."""
+
+    def test_handle_methods(self):
+        sim = Simulator(backend="classic")
+        handle = sim.schedule(1.0, lambda: None)
+        assert handle.pending and not handle.fired and not handle.cancelled
+        handle.cancel()
+        assert handle.cancelled and not handle.pending
+        handle.cancel()  # idempotent
+        assert sim.pending_events == 0
+
+    def test_handle_attributes(self):
+        sim = Simulator(sanitizer=None, obs=None, backend="classic")
+        handle = sim.schedule(1.5, lambda: None)
+        assert (handle.time, handle.eid, handle.parent_eid) == (1.5, 1, 0)
 
 
 class TestPropertyBased:
     @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
                               allow_nan=False), min_size=1, max_size=50))
     def test_firing_order_is_sorted(self, delays):
-        sim = Simulator()
-        times = []
-        for d in delays:
-            sim.schedule(d, lambda: times.append(sim.now))
-        sim.run()
-        assert times == sorted(times)
-        assert len(times) == len(delays)
+        for backend in ("classic", "fast"):
+            sim = Simulator(backend=backend)
+            times = []
+            for d in delays:
+                sim.schedule(d, lambda: times.append(sim.now))
+            sim.run()
+            assert times == sorted(times)
+            assert len(times) == len(delays)
 
     @given(st.lists(st.floats(min_value=0.0, max_value=100.0,
                               allow_nan=False), min_size=1, max_size=30),
            st.data())
     def test_cancellation_subset(self, delays, data):
-        sim = Simulator()
-        fired = []
-        handles = [sim.schedule(d, fired.append, i)
-                   for i, d in enumerate(delays)]
         to_cancel = data.draw(st.sets(
             st.integers(min_value=0, max_value=len(delays) - 1)))
-        for idx in to_cancel:
-            handles[idx].cancel()
-        sim.run()
-        assert set(fired) == set(range(len(delays))) - to_cancel
+        for backend in ("classic", "fast"):
+            sim = Simulator(backend=backend)
+            fired = []
+            handles = [sim.schedule(d, fired.append, i)
+                       for i, d in enumerate(delays)]
+            for idx in to_cancel:
+                sim.cancel_event(handles[idx])
+            sim.run()
+            assert set(fired) == set(range(len(delays))) - to_cancel

@@ -130,6 +130,42 @@ class TestPerfGate:
             check_perf(self.BASELINE, {}, scale=0.0)
 
 
+class TestPerfGateHigherIsBetter:
+    BASELINE = {
+        "bench": "bench_core_speed",
+        "metrics": {
+            "speedup": {"value": 4.0, "tolerance": 0.25,
+                        "direction": "higher"},
+        },
+    }
+
+    def test_within_tolerance_passes(self):
+        # floor = 4.0 / 1.25 = 3.2
+        verdicts = check_perf(self.BASELINE, {"speedup": 3.3})
+        assert verdicts[0].verdict == PASS
+
+    def test_below_floor_fails(self):
+        verdicts = check_perf(self.BASELINE, {"speedup": 3.0})
+        assert verdicts[0].verdict == FAIL
+        assert "below baseline" in verdicts[0].reason
+
+    def test_even_better_is_fine(self):
+        verdicts = check_perf(self.BASELINE, {"speedup": 9.0})
+        assert verdicts[0].verdict == PASS
+
+    def test_scale_lowers_floor(self):
+        # scale 2 -> floor = 4.0 / 1.5 = 2.67
+        verdicts = check_perf(self.BASELINE, {"speedup": 3.0}, scale=2.0)
+        assert verdicts[0].verdict == PASS
+
+    def test_committed_speedup_gate_floors_near_3x(self):
+        baseline = load_perf_baseline("benchmarks/baseline.json")
+        entry = baseline["metrics"]["classic_vs_fast_speedup"]
+        assert entry["direction"] == "higher"
+        floor = entry["value"] / (1.0 + entry["tolerance"])
+        assert 2.5 <= floor <= 3.5
+
+
 class TestPerfBaselineFile:
     def test_committed_baseline_loads(self):
         baseline = load_perf_baseline("benchmarks/baseline.json")
@@ -138,6 +174,7 @@ class TestPerfBaselineFile:
             "transfer_packet_throughput",
             "suss_transfer_throughput",
             "flowsim_fleet_throughput",
+            "classic_vs_fast_speedup",
         }
         for entry in baseline["metrics"].values():
             assert entry["value"] > 0.0
