@@ -226,11 +226,18 @@ def _wall_clock_limit(seconds: Optional[float]) -> Iterator[None]:
 
 def execute_job(payload: Mapping[str, Any], attempt: int,
                 timeout: Optional[float] = None) -> Dict[str, Any]:
-    """Worker entry: run one job, returning ``{"value": ..., "runtime": ...}``.
+    """Worker entry: run one job, returning its result envelope.
+
+    The envelope is ``{"value", "runtime", "worker", "resources"}`` —
+    the value plus the execution evidence the run-telemetry layer turns
+    into spans (worker pid, CPU/RSS/engine-event deltas around the job).
+    Only ``value`` and ``runtime`` land in the result store.
 
     ``attempt`` is 1-based; fault-injection knobs compare against it so an
     injected crash/failure clears after the configured number of attempts.
     """
+    from repro.obs import runtime as obs_runtime
+
     kind = payload["kind"]
     params = payload["params"]
     knobs = params.get("knobs") or {}
@@ -242,9 +249,13 @@ def execute_job(payload: Mapping[str, Any], attempt: int,
     if runner is None:
         raise KeyError(f"unknown job kind {kind!r}; "
                        f"known: {', '.join(sorted(JOB_KINDS))}")
+    before = obs_runtime.sample_resources()
     start = time.perf_counter()
     with _wall_clock_limit(timeout):
         if knobs.get("_sleep"):
             time.sleep(knobs["_sleep"])
         value = runner(params)
-    return {"value": value, "runtime": time.perf_counter() - start}
+    runtime = time.perf_counter() - start
+    after = obs_runtime.sample_resources()
+    return {"value": value, "runtime": runtime, "worker": os.getpid(),
+            "resources": obs_runtime.resource_delta(before, after)}

@@ -38,6 +38,8 @@ class ProgressReporter:
         self.executed = 0
         self.cached = 0
         self.failed = 0
+        self.retries = 0
+        self.retry_seconds = 0.0
         self.runtimes: List[float] = []
         self.job_records: List[Dict[str, Any]] = []
         self._started_at: Optional[float] = None
@@ -50,11 +52,20 @@ class ProgressReporter:
 
     @property
     def eta(self) -> Optional[float]:
-        """Estimated seconds left, from mean runtime and the worker count."""
+        """Estimated seconds left, from mean job *cost* and worker count.
+
+        Cost charges failed-attempt time to the jobs that caused it:
+        the naive mean-of-runtimes underestimates under retries (a job
+        that burned two timeouts before succeeding looks as cheap as a
+        clean one), so retry wall-clock reported via :meth:`job_retry`
+        is folded into the per-job mean.  ``remaining`` is clamped at
+        zero so late stragglers can't drive the estimate negative.
+        """
         if not self.runtimes or self.total <= 0:
             return None
-        mean = sum(self.runtimes) / len(self.runtimes)
-        remaining = self.total - self.done
+        mean = ((sum(self.runtimes) + self.retry_seconds)
+                / len(self.runtimes))
+        remaining = max(self.total - self.done, 0)
         return mean * remaining / max(self.jobs, 1)
 
     def stats(self) -> Dict[str, Any]:
@@ -62,7 +73,7 @@ class ProgressReporter:
                    if self._started_at is not None else 0.0)
         return {"total": self.total, "executed": self.executed,
                 "cached": self.cached, "failed": self.failed,
-                "elapsed": elapsed,
+                "retries": self.retries, "elapsed": elapsed,
                 "job_records": list(self.job_records)}
 
     # ------------------------------------------------------------------
@@ -72,9 +83,24 @@ class ProgressReporter:
         self._started_at = time.monotonic()
         self._emit(f"campaign: {total} jobs on {jobs} worker(s)", force=True)
 
+    def job_retry(self, label: str, runtime: float,
+                  error: Optional[str] = None) -> None:
+        """A failed attempt that will be retried; not a finished job.
+
+        ``runtime`` is the wall-clock the attempt burned — it feeds the
+        ETA's per-job cost but never the done counters.
+        """
+        self.retries += 1
+        self.retry_seconds += runtime
+        line = f"[{self.done}/{self.total}] retry  {label} ({runtime:.2f}s)"
+        if error:
+            line += f" — {error}"
+        self._emit(line, force=True)
+
     def job_done(self, label: str, status: str, runtime: float,
                  cached: bool = False, error: Optional[str] = None,
-                 attempts: int = 1) -> None:
+                 attempts: int = 1,
+                 job_hash: Optional[str] = None) -> None:
         if cached:
             self.cached += 1
         elif status == "ok":
@@ -85,6 +111,8 @@ class ProgressReporter:
         record: Dict[str, Any] = {"label": label, "status": status,
                                   "runtime": runtime, "cached": cached,
                                   "attempts": attempts}
+        if job_hash:
+            record["hash"] = job_hash
         if error:
             record["error"] = error
         self.job_records.append(record)

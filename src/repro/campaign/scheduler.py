@@ -20,16 +20,18 @@ contract:
 from __future__ import annotations
 
 import multiprocessing
+import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.campaign.jobs import execute_job
 from repro.campaign.progress import ProgressReporter
 from repro.campaign.spec import JobSpec
 from repro.campaign.store import ResultStore
+from repro.obs.runtime import RunTelemetry
 
 
 @dataclass
@@ -73,12 +75,22 @@ def collect_values(results: Sequence[CampaignResult]) -> List[Dict[str, Any]]:
 def run_campaign(specs: Iterable[JobSpec], *, jobs: int = 1,
                  store: Optional[ResultStore] = None,
                  timeout: Optional[float] = None, retries: int = 2,
-                 progress: Optional[ProgressReporter] = None
+                 progress: Optional[ProgressReporter] = None,
+                 telemetry: Optional[RunTelemetry] = None
                  ) -> List[CampaignResult]:
-    """Run every spec; return one :class:`CampaignResult` per spec, in order."""
+    """Run every spec; return one :class:`CampaignResult` per spec, in order.
+
+    With a :class:`~repro.obs.runtime.RunTelemetry` attached, every
+    attempt outcome (cache hit, success, retry, terminal failure)
+    becomes a span with queue-wait / exec-time / worker attribution, and
+    the spec-ordered results are handed to ``telemetry.complete`` for
+    run-ledger assembly.  Telemetry never alters scheduling decisions.
+    """
     spec_list = list(specs)
     reporter = progress or ProgressReporter(stream=None)
     reporter.start(len(spec_list), jobs=max(jobs, 1))
+    if telemetry is not None:
+        telemetry.start(len(spec_list), workers=max(jobs, 1))
     results: List[Optional[CampaignResult]] = [None] * len(spec_list)
 
     pending: List[int] = []
@@ -90,14 +102,20 @@ def run_campaign(specs: Iterable[JobSpec], *, jobs: int = 1,
                 attempts=0, runtime=record.get("runtime", 0.0), cached=True)
             reporter.job_done(spec.label or spec.kind, "ok",
                               results[index].runtime, cached=True,
-                              attempts=0)
+                              attempts=0, job_hash=spec.job_hash)
+            if telemetry is not None:
+                telemetry.record_span(
+                    spec.job_hash, spec.kind, spec.label or spec.kind,
+                    status="ok", cached=True)
         else:
             pending.append(index)
 
     if pending:
         runner = _run_inline if jobs <= 1 else _run_pool
         runner(spec_list, pending, results, jobs, store, timeout, retries,
-               reporter)
+               reporter, telemetry)
+    if telemetry is not None:
+        telemetry.complete(results)
     reporter.finish()
     return results  # type: ignore[return-value]  # every slot is filled
 
@@ -105,8 +123,11 @@ def run_campaign(specs: Iterable[JobSpec], *, jobs: int = 1,
 # ----------------------------------------------------------------------
 def _finish(spec_list: List[JobSpec], results: List[Optional[CampaignResult]],
             store: Optional[ResultStore], reporter: ProgressReporter,
-            index: int, status: str, value: Optional[Dict[str, Any]],
-            error: Optional[str], attempts: int, runtime: float) -> None:
+            telemetry: Optional[RunTelemetry], index: int, status: str,
+            value: Optional[Dict[str, Any]], error: Optional[str],
+            attempts: int, runtime: float,
+            worker: Optional[int] = None, queue_wait: float = 0.0,
+            resources: Optional[Dict[str, Any]] = None) -> None:
     spec = spec_list[index]
     results[index] = CampaignResult(spec=spec, status=status, value=value,
                                     error=error, attempts=attempts,
@@ -115,32 +136,56 @@ def _finish(spec_list: List[JobSpec], results: List[Optional[CampaignResult]],
         store.put(spec.job_hash, {"spec": spec.to_json(), "value": value,
                                   "runtime": runtime, "attempts": attempts})
     reporter.job_done(spec.label or spec.kind, status, runtime, error=error,
-                      attempts=attempts)
+                      attempts=attempts, job_hash=spec.job_hash)
+    if telemetry is not None:
+        telemetry.record_span(
+            spec.job_hash, spec.kind, spec.label or spec.kind,
+            status=status, attempt=attempts, worker=worker,
+            queue_wait=queue_wait, exec_time=runtime, error=error,
+            resources=resources)
+
+
+def _retry(spec_list: List[JobSpec], reporter: ProgressReporter,
+           telemetry: Optional[RunTelemetry], index: int, attempt: int,
+           elapsed: float, error: str) -> None:
+    """Narrate one failed-but-retryable attempt to every observer."""
+    spec = spec_list[index]
+    reporter.job_retry(spec.label or spec.kind, elapsed, error=error)
+    if telemetry is not None:
+        telemetry.record_span(
+            spec.job_hash, spec.kind, spec.label or spec.kind,
+            status="retry", attempt=attempt, exec_time=elapsed, error=error)
 
 
 def _run_inline(spec_list, pending, results, jobs, store, timeout, retries,
-                reporter) -> None:
+                reporter, telemetry) -> None:
     for index in pending:
         payload = spec_list[index].to_json()
         attempts = 0
         last_error = None
         while attempts <= retries:
             attempts += 1
+            began = time.monotonic()
             try:
                 out = execute_job(payload, attempts, timeout)
             except Exception as exc:  # noqa: BLE001 — worker faults are data
                 last_error = f"{type(exc).__name__}: {exc}"
+                if attempts <= retries:
+                    _retry(spec_list, reporter, telemetry, index, attempts,
+                           time.monotonic() - began, last_error)
             else:
-                _finish(spec_list, results, store, reporter, index, "ok",
-                        out["value"], None, attempts, out["runtime"])
+                _finish(spec_list, results, store, reporter, telemetry,
+                        index, "ok", out["value"], None, attempts,
+                        out["runtime"], worker=out.get("worker"),
+                        resources=out.get("resources"))
                 break
         else:
-            _finish(spec_list, results, store, reporter, index, "failed",
-                    None, last_error, attempts, 0.0)
+            _finish(spec_list, results, store, reporter, telemetry, index,
+                    "failed", None, last_error, attempts, 0.0)
 
 
 def _run_pool(spec_list, pending, results, jobs, store, timeout, retries,
-              reporter) -> None:
+              reporter, telemetry) -> None:
     if "fork" in multiprocessing.get_all_start_methods():
         ctx = multiprocessing.get_context("fork")
     else:  # pragma: no cover — non-POSIX fallback
@@ -148,14 +193,16 @@ def _run_pool(spec_list, pending, results, jobs, store, timeout, retries,
     queue = deque(pending)
     attempts: Dict[int, int] = {index: 0 for index in pending}
     executor: Optional[ProcessPoolExecutor] = None
-    in_flight: Dict[Future, int] = {}
+    in_flight: Dict[Future, Tuple[int, float]] = {}
 
-    def retry_or_fail(index: int, error: str) -> None:
+    def retry_or_fail(index: int, error: str, elapsed: float) -> None:
         if attempts[index] <= retries:
+            _retry(spec_list, reporter, telemetry, index, attempts[index],
+                   elapsed, error)
             queue.append(index)
         else:
-            _finish(spec_list, results, store, reporter, index, "failed",
-                    None, error, attempts[index], 0.0)
+            _finish(spec_list, results, store, reporter, telemetry, index,
+                    "failed", None, error, attempts[index], 0.0)
 
     try:
         while queue or in_flight:
@@ -170,28 +217,37 @@ def _run_pool(spec_list, pending, results, jobs, store, timeout, retries,
                 future = executor.submit(execute_job,
                                          spec_list[index].to_json(),
                                          attempts[index], timeout)
-                in_flight[future] = index
+                in_flight[future] = (index, time.monotonic())
             done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
             pool_broken = False
             for future in done:
-                index = in_flight.pop(future)
+                index, submitted = in_flight.pop(future)
+                elapsed = time.monotonic() - submitted
                 try:
                     out = future.result()
                 except BrokenProcessPool:
                     pool_broken = True
-                    retry_or_fail(index, "worker process crashed")
+                    retry_or_fail(index, "worker process crashed", elapsed)
                 except Exception as exc:  # noqa: BLE001
-                    retry_or_fail(index, f"{type(exc).__name__}: {exc}")
+                    retry_or_fail(index, f"{type(exc).__name__}: {exc}",
+                                  elapsed)
                 else:
-                    _finish(spec_list, results, store, reporter, index, "ok",
-                            out["value"], None, attempts[index],
-                            out["runtime"])
+                    # Submit-to-collect minus worker-side execution is
+                    # the span's queue wait (clamped: clock domains are
+                    # the parent's monotonic vs the worker's
+                    # perf_counter, so tiny negatives are possible).
+                    _finish(spec_list, results, store, reporter, telemetry,
+                            index, "ok", out["value"], None, attempts[index],
+                            out["runtime"], worker=out.get("worker"),
+                            queue_wait=max(elapsed - out["runtime"], 0.0),
+                            resources=out.get("resources"))
             if pool_broken:
                 # The whole pool is dead: every other in-flight job is
                 # doomed too.  Requeue them (bounded by the same per-job
                 # attempt budget) and start a fresh pool.
-                for future, index in list(in_flight.items()):
-                    retry_or_fail(index, "worker pool broke mid-job")
+                for future, (index, submitted) in list(in_flight.items()):
+                    retry_or_fail(index, "worker pool broke mid-job",
+                                  time.monotonic() - submitted)
                 in_flight.clear()
                 executor.shutdown(wait=False, cancel_futures=True)
                 executor = None

@@ -44,6 +44,50 @@ def _campaign_kwargs(args: argparse.Namespace) -> dict:
     return {"jobs": args.jobs, "store": store, "progress": progress}
 
 
+def _ledger_telemetry(args: argparse.Namespace, tool: str):
+    """(RunTelemetry, MetricsServer) for a --ledger-dir run, else (None, None).
+
+    The telemetry writes live ``status.json`` snapshots into the ledger
+    directory (what ``repro top`` watches); ``--metrics-port`` addition-
+    ally serves the live registry as OpenMetrics for scrapers.
+    """
+    if not getattr(args, "ledger_dir", None):
+        return None, None
+    from repro.obs.export import MetricsServer, render_openmetrics
+    from repro.obs.runtime import RunTelemetry
+
+    os.makedirs(args.ledger_dir, exist_ok=True)
+    telemetry = RunTelemetry(
+        tool=tool, status_path=os.path.join(args.ledger_dir, "status.json"))
+    server = None
+    if getattr(args, "metrics_port", None) is not None:
+        server = MetricsServer(
+            lambda: render_openmetrics(telemetry.metrics),
+            port=args.metrics_port)
+        server.start()
+        print(f"serving OpenMetrics at {server.url}", file=sys.stderr)
+    return telemetry, server
+
+
+def _finish_ledger(args: argparse.Namespace, telemetry, server, *,
+                   mode: str, fingerprint: str, base_seed: int,
+                   summary: Optional[dict] = None) -> Optional[str]:
+    """Write the run ledger + execution sidecar after a completed run."""
+    if server is not None:
+        server.close()
+    if telemetry is None:
+        return None
+    from repro.obs.ledger import build_ledger, write_ledger
+
+    ledger = build_ledger(telemetry.tool, mode, fingerprint, base_seed,
+                          telemetry.jobs, telemetry.values, summary=summary)
+    path = write_ledger(ledger, args.ledger_dir,
+                        execution=telemetry.execution_record())
+    print(f"run ledger: {path} (id {ledger.ledger_id[:16]})",
+          file=sys.stderr)
+    return path
+
+
 def _scenario(name: str):
     if name not in INTERNET_SCENARIOS:
         known = ", ".join(sorted(INTERNET_SCENARIOS))
@@ -186,6 +230,26 @@ def cmd_flowsim(args: argparse.Namespace) -> int:
     result = run_sweep(config)
     elapsed = time.perf_counter() - start  # noqa: DET001 - CLI-level throughput report
     value = sweep_to_value(result)
+    if getattr(args, "ledger_dir", None):
+        # Ledger the sweep exactly as the campaign tier would hash it:
+        # the sweep-job spec is the content address, the value its
+        # digest input (wall-clock 'elapsed' never enters the ledger).
+        import dataclasses
+
+        from repro.campaign.spec import flowsim_sweep_job
+        from repro.campaign.store import code_fingerprint
+        from repro.obs.ledger import build_ledger, write_ledger
+
+        spec = flowsim_sweep_job(dataclasses.asdict(path), args.flows,
+                                 size_dist=args.dist, models=models,
+                                 seed=args.seed)
+        ledger = build_ledger(
+            "flowsim", "sweep", code_fingerprint(), args.seed,
+            [{"hash": spec.job_hash, "kind": spec.kind,
+              "label": spec.label}], [value])
+        ledger_path = write_ledger(ledger, args.ledger_dir)
+        print(f"run ledger: {ledger_path} (id {ledger.ledger_id[:16]})",
+              file=sys.stderr)
     if args.as_json:
         value["elapsed"] = elapsed
         print(json.dumps(value, sort_keys=True))
@@ -315,13 +379,16 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     store = None if args.no_cache else ResultStore(args.cache_dir)
     progress = (ProgressReporter(stream=None) if args.quiet
                 else stderr_reporter(min_interval=0.5))
+    telemetry, server = _ledger_telemetry(args, "campaign")
     try:
         rows = fig17_18_all_scenarios.run_matrix(
             servers=servers, links=links, sizes=sizes, schemes=schemes,
             iterations=args.iterations, base_seed=args.seed, jobs=args.jobs,
             store=store, progress=progress, timeout=args.timeout,
-            retries=args.retries)
+            retries=args.retries, telemetry=telemetry)
     except RuntimeError as exc:
+        if server is not None:
+            server.close()
         stats = progress.stats()
         if args.stats_json:
             with open(args.stats_json, "w", encoding="utf-8") as fh:
@@ -329,6 +396,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         raise SystemExit(f"campaign failed: {exc}\n"
                          f"(completed jobs stay cached; re-run with "
                          f"--resume to retry only the rest)")
+    from repro.campaign import code_fingerprint
+    _finish_ledger(args, telemetry, server, mode="matrix",
+                   fingerprint=code_fingerprint(), base_seed=args.seed)
     if all(s in rows[0].fct for s in ("cubic", "cubic+suss")):
         print(fig17_18_all_scenarios.format_fct_report(rows))
         print()
@@ -529,7 +599,10 @@ def cmd_profile(args: argparse.Namespace) -> int:
                 module.run()
     finally:
         obs_profile.clear_global()
-    print(profiler.format_report(top=args.top, sort=args.sort))
+    if args.collapsed:
+        print("\n".join(profiler.collapsed_stacks()))
+    else:
+        print(profiler.format_report(top=args.top, sort=args.sort))
     return 0
 
 
@@ -564,13 +637,30 @@ def cmd_validate(args: argparse.Namespace) -> int:
     except KeyError as exc:
         raise SystemExit(f"repro validate: {exc.args[0]}")
 
+    telemetry, server = _ledger_telemetry(args, "validate")
     try:
         report = run_validation(
             claim_ids, mode=mode, base_seed=args.seed,
             timeout=args.timeout, retries=args.retries,
-            **_campaign_kwargs(args))
+            telemetry=telemetry, **_campaign_kwargs(args))
     except RuntimeError as exc:
+        if server is not None:
+            server.close()
         raise SystemExit(f"repro validate: {exc}")
+
+    # Ledger of the as-run verdicts (pre drift/perf patching — those are
+    # environment-dependent overlays; the ledger records the
+    # deterministic statistical outcome).
+    verdict_counts: dict = {}
+    for verdict in report.verdicts:
+        verdict_counts[verdict.verdict] = (
+            verdict_counts.get(verdict.verdict, 0) + 1)
+    _finish_ledger(
+        args, telemetry, server, mode=mode,
+        fingerprint=report.code_fingerprint, base_seed=args.seed,
+        summary={"claims": {v.claim_id: v.verdict
+                            for v in report.verdicts},
+                 "verdict_counts": dict(sorted(verdict_counts.items()))})
 
     if args.against:
         try:
@@ -632,6 +722,143 @@ def cmd_validate(args: argparse.Namespace) -> int:
         return 1
     if args.fail_on == "inconclusive" and counts[INCONCLUSIVE]:
         return 1
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live single-screen dashboard over a run's ``status.json``.
+
+    Watches the file a ``--ledger-dir`` run keeps rewriting; ``--once``
+    prints a single frame (for CI logs) and ``--metrics-out`` addition-
+    ally writes the snapshot as OpenMetrics text for scrape smoke tests.
+    """
+    import time
+
+    from repro.obs.export import (
+        render_openmetrics,
+        render_top,
+        status_registry,
+    )
+
+    def read_status():
+        try:
+            with open(args.status, encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            # Mid-rewrite or not-yet-created: treat as "no frame yet".
+            return None
+
+    if args.once:
+        status = read_status()
+        if status is None:
+            print(f"repro top: no readable status at {args.status!r} "
+                  f"(runs write it under --ledger-dir)", file=sys.stderr)
+            return 1
+        print(render_top(status))
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(render_openmetrics(status_registry(status)))
+        return 0
+    try:
+        while True:
+            status = read_status()
+            frame = (render_top(status) if status is not None
+                     else f"repro top: waiting for {args.status} ...")
+            sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+            sys.stdout.flush()
+            if status is not None and status.get("finished"):
+                return 0
+            time.sleep(args.interval)  # noqa: DET001 — live dashboard refresh cadence, not simulation state
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Post-hoc narrative/JSON renderer for a run ledger."""
+    from repro.obs.ledger import canonical_json, load_ledger
+
+    try:
+        body, execution = load_ledger(args.ledger)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"repro report: {exc}")
+    if args.as_json:
+        print(json.dumps({"ledger": body, "execution": execution},
+                         sort_keys=True))
+        return 0
+
+    import hashlib
+    ledger_id = hashlib.sha256(
+        canonical_json(body).encode("utf-8")).hexdigest()
+    summary = body.get("summary") or {}
+    print(f"run ledger {ledger_id[:16]} — tool={body['tool']} "
+          f"mode={body['mode']} (schema {body['schema']})")
+    print(f"  code fingerprint: {body['code_fingerprint']}")
+    print(f"  base seed:        {body['base_seed']}")
+    kinds = ", ".join(f"{kind}: {count}" for kind, count
+                      in sorted((summary.get("by_kind") or {}).items()))
+    print(f"  jobs:             {len(body['jobs'])}"
+          + (f" ({kinds})" if kinds else ""))
+    print(f"  results digest:   {body['results_digest'][:16]}…")
+    claims = summary.get("claims")
+    if claims:
+        print("  claims:")
+        for claim_id, verdict in sorted(claims.items()):
+            print(f"    {claim_id:32s} {verdict}")
+
+    if execution is not None:
+        status = execution.get("status") or {}
+        res = status.get("resources") or {}
+        print("execution (.run.json sidecar):")
+        print(f"  elapsed {status.get('elapsed', 0.0):.1f}s — "
+              f"executed {status.get('executed', 0)}, "
+              f"cached {status.get('cached', 0)}, "
+              f"failed {status.get('failed', 0)}, "
+              f"retries {status.get('retries', 0)}")
+        throughput = status.get("throughput")
+        cache_ratio = status.get("cache_ratio")
+        line = "  throughput "
+        line += (f"{throughput:.2f} jobs/s" if throughput is not None
+                 else "--")
+        if cache_ratio is not None:
+            line += f", cache ratio {cache_ratio:.1%}"
+        print(line)
+        print(f"  cpu {res.get('cpu_user', 0.0):.1f}s user / "
+              f"{res.get('cpu_system', 0.0):.1f}s sys, "
+              f"peak rss {res.get('max_rss_kb', 0) / 1024:.0f} MB, "
+              f"{res.get('engine_events', 0)} engine events, "
+              f"{res.get('flows_modelled', 0)} flows modelled")
+        lanes = status.get("lanes") or {}
+        if lanes:
+            print("  workers:")
+            for lane, stats in sorted(lanes.items()):
+                name = "inline" if lane == "inline" else f"pid {lane}"
+                print(f"    {name:<10} {stats.get('jobs', 0):>5} jobs  "
+                      f"busy {stats.get('busy', 0.0):8.1f}s")
+
+    # Perf trajectory: the committed baseline is the recorded history of
+    # what the engine should achieve; pair it with what this run did.
+    try:
+        with open(args.perf_baseline, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    except (OSError, ValueError):
+        baseline = None
+    if baseline and baseline.get("metrics"):
+        print(f"perf trajectory (vs {args.perf_baseline}):")
+        for name, entry in sorted(baseline["metrics"].items()):
+            direction = entry.get("direction", "lower")
+            print(f"  {name:<28} recorded {entry['value']:<10g} "
+                  f"±{entry.get('tolerance', 0.0):.0%} ({direction} is "
+                  f"better)")
+        if execution is not None:
+            status = execution.get("status") or {}
+            res = status.get("resources") or {}
+            events = res.get("engine_events", 0)
+            cpu = (res.get("cpu_user", 0.0) or 0.0) + \
+                (res.get("cpu_system", 0.0) or 0.0)
+            if events and cpu:
+                print(f"  this run: {events / cpu:,.0f} engine events/s "
+                      f"of worker CPU")
     return 0
 
 
@@ -716,6 +943,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="suppress per-job progress on stderr")
     camp_p.add_argument("--stats-json",
                         help="write executed/cached/failed counts to a file")
+    camp_p.add_argument("--ledger-dir",
+                        help="write a content-addressed run ledger (plus a "
+                             "live status.json for `repro top`) here")
+    camp_p.add_argument("--metrics-port", type=int, default=None,
+                        metavar="PORT",
+                        help="serve live OpenMetrics on this port while the "
+                             "campaign runs (0 = ephemeral; needs "
+                             "--ledger-dir)")
     camp_p.set_defaults(func=cmd_campaign)
 
     flow_p = sub.add_parser(
@@ -758,6 +993,9 @@ def build_parser() -> argparse.ArgumentParser:
     flow_p.add_argument("--report", metavar="PATH",
                         help="also write the agreement report JSON here")
     flow_p.add_argument("--json", action="store_true", dest="as_json")
+    flow_p.add_argument("--ledger-dir",
+                        help="fleet sweeps: write a content-addressed run "
+                             "ledger here")
     flow_p.set_defaults(func=cmd_flowsim)
 
     trace_p = sub.add_parser(
@@ -827,6 +1065,9 @@ def build_parser() -> argparse.ArgumentParser:
     prof_p.add_argument("--sort", choices=["total", "count", "mean"],
                         default="total",
                         help="report column to sort by (descending)")
+    prof_p.add_argument("--collapsed", action="store_true",
+                        help="emit flamegraph folded-stack lines instead "
+                             "of the table")
     _add_campaign_flags(prof_p)
     prof_p.set_defaults(func=cmd_profile)
 
@@ -879,8 +1120,43 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: benchmarks/baseline.json)")
     val_p.add_argument("--perf-scale", type=float, default=1.0,
                        help="multiply perf tolerances (noisy CI runners)")
+    val_p.add_argument("--ledger-dir",
+                       help="write a content-addressed run ledger (plus a "
+                            "live status.json for `repro top`) here")
+    val_p.add_argument("--metrics-port", type=int, default=None,
+                       metavar="PORT",
+                       help="serve live OpenMetrics on this port while the "
+                            "validation runs (0 = ephemeral; needs "
+                            "--ledger-dir)")
     _add_campaign_flags(val_p)
     val_p.set_defaults(func=cmd_validate)
+
+    top_p = sub.add_parser(
+        "top",
+        help="live dashboard over a --ledger-dir run's status.json")
+    top_p.add_argument("status", nargs="?",
+                       default=".repro-ledger/status.json",
+                       help="status.json path "
+                            "(default: .repro-ledger/status.json)")
+    top_p.add_argument("--once", action="store_true",
+                       help="print one frame and exit (for CI logs)")
+    top_p.add_argument("--interval", type=float, default=1.0,
+                       help="refresh interval in seconds")
+    top_p.add_argument("--metrics-out", metavar="PATH",
+                       help="with --once: also write the snapshot as "
+                            "OpenMetrics text to PATH")
+    top_p.set_defaults(func=cmd_top)
+
+    rep_p = sub.add_parser(
+        "report",
+        help="render a run ledger (and its .run.json sidecar) post hoc")
+    rep_p.add_argument("ledger", help="path to a ledger-<id>.json file")
+    rep_p.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit ledger body + execution record as JSON")
+    rep_p.add_argument("--perf-baseline", default="benchmarks/baseline.json",
+                       help="recorded perf numbers for the trajectory "
+                            "section (default: benchmarks/baseline.json)")
+    rep_p.set_defaults(func=cmd_report)
 
     lint_p = sub.add_parser(
         "lint",

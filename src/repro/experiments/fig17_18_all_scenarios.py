@@ -18,6 +18,7 @@ from repro.campaign.spec import single_flow_job
 from repro.campaign.store import ResultStore
 from repro.experiments.report import pct, render_table
 from repro.metrics.summary import Summary, improvement, summarize
+from repro.obs.runtime import RunTelemetry
 from repro.workloads.flows import MB
 from repro.workloads.scenarios import (
     INTERNET_SCENARIOS,
@@ -61,7 +62,9 @@ def run_matrix(servers: Sequence[str] = tuple(SERVER_NAMES),
                jobs: int = 1, store: Optional[ResultStore] = None,
                progress: Optional[ProgressReporter] = None,
                timeout: Optional[float] = None,
-               retries: int = 2) -> List[ScenarioRow]:
+               retries: int = 2,
+               telemetry: Optional[RunTelemetry] = None
+               ) -> List[ScenarioRow]:
     """Run the (sub-)matrix; default covers all 28 scenarios.
 
     The full matrix is flattened into one campaign (scenario × size ×
@@ -78,7 +81,7 @@ def run_matrix(servers: Sequence[str] = tuple(SERVER_NAMES),
              for i in range(iterations)]
     values = collect_values(run_campaign(
         specs, jobs=jobs, store=store, timeout=timeout, retries=retries,
-        progress=progress))
+        progress=progress, telemetry=telemetry))
 
     rows: List[ScenarioRow] = []
     cursor = 0

@@ -33,6 +33,7 @@ from repro.core.units import Bytes, PerSecond, Seconds, Segments
 from repro.flowsim.model import FlowEstimate, FlowModel, PathParams, create_model
 from repro.metrics.summary import Summary, summarize
 from repro.obs.records import FLOWSIM_FLOW
+from repro.obs.runtime import add_flows_modelled
 from repro.obs.tracer import Observability
 from repro.sim.rng import derive_seed
 from repro.workloads.distributions import sample_flow_sizes
@@ -284,4 +285,7 @@ def run_sweep(config: SweepConfig,
         model = create_model(name)
         fleets[name] = estimate_fleet(model, sizes, config.path,
                                       arrivals=arrivals, obs=obs)
+    # One process-counter add per sweep (not per flow): run telemetry
+    # reports flows/sec without touching the memoised estimate path.
+    add_flows_modelled(config.flows * len(config.models))
     return SweepResult(config=config, fleets=fleets)

@@ -17,9 +17,19 @@ from repro.obs.golden import (
     save_golden,
     trace_digest,
 )
+from repro.obs.export import MetricsServer, render_openmetrics, render_top
+from repro.obs.ledger import RunLedger, build_ledger, load_ledger, write_ledger
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricRegistry
 from repro.obs.profile import EventProfiler
 from repro.obs.records import ALL_KINDS, TraceRecord, parse_kinds
+from repro.obs.runtime import (
+    JobSpan,
+    RunTelemetry,
+    add_engine_events,
+    add_flows_modelled,
+    resource_delta,
+    sample_resources,
+)
 from repro.obs.sinks import (
     DigestSink,
     JsonlSink,
@@ -38,23 +48,36 @@ __all__ = [
     "EventProfiler",
     "Gauge",
     "Histogram",
+    "JobSpan",
     "JsonlSink",
     "MemorySink",
     "MetricRegistry",
+    "MetricsServer",
     "Observability",
     "RingBufferSink",
+    "RunLedger",
+    "RunTelemetry",
     "TeeSink",
     "TraceRecord",
     "TraceSink",
     "Tracer",
+    "add_engine_events",
+    "add_flows_modelled",
+    "build_ledger",
     "digest_lines",
     "first_divergence",
     "from_env",
     "load_digests",
+    "load_ledger",
     "load_stream",
     "parse_kinds",
     "record_lines",
+    "render_openmetrics",
+    "render_top",
+    "resource_delta",
+    "sample_resources",
     "save_golden",
     "trace_digest",
     "tracing",
+    "write_ledger",
 ]

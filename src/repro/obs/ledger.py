@@ -1,0 +1,211 @@
+"""Content-addressed run ledgers: the durable record of a run.
+
+A *ledger* is a canonical-JSON manifest written next to the result
+store after a campaign / validate / flowsim run.  Its body contains
+only deterministic facts — tool, mode, code fingerprint, base seed, the
+spec-ordered job list (hash/kind/label), a digest of the spec-ordered
+result values, and a deterministic summary (per-kind counts, validate
+claim verdicts) — so running the same specs with the same seeds yields
+a byte-identical file whether the run was cold, warm (all cache hits),
+or parallel.  The ledger id is the SHA-256 of that canonical body,
+making every figure and verdict auditable after the fact: the file
+names the exact inputs, the code that ran them, and a checksum of what
+they produced.
+
+Wall-clock execution evidence (spans, worker lanes, resource totals
+from :mod:`repro.obs.runtime`) is deliberately *not* part of the body:
+it lands in a ``<ledger>.run.json`` sidecar keyed by the same id, so
+audit data survives without breaking content-addressing.
+
+Stdlib-only, like the rest of ``repro.obs``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: version of the ledger body schema.  Bump on any key change; the
+#: committed fixture ``tests/golden/ledger_schema.json`` gates drift.
+LEDGER_SCHEMA_VERSION = 1
+
+#: how many id hex digits name the file (collision-safe at run scale).
+ID_PREFIX_LEN = 16
+
+
+def canonical_json(value: Any) -> str:
+    """The repo-wide canonical encoding: sorted keys, no whitespace."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+@dataclass(frozen=True)
+class RunLedger:
+    """Deterministic manifest of one run (see module docstring)."""
+
+    tool: str                       # "campaign" | "validate" | "flowsim"
+    mode: str                       # tool-specific mode string
+    code_fingerprint: str
+    base_seed: int
+    jobs: Tuple[Dict[str, str], ...]   # spec order: {hash, kind, label}
+    results_digest: str             # sha256 of canonical spec-ordered values
+    summary: Dict[str, Any] = field(default_factory=dict)
+    schema: int = LEDGER_SCHEMA_VERSION
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "tool": self.tool,
+            "mode": self.mode,
+            "code_fingerprint": self.code_fingerprint,
+            "base_seed": self.base_seed,
+            "jobs": [dict(job) for job in self.jobs],
+            "results_digest": self.results_digest,
+            "summary": self.summary,
+        }
+
+    @property
+    def ledger_id(self) -> str:
+        """SHA-256 of the canonical body — the content address."""
+        return hashlib.sha256(
+            canonical_json(self.to_dict()).encode("utf-8")).hexdigest()
+
+
+def build_ledger(tool: str, mode: str, code_fingerprint: str,
+                 base_seed: int, jobs: Sequence[Mapping[str, str]],
+                 values: Sequence[Any],
+                 summary: Optional[Mapping[str, Any]] = None) -> RunLedger:
+    """Assemble a :class:`RunLedger` from spec-ordered jobs + values.
+
+    ``jobs`` and ``values`` must be in spec order (the scheduler returns
+    results that way) so the digest is independent of completion order.
+    The default summary records job count and per-kind counts; callers
+    merge tool-specific deterministic facts (validate verdicts) on top.
+    """
+    if len(jobs) != len(values):
+        raise ValueError(
+            f"jobs/values length mismatch: {len(jobs)} vs {len(values)}")
+    by_kind: Dict[str, int] = {}
+    normalised = []
+    for job in jobs:
+        entry = {"hash": str(job["hash"]), "kind": str(job["kind"]),
+                 "label": str(job.get("label") or job["kind"])}
+        by_kind[entry["kind"]] = by_kind.get(entry["kind"], 0) + 1
+        normalised.append(entry)
+    merged: Dict[str, Any] = {"jobs": len(normalised),
+                              "by_kind": dict(sorted(by_kind.items()))}
+    if summary:
+        merged.update(summary)
+    digest = hashlib.sha256(
+        canonical_json(list(values)).encode("utf-8")).hexdigest()
+    return RunLedger(tool=tool, mode=mode,
+                     code_fingerprint=code_fingerprint,
+                     base_seed=base_seed, jobs=tuple(normalised),
+                     results_digest=digest, summary=merged)
+
+
+def ledger_filename(ledger: RunLedger) -> str:
+    return f"ledger-{ledger.ledger_id[:ID_PREFIX_LEN]}.json"
+
+
+def sidecar_filename(ledger_path: str) -> str:
+    """The wall-clock sidecar path for a ledger file path."""
+    base, ext = os.path.splitext(ledger_path)
+    return f"{base}.run{ext}"
+
+
+def write_ledger(ledger: RunLedger, directory: str,
+                 execution: Optional[Mapping[str, Any]] = None) -> str:
+    """Write the canonical ledger (and optional sidecar); return its path.
+
+    The body is canonical JSON + newline, written atomically, so two
+    runs of the same inputs produce byte-identical files.  ``execution``
+    (a :meth:`RunTelemetry.execution_record` payload) lands in the
+    ``.run.json`` sidecar — pretty-printed, wall-clock, not addressed.
+    """
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, ledger_filename(ledger))
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(canonical_json(ledger.to_dict()) + "\n")
+    os.replace(tmp, path)
+    if execution is not None:
+        sidecar = sidecar_filename(path)
+        tmp = f"{sidecar}.tmp.{os.getpid()}"
+        payload = {"ledger_id": ledger.ledger_id, **execution}
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        os.replace(tmp, sidecar)
+    return path
+
+
+def load_ledger(path: str) -> Tuple[Dict[str, Any],
+                                    Optional[Dict[str, Any]]]:
+    """Load a ledger body (verifying its address) plus its sidecar.
+
+    Raises ValueError when the file's content no longer hashes to the
+    id in its name — a tampered or hand-edited ledger fails loudly.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        body = json.load(handle)
+    if body.get("schema") != LEDGER_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: ledger schema {body.get('schema')!r}, "
+            f"expected {LEDGER_SCHEMA_VERSION}")
+    digest = hashlib.sha256(
+        canonical_json(body).encode("utf-8")).hexdigest()
+    name = os.path.basename(path)
+    if name.startswith("ledger-"):
+        claimed = name[len("ledger-"):].split(".")[0]
+        if claimed and not digest.startswith(claimed):
+            raise ValueError(
+                f"{path}: content hashes to {digest[:ID_PREFIX_LEN]}, "
+                f"file name claims {claimed} — ledger was modified")
+    execution: Optional[Dict[str, Any]] = None
+    sidecar = sidecar_filename(path)
+    if os.path.exists(sidecar):
+        with open(sidecar, "r", encoding="utf-8") as handle:
+            execution = json.load(handle)
+    return body, execution
+
+
+def schema_paths(value: Any, prefix: str = "") -> List[str]:
+    """Flatten a ledger body into sorted ``path:type`` strings.
+
+    Dict keys become dotted paths, list elements collapse to ``[]`` (the
+    union of element schemas), and leaves record their JSON type name.
+    The committed fixture of these paths is the drift gate: adding,
+    removing, or retyping a ledger field fails the gate until the
+    fixture (and schema version) are updated deliberately.
+    """
+    paths: set = set()
+    if isinstance(value, Mapping):
+        if not value:
+            paths.add(f"{prefix}:object")
+        for key, child in value.items():
+            paths.update(schema_paths(child, f"{prefix}.{key}" if prefix
+                                      else str(key)))
+    elif isinstance(value, (list, tuple)):
+        if not value:
+            paths.add(f"{prefix}[]:empty")
+        for child in value:
+            paths.update(schema_paths(child, f"{prefix}[]"))
+    else:
+        if isinstance(value, bool):
+            type_name = "bool"
+        elif isinstance(value, int):
+            type_name = "int"
+        elif isinstance(value, float):
+            type_name = "float"
+        elif isinstance(value, str):
+            type_name = "str"
+        elif value is None:
+            type_name = "null"
+        else:  # pragma: no cover - canonical JSON admits nothing else
+            type_name = type(value).__name__
+        paths.add(f"{prefix}:{type_name}")
+    return sorted(paths)

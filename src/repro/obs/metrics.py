@@ -172,6 +172,14 @@ class MetricRegistry:
     def names(self) -> List[str]:
         return sorted(self._types)
 
+    def type_of(self, name: str) -> Optional[str]:
+        """Instrument family bound to ``name``: ``"counter"``,
+        ``"gauge"``, ``"histogram"``, or None when unregistered.
+        Exposition formats (OpenMetrics) need the family to pick the
+        sample suffix, so this is public API rather than ``_types``."""
+        cls = self._types.get(name)
+        return None if cls is None else cls.__name__.lower()
+
     def labels_of(self, name: str) -> List[Dict[str, Any]]:
         """Every label set registered under ``name``."""
         return [dict(key) for (n, key) in sorted(self._instruments)

@@ -114,9 +114,45 @@ class EventProfiler:
                      f"{self.total_seconds():.4f}s in callbacks")
         return "\n".join(lines)
 
+    def collapsed_stacks(self) -> List[str]:
+        """Folded-stack lines for flamegraph tooling.
+
+        One line per key, ``frame;frame <count>``: qualname segments
+        become stack frames (``Link.transmit`` → ``Link;transmit``) and
+        the count is total wall time in integer microseconds (clamped
+        to ≥1 so a key that fired is never rendered as empty).  Sorted
+        by key, so equal profiles fold to identical output —
+        :func:`parse_collapsed` is the exact inverse, which the
+        round-trip test pins.
+        """
+        from repro.core.units import MICROS_PER_SECOND  # see format_report
+
+        lines = []
+        for key in sorted(self.stats):
+            total = self.stats[key][1]
+            micros = max(int(round(total * MICROS_PER_SECOND)), 1)
+            lines.append(f"{key.replace('.', ';')} {micros}")
+        return lines
+
     def reset(self) -> None:
         self.stats.clear()
         self.events = 0
+
+
+def parse_collapsed(lines: List[str]) -> Dict[str, int]:
+    """Inverse of :meth:`EventProfiler.collapsed_stacks`.
+
+    Maps each folded stack back to its dotted profiler key with the
+    microsecond count — the round-trip contract flamegraph consumers
+    rely on (and the fold-format test asserts).
+    """
+    out: Dict[str, int] = {}
+    for line in lines:
+        stack, _, count = line.rpartition(" ")
+        if not stack:
+            raise ValueError(f"malformed folded line {line!r}")
+        out[stack.replace(";", ".")] = int(count)
+    return out
 
 
 # ----------------------------------------------------------------------

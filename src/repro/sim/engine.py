@@ -52,6 +52,7 @@ from typing import Any, Callable, List, Optional, Tuple, Union
 
 from repro.analysis.sanitize import SimSanitizer, from_env
 from repro.core.units import Seconds
+from repro.obs.runtime import add_engine_events
 from repro.obs.tracer import Observability
 from repro.obs.tracer import from_env as obs_from_env
 
@@ -376,6 +377,9 @@ class Simulator:
             self._running = False
             self.current_eid = 0
             self._sched_origin = 0
+            # One process-counter add per run(), not per event: run-level
+            # telemetry sees engine throughput at zero hot-loop cost.
+            add_engine_events(fired)
         if until is not None and self._now < until:
             self._now = until
 

@@ -63,6 +63,7 @@ from typing import Any, Callable, List, Optional
 
 from repro.analysis.sanitize import SimSanitizer
 from repro.core.units import Seconds
+from repro.obs.runtime import add_engine_events
 from repro.obs.tracer import Observability
 
 from repro.sim.engine import (
@@ -94,6 +95,24 @@ def _raise_bad_when(when: Any, now: float) -> None:
     raise SimulationError(
         f"cannot schedule into the past (when={when}, now={now})"
     )
+
+
+def _counting_run(run: Callable[..., None],
+                  get_processed: Callable[[], int]) -> Callable[..., None]:
+    """Wrap a specialised ``run`` closure with run-telemetry accounting.
+
+    The delta of the derived processed counter is added to the process
+    counters once per ``run()`` call — the closure hot loop itself stays
+    untouched, mirroring the classic engine's end-of-run add.
+    """
+    def counted_run(until: Optional[Seconds] = None,
+                    max_events: Optional[int] = None) -> None:
+        before = get_processed()
+        try:
+            run(until, max_events)
+        finally:
+            add_engine_events(get_processed() - before)
+    return counted_run
 
 
 class FastSimulator(Simulator):
@@ -443,7 +462,7 @@ class FastSimulator(Simulator):
         self.schedule_at = schedule_at
         self.cancel_event = cancel_event
         self.event_pending = event_pending
-        self.run = run
+        self.run = _counting_run(run, _get_processed)
         self.step = step
         self.clear = clear
         self._snapshot = _snapshot

@@ -49,6 +49,7 @@ from repro.campaign import (
     code_fingerprint,
     run_campaign,
 )
+from repro.obs.runtime import RunTelemetry
 from repro.sim.rng import derive_seed
 from repro.validate.claims import Claim, get_claim, iter_claims
 from repro.validate.report import (
@@ -174,7 +175,9 @@ def run_validation(claim_ids: Optional[Sequence[Union[str, Claim]]] = None, *,
                    timeout: Optional[float] = None, retries: int = 1,
                    progress: Optional[ProgressReporter] = None,
                    n_resamples: int = 1000, confidence: float = 0.95,
-                   fingerprint: Optional[str] = None) -> ValidationReport:
+                   fingerprint: Optional[str] = None,
+                   telemetry: Optional[RunTelemetry] = None
+                   ) -> ValidationReport:
     """Validate ``claim_ids`` (default: every registered claim).
 
     Entries may be registered claim ids or :class:`Claim` instances
@@ -190,7 +193,8 @@ def run_validation(claim_ids: Optional[Sequence[Union[str, Claim]]] = None, *,
                   for c in claim_ids]
     plan, specs = plan_jobs(claims, mode, base_seed)
     results = run_campaign(specs, jobs=jobs, store=store, timeout=timeout,
-                           retries=retries, progress=progress)
+                           retries=retries, progress=progress,
+                           telemetry=telemetry)
     values: Dict[str, dict] = {}
     for result in results:
         if not result.ok:

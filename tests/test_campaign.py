@@ -370,3 +370,129 @@ class TestFlowsimJobs:
             flowsim_sweep_job(self.PATH, 100, shard=2, shards=2)
         with pytest.raises(ValueError):
             flowsim_sweep_job(self.PATH, 0)
+
+
+class TestCacheHitRecords:
+    """Cache hits are first-class telemetry: job records and trace
+    records carry ``cached=True`` plus the job's content hash, so a
+    warm run is as auditable as a cold one."""
+
+    def test_cached_records_carry_hash_and_flag(self, tmp_path):
+        from repro.obs.sinks import MemorySink
+        from repro.obs.tracer import tracing
+        from repro.obs import records as obsrec
+
+        store = ResultStore(tmp_path)
+        spec = spec_for(0)
+        run_campaign([spec], store=store)
+        sink = MemorySink()
+        reporter = ProgressReporter(obs=tracing(sink))
+        run_campaign([spec], store=store, progress=reporter)
+        (record,) = reporter.stats()["job_records"]
+        assert record["cached"] is True
+        assert record["status"] == "ok"
+        assert record["hash"] == spec.job_hash
+        (trace,) = sink.by_kind(obsrec.CAMPAIGN_JOB)
+        assert trace.fields["cached"] is True
+        assert trace.fields["hash"] == spec.job_hash
+
+    def test_executed_records_also_carry_hash(self):
+        reporter = ProgressReporter()
+        spec = spec_for(1)
+        run_campaign([spec], progress=reporter)
+        (record,) = reporter.stats()["job_records"]
+        assert record["cached"] is False
+        assert record["hash"] == spec.job_hash
+
+    def test_job_records_jobs1_equals_jobsN(self, tmp_path):
+        """The digest view of a run (hash, status, cached) is identical
+        at any parallelism; only wall-clock fields may differ."""
+        specs = [spec_for(seed) for seed in range(4)]
+
+        def digest(jobs):
+            reporter = ProgressReporter()
+            run_campaign(specs, jobs=jobs, progress=reporter)
+            return sorted((r["hash"], r["status"], r["cached"])
+                          for r in reporter.stats()["job_records"])
+
+        assert digest(1) == digest(4)
+
+    def test_warm_run_digest_matches_cold(self, tmp_path):
+        store = ResultStore(tmp_path)
+        specs = [spec_for(seed) for seed in range(3)]
+
+        def digest(results):
+            return sorted((r.spec.job_hash, r.status) for r in results)
+
+        cold = run_campaign(specs, store=store)
+        warm = run_campaign(specs, store=store)
+        assert digest(cold) == digest(warm)
+        assert campaign_stats(warm)["cached"] == 3
+
+
+class TestEtaUnderRetries:
+    def test_retry_time_raises_mean_cost(self):
+        reporter = ProgressReporter()
+        reporter.start(total=4, jobs=1)
+        reporter.job_retry("flaky", runtime=3.0, error="boom")
+        reporter.job_done("flaky", "ok", runtime=1.0, attempts=2)
+        # cost = (1.0 exec + 3.0 retry) / 1 job; 3 jobs remain
+        assert reporter.eta == pytest.approx(4.0 * 3)
+        assert reporter.stats()["retries"] == 1
+
+    def test_eta_never_negative_with_stragglers(self):
+        reporter = ProgressReporter()
+        reporter.start(total=1, jobs=1)
+        reporter.job_done("a", "ok", runtime=1.0)
+        reporter.job_done("b", "ok", runtime=1.0)  # late extra job
+        assert reporter.eta == 0.0
+
+    def test_retry_is_not_a_done_job(self):
+        reporter = ProgressReporter(stream=io.StringIO())
+        reporter.start(total=2, jobs=1)
+        reporter.job_retry("flaky", runtime=0.5)
+        assert reporter.done == 0
+        out = reporter.stream.getvalue()
+        assert "retry" in out and "flaky" in out
+
+
+class TestSchedulerTelemetry:
+    def _telemetry(self):
+        from repro.obs.runtime import RunTelemetry
+        return RunTelemetry()
+
+    def test_spans_for_cached_and_executed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        spec = spec_for(0)
+        t = self._telemetry()
+        run_campaign([spec], store=store, telemetry=t)
+        (span,) = t.spans
+        assert (span.status, span.cached) == ("ok", False)
+        assert span.worker is not None          # worker pid travels back
+        assert span.resources["engine_events"] > 0
+        warm = self._telemetry()
+        results = run_campaign([spec], store=store, telemetry=warm)
+        (span,) = warm.spans
+        assert (span.status, span.cached) == ("ok", True)
+        warm.complete(results)
+        assert warm.jobs == [{"hash": spec.job_hash, "kind": spec.kind,
+                              "label": spec.label}]
+
+    def test_retry_spans_chain_lineage(self):
+        spec = spec_for(0, knobs={"_fail_attempts": 1})
+        t = self._telemetry()
+        run_campaign([spec], retries=1, telemetry=t)
+        retry, ok = t.spans
+        assert retry.status == "retry" and "injected" in retry.error
+        assert ok.status == "ok" and ok.attempt == 2
+        assert ok.retry_of == retry.span_id
+
+    def test_parallel_spans_measure_queue_wait(self):
+        specs = [spec_for(seed) for seed in range(4)]
+        t = self._telemetry()
+        run_campaign(specs, jobs=2, telemetry=t)
+        assert len(t.spans) == 4
+        assert all(s.queue_wait >= 0.0 for s in t.spans)
+        assert {s.job_hash for s in t.spans} == \
+            {s.job_hash for s in specs}
+        assert t.snapshot()["workers"] == 2

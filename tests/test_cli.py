@@ -460,3 +460,137 @@ class TestFlowsim:
                    "--tolerance", "0.00001"])
         assert rc == 1
         assert json.loads(capsys.readouterr().out)["passed"] is False
+
+
+class TestLedgerAndTop:
+    ARGS = ["campaign", "--servers", "google-tokyo", "--links", "wired",
+            "--sizes", "400000", "--ccs", "cubic,cubic+suss",
+            "--iterations", "1", "--quiet", "--no-cache"]
+
+    def _run_with_ledger(self, tmp_path, name, extra=()):
+        ledger_dir = tmp_path / name
+        rc = main(self.ARGS + ["--ledger-dir", str(ledger_dir)]
+                  + list(extra))
+        assert rc == 0
+        (ledger_path,) = [p for p in ledger_dir.glob("ledger-*.json")
+                          if not p.name.endswith(".run.json")]
+        return ledger_dir, ledger_path
+
+    def test_campaign_writes_verifiable_ledger(self, tmp_path, capsys):
+        ledger_dir, ledger_path = self._run_with_ledger(tmp_path, "a")
+        err = capsys.readouterr().err
+        assert "run ledger:" in err
+        from repro.obs.ledger import load_ledger
+        body, execution = load_ledger(str(ledger_path))
+        assert body["tool"] == "campaign" and body["mode"] == "matrix"
+        assert body["code_fingerprint"] == "test-fingerprint"
+        assert len(body["jobs"]) == 2
+        assert execution["status"]["finished"] is True
+        assert len(execution["spans"]) == 2
+        assert (ledger_dir / "status.json").exists()
+
+    def test_ledger_bytes_stable_across_runs(self, tmp_path, capsys):
+        _, first = self._run_with_ledger(tmp_path, "a")
+        _, second = self._run_with_ledger(tmp_path, "b", ["--jobs", "2"])
+        capsys.readouterr()
+        assert first.name == second.name
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_top_once_renders_status(self, tmp_path, capsys):
+        ledger_dir, _ = self._run_with_ledger(tmp_path, "a")
+        capsys.readouterr()
+        metrics_out = tmp_path / "metrics.txt"
+        rc = main(["top", "--once", str(ledger_dir / "status.json"),
+                   "--metrics-out", str(metrics_out)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repro top — campaign [complete]" in out
+        assert "2/2 (100%)" in out
+        metrics = metrics_out.read_text()
+        assert metrics.endswith("# EOF\n")
+        assert 'repro_run_jobs_total{status="executed"} 2' in metrics
+
+    def test_top_once_missing_status_is_an_error(self, tmp_path, capsys):
+        rc = main(["top", "--once", str(tmp_path / "absent.json")])
+        assert rc == 1
+        assert "no readable status" in capsys.readouterr().err
+
+    def test_report_renders_ledger(self, tmp_path, capsys):
+        _, ledger_path = self._run_with_ledger(tmp_path, "a")
+        capsys.readouterr()
+        rc = main(["report", str(ledger_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tool=campaign mode=matrix" in out
+        assert "test-fingerprint" in out
+        assert "executed 2, cached 0" in out
+        assert "perf trajectory" in out       # benchmarks/baseline.json
+
+    def test_report_json_mode(self, tmp_path, capsys):
+        _, ledger_path = self._run_with_ledger(tmp_path, "a")
+        capsys.readouterr()
+        rc = main(["report", str(ledger_path), "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ledger"]["tool"] == "campaign"
+        assert payload["execution"]["status"]["total"] == 2
+
+    def test_report_rejects_tampered_ledger(self, tmp_path, capsys):
+        _, ledger_path = self._run_with_ledger(tmp_path, "a")
+        capsys.readouterr()
+        body = json.loads(ledger_path.read_text())
+        body["base_seed"] = 42
+        ledger_path.write_text(json.dumps(body, sort_keys=True,
+                                          separators=(",", ":")) + "\n")
+        with pytest.raises(SystemExit, match="modified"):
+            main(["report", str(ledger_path)])
+
+    def test_validate_ledger_records_verdicts(self, tmp_path, capsys):
+        ledger_dir = tmp_path / "led"
+        cache = str(tmp_path / "cache")
+        rc = main(["validate", "--claims", "fig11-fct-wired-2mb",
+                   "--quiet", "--cache-dir", cache,
+                   "--ledger-dir", str(ledger_dir)])
+        assert rc == 0
+        capsys.readouterr()
+        (ledger_path,) = [p for p in ledger_dir.glob("ledger-*.json")
+                          if not p.name.endswith(".run.json")]
+        from repro.obs.ledger import load_ledger
+        body, _ = load_ledger(str(ledger_path))
+        assert body["tool"] == "validate"
+        assert body["summary"]["claims"] == {
+            "fig11-fct-wired-2mb": "PASS"}
+        assert body["summary"]["verdict_counts"] == {"PASS": 1}
+
+    def test_flowsim_sweep_ledger(self, tmp_path, capsys):
+        ledger_dir = tmp_path / "led"
+        rc = main(["flowsim", "--flows", "1000",
+                   "--ledger-dir", str(ledger_dir)])
+        assert rc == 0
+        capsys.readouterr()
+        (ledger_path,) = [p for p in ledger_dir.glob("ledger-*.json")
+                          if not p.name.endswith(".run.json")]
+        from repro.obs.ledger import load_ledger
+        body, execution = load_ledger(str(ledger_path))
+        assert body["tool"] == "flowsim" and body["mode"] == "sweep"
+        assert body["jobs"][0]["kind"] == "flowsim_sweep"
+        assert execution is None              # no campaign ran
+
+
+class TestProfileCollapsed:
+    def test_collapsed_output_round_trips(self, capsys):
+        rc = main(["profile", "single", "--scenario",
+                   "google-tokyo/wired", "--size", "400000",
+                   "--collapsed"])
+        assert rc == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        from repro.obs.profile import parse_collapsed
+        parsed = parse_collapsed(lines)
+        assert any(key.startswith("Host.") for key in parsed)
+        assert all(count >= 1 for count in parsed.values())
+
+    def test_table_still_default(self, capsys):
+        rc = main(["profile", "single", "--scenario",
+                   "google-tokyo/wired", "--size", "400000"])
+        assert rc == 0
+        assert "event type" in capsys.readouterr().out

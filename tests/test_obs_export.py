@@ -1,0 +1,146 @@
+"""Tests for repro.obs.export — OpenMetrics exposition and repro top.
+
+Checks the OpenMetrics text-format contract (``# TYPE`` lines, counter
+``_total`` suffix, cumulative histogram buckets, terminating ``# EOF``),
+the status.json → registry reconstruction, the dashboard renderer, and
+the stdlib scrape endpoint.
+"""
+
+import urllib.request
+
+import pytest
+
+from repro.obs.export import (
+    OPENMETRICS_CONTENT_TYPE,
+    MetricsServer,
+    metric_name,
+    render_openmetrics,
+    render_top,
+    status_registry,
+)
+from repro.obs.metrics import MetricRegistry
+from repro.obs.runtime import RunTelemetry
+
+
+def _status(**overrides):
+    t = RunTelemetry(tool="campaign")
+    t.start(total=4, workers=2)
+    t.record_span("a" * 64, "single_flow", "one", status="ok", attempt=1,
+                  worker=11, queue_wait=0.1, exec_time=1.0,
+                  resources={"cpu_user": 0.5, "cpu_system": 0.1,
+                             "max_rss_kb": 2048, "engine_events": 1000,
+                             "flows_modelled": 0})
+    t.record_span("b" * 64, "single_flow", "two", status="ok", cached=True)
+    status = t.snapshot()
+    status.update(overrides)
+    return status
+
+
+class TestRenderOpenMetrics:
+    def test_name_sanitisation(self):
+        assert metric_name("run.queue_wait") == "repro_run_queue_wait"
+        assert metric_name("weird name!") == "repro_weird_name_"
+
+    def test_counter_gauge_histogram_families(self):
+        reg = MetricRegistry()
+        reg.counter("run.jobs", status="ok").add(3)
+        reg.gauge("run.total").set(5)
+        reg.histogram("run.exec_seconds",
+                      buckets=(0.1, 1.0)).observe(0.05)
+        reg.histogram("run.exec_seconds",
+                      buckets=(0.1, 1.0)).observe(0.5)
+        text = render_openmetrics(reg)
+        lines = text.splitlines()
+        assert '# TYPE repro_run_jobs counter' in lines
+        assert 'repro_run_jobs_total{status="ok"} 3' in lines
+        assert 'repro_run_total 5' in lines
+        # cumulative buckets: 1 under 0.1, 2 under 1.0 and +Inf
+        assert 'repro_run_exec_seconds_bucket{le="0.1"} 1' in lines
+        assert 'repro_run_exec_seconds_bucket{le="1"} 2' in lines
+        assert 'repro_run_exec_seconds_bucket{le="+Inf"} 2' in lines
+        assert 'repro_run_exec_seconds_count 2' in lines
+        assert text.endswith("# EOF\n")
+
+    def test_unset_gauges_are_skipped(self):
+        reg = MetricRegistry()
+        reg.gauge("run.eta_seconds")  # never .set()
+        text = render_openmetrics(reg)
+        samples = [l for l in text.splitlines()
+                   if l.startswith("repro_run_eta_seconds")]
+        assert samples == []
+        assert "# TYPE repro_run_eta_seconds gauge" in text
+
+    def test_label_escaping(self):
+        reg = MetricRegistry()
+        reg.counter("run.jobs", status='sa"id\nso').add()
+        text = render_openmetrics(reg)
+        assert r'status="sa\"id\nso"' in text
+
+    def test_non_finite_values_rejected(self):
+        reg = MetricRegistry()
+        reg.gauge("run.x").set(float("inf"))
+        with pytest.raises(ValueError):
+            render_openmetrics(reg)
+
+
+class TestStatusRegistry:
+    def test_reconstruction_round_trip(self):
+        status = _status()
+        text = render_openmetrics(status_registry(status))
+        assert 'repro_run_jobs_total{status="executed"} 1' in text
+        assert 'repro_run_jobs_total{status="cached"} 1' in text
+        assert "repro_run_engine_events_total 1000" in text
+        assert "repro_run_max_rss_kb 2048" in text
+        assert 'repro_run_lane_jobs{worker="11"} 1' in text
+        assert text.endswith("# EOF\n")
+
+    def test_none_gauges_absent(self):
+        status = _status(eta=None, throughput=None)
+        text = render_openmetrics(status_registry(status))
+        assert "repro_run_eta_seconds " not in text
+
+
+class TestRenderTop:
+    def test_frame_contents(self):
+        frame = render_top(_status())
+        assert "repro top — campaign [running]" in frame
+        assert "2/4 (50%)" in frame
+        assert "exec 1" in frame and "cache 1" in frame
+        assert "engine 1.0kev" in frame
+        assert "single_flow:2" in frame
+        assert "pid 11" in frame and "inline" in frame
+
+    def test_finished_state_and_width(self):
+        frame = render_top(_status(finished=True), width=60)
+        assert "[complete]" in frame
+        assert all(len(line) <= 60 for line in frame.splitlines())
+
+    def test_empty_status_renders(self):
+        frame = render_top({"tool": "campaign", "total": 0})
+        assert "0/0" in frame
+
+
+class TestMetricsServer:
+    def test_scrape_and_404(self):
+        reg = MetricRegistry()
+        reg.counter("run.jobs", status="ok").add(2)
+        server = MetricsServer(lambda: render_openmetrics(reg))
+        try:
+            port = server.start()
+            with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/metrics") as resp:
+                assert resp.headers["Content-Type"] == \
+                    OPENMETRICS_CONTENT_TYPE
+                body = resp.read().decode()
+            assert 'repro_run_jobs_total{status="ok"} 2' in body
+            assert body.endswith("# EOF\n")
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/nope")
+        finally:
+            server.close()
+
+    def test_port_before_start_raises(self):
+        server = MetricsServer(lambda: "")
+        with pytest.raises(RuntimeError):
+            server.port

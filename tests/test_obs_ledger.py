@@ -1,0 +1,186 @@
+"""Tests for repro.obs.ledger — content-addressed run ledgers.
+
+The hard guarantees: the ledger body is canonical and deterministic
+(cold run ≡ warm cache run ≡ parallel run, byte for byte), the file is
+addressed by the SHA-256 of its body (tampering fails loudly on load),
+wall-clock evidence stays in the sidecar, and the body schema cannot
+drift silently past the committed fixture.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import ResultStore, run_campaign, single_flow_job
+from repro.obs.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    RunLedger,
+    build_ledger,
+    canonical_json,
+    ledger_filename,
+    load_ledger,
+    schema_paths,
+    sidecar_filename,
+    write_ledger,
+)
+from repro.obs.runtime import RunTelemetry
+from repro.workloads import get_scenario
+
+SCENARIO = get_scenario("google-tokyo", "wired")
+SIZE = 400_000
+FIXTURE = os.path.join(os.path.dirname(__file__), "golden",
+                       "ledger_schema.json")
+
+
+@pytest.fixture(autouse=True)
+def _pinned_fingerprint(monkeypatch):
+    monkeypatch.setenv("REPRO_CAMPAIGN_FINGERPRINT", "test-fingerprint")
+
+
+def _jobs(n=2, kind="single_flow"):
+    return [{"hash": f"{i:064x}", "kind": kind, "label": f"job {i}"}
+            for i in range(n)]
+
+
+class TestBuildLedger:
+    def test_body_and_id(self):
+        ledger = build_ledger("campaign", "matrix", "f" * 64, 7,
+                              _jobs(), [{"v": 1}, {"v": 2}])
+        body = ledger.to_dict()
+        assert body["schema"] == LEDGER_SCHEMA_VERSION
+        assert body["summary"] == {"jobs": 2,
+                                   "by_kind": {"single_flow": 2}}
+        assert len(ledger.ledger_id) == 64
+        assert ledger_filename(ledger) == \
+            f"ledger-{ledger.ledger_id[:16]}.json"
+
+    def test_id_moves_with_any_body_field(self):
+        base = build_ledger("campaign", "matrix", "f" * 64, 7,
+                            _jobs(), [1, 2])
+        for change in (dict(mode="quick"), dict(base_seed=8),
+                       dict(code_fingerprint="0" * 64)):
+            kwargs = dict(tool="campaign", mode="matrix",
+                          code_fingerprint="f" * 64, base_seed=7)
+            kwargs.update(change)
+            other = build_ledger(kwargs["tool"], kwargs["mode"],
+                                 kwargs["code_fingerprint"],
+                                 kwargs["base_seed"], _jobs(), [1, 2])
+            assert other.ledger_id != base.ledger_id
+
+    def test_results_digest_sees_values_not_jobs(self):
+        a = build_ledger("campaign", "m", "f" * 64, 0, _jobs(), [1, 2])
+        b = build_ledger("campaign", "m", "f" * 64, 0, _jobs(), [1, 3])
+        assert a.results_digest != b.results_digest
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            build_ledger("campaign", "m", "f" * 64, 0, _jobs(2), [1])
+
+    def test_summary_merge_keeps_defaults(self):
+        ledger = build_ledger("validate", "quick", "f" * 64, 0, _jobs(1),
+                              [1], summary={"claims": {"c1": "PASS"}})
+        assert ledger.summary["jobs"] == 1
+        assert ledger.summary["claims"] == {"c1": "PASS"}
+
+    def test_canonical_json_rejects_nan(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+
+class TestWriteLoad:
+    def test_roundtrip_with_sidecar(self, tmp_path):
+        ledger = build_ledger("campaign", "matrix", "f" * 64, 0,
+                              _jobs(), [1, 2])
+        t = RunTelemetry()
+        t.start(total=2)
+        path = write_ledger(ledger, str(tmp_path),
+                            execution=t.execution_record())
+        body, execution = load_ledger(path)
+        assert body == ledger.to_dict()
+        assert execution["ledger_id"] == ledger.ledger_id
+        assert "status" in execution and "spans" in execution
+        # canonical body: one line, no whitespace padding, newline-final
+        raw = open(path, encoding="utf-8").read()
+        assert raw == canonical_json(body) + "\n"
+
+    def test_sidecar_optional(self, tmp_path):
+        ledger = build_ledger("flowsim", "sweep", "f" * 64, 1, _jobs(1), [1])
+        path = write_ledger(ledger, str(tmp_path))
+        assert not os.path.exists(sidecar_filename(path))
+        body, execution = load_ledger(path)
+        assert execution is None and body["tool"] == "flowsim"
+
+    def test_tampered_ledger_fails_loudly(self, tmp_path):
+        ledger = build_ledger("campaign", "m", "f" * 64, 0, _jobs(1), [1])
+        path = write_ledger(ledger, str(tmp_path))
+        body = json.load(open(path))
+        body["base_seed"] = 99
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(canonical_json(body) + "\n")
+        with pytest.raises(ValueError, match="modified"):
+            load_ledger(path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "ledger-feed.json"
+        path.write_text(canonical_json({"schema": 99}) + "\n")
+        with pytest.raises(ValueError, match="schema"):
+            load_ledger(str(path))
+
+
+class TestDeterminism:
+    """The acceptance bar: cold ≡ warm ≡ parallel, byte for byte."""
+
+    def _run(self, tmp_path, name, *, jobs=1, store=None):
+        specs = [single_flow_job(SCENARIO, cc, SIZE, seed=s)
+                 for cc in ("cubic", "cubic+suss") for s in range(2)]
+        telemetry = RunTelemetry()
+        results = run_campaign(specs, jobs=jobs, store=store,
+                               telemetry=telemetry)
+        telemetry.complete(results)
+        ledger = build_ledger("campaign", "matrix", "test-fingerprint", 0,
+                              telemetry.jobs, telemetry.values)
+        out = tmp_path / name
+        return write_ledger(ledger, str(out),
+                            execution=telemetry.execution_record())
+
+    def test_cold_warm_parallel_byte_identical(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        cold = self._run(tmp_path, "cold", store=store)
+        warm = self._run(tmp_path, "warm", store=store)   # all cache hits
+        par = self._run(tmp_path, "par", jobs=2)
+        blob = open(cold, "rb").read()
+        assert blob == open(warm, "rb").read()
+        assert blob == open(par, "rb").read()
+        assert os.path.basename(cold) == os.path.basename(warm)
+        # sidecars differ (wall clock) but never pollute the body
+        assert json.load(open(sidecar_filename(warm)))[
+            "status"]["cached"] == 4
+
+    def test_telemetry_jobs_follow_spec_order(self, tmp_path):
+        specs = [single_flow_job(SCENARIO, "cubic", SIZE, seed=s)
+                 for s in (3, 1, 2)]
+        telemetry = RunTelemetry()
+        telemetry.complete(run_campaign(specs, jobs=2,
+                                        telemetry=telemetry))
+        assert [j["hash"] for j in telemetry.jobs] == \
+            [s.job_hash for s in specs]
+
+
+class TestSchemaGate:
+    """Adding/removing/retyping a ledger body field must fail here until
+    ``tests/golden/ledger_schema.json`` (and the schema version) are
+    updated deliberately.  The fixture captures the CI campaign-smoke
+    ledger shape (``single_flow`` jobs, default summary)."""
+
+    def test_schema_paths_flattening(self):
+        paths = schema_paths({"a": 1, "b": [{"c": "x"}], "d": None})
+        assert paths == ["a:int", "b[].c:str", "d:null"]
+
+    def test_committed_fixture_matches_current_schema(self):
+        fixture = json.load(open(FIXTURE))
+        assert fixture["schema_version"] == LEDGER_SCHEMA_VERSION
+        ledger = build_ledger("campaign", "matrix", "test-fingerprint", 0,
+                              _jobs(2, kind="single_flow"),
+                              [{"fct": 1.0}, {"fct": 2.0}])
+        assert schema_paths(ledger.to_dict()) == fixture["paths"]

@@ -155,3 +155,42 @@ class TestEngineIntegration:
         monkeypatch.delenv(obs_profile.ENV_VAR, raising=False)
         monkeypatch.delenv("REPRO_TRACE", raising=False)
         assert Simulator(sanitizer=None).obs is None
+
+
+class TestCollapsedStacks:
+    def _profiler_with(self, entries):
+        prof = EventProfiler()
+        for key, elapsed in entries:
+            prof.note(key, elapsed)
+        return prof
+
+    def test_fold_format_and_sorting(self):
+        prof = self._profiler_with([("Link.transmit", 0.002),
+                                    ("Host.receive", 0.001),
+                                    ("Link.transmit", 0.001)])
+        lines = prof.collapsed_stacks()
+        assert lines == ["Host;receive 1000", "Link;transmit 3000"]
+
+    def test_tiny_totals_clamp_to_one_microsecond(self):
+        prof = self._profiler_with([("X.y", 1e-9)])
+        assert prof.collapsed_stacks() == ["X;y 1"]
+
+    def test_round_trip_is_exact(self):
+        prof = self._profiler_with([("Link.transmit", 0.0025),
+                                    ("SussCubic._pacing_tick", 0.0103),
+                                    ("Host.receive", 0.0001)])
+        lines = prof.collapsed_stacks()
+        parsed = obs_profile.parse_collapsed(lines)
+        assert parsed == {"Link.transmit": 2500,
+                          "SussCubic._pacing_tick": 10300,
+                          "Host.receive": 100}
+        # re-folding the parsed counts reproduces the lines verbatim
+        refolded = [f"{k.replace('.', ';')} {v}"
+                    for k, v in sorted(parsed.items())]
+        assert refolded == lines
+
+    def test_parse_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            obs_profile.parse_collapsed(["nospacehere"])
+        with pytest.raises(ValueError):
+            obs_profile.parse_collapsed(["Frame;x notanint"])

@@ -1,0 +1,235 @@
+"""Tests for repro.obs.runtime — spans, resource accounting, status.
+
+The run-level telemetry collector must (a) keep span lineage across
+retries, (b) aggregate live counters/gauges/histograms correctly,
+(c) emit every span as a ``campaign.span`` trace record when an
+Observability hub is attached, and (d) rewrite ``status.json``
+atomically so ``repro top`` always sees a parseable snapshot.
+"""
+
+import json
+import types
+
+import pytest
+
+from repro.obs import tracing
+from repro.obs.records import CAMPAIGN_SPAN
+from repro.obs.runtime import (
+    RunTelemetry,
+    add_engine_events,
+    add_flows_modelled,
+    counters,
+    resource_delta,
+    sample_resources,
+)
+from repro.obs.sinks import MemorySink
+
+HASH_A = "a" * 64
+HASH_B = "b" * 64
+
+
+def _result(job_hash, kind="single_flow", label="job", value=None):
+    """Duck-typed CampaignResult: spec.{job_hash,kind,label} + value."""
+    spec = types.SimpleNamespace(job_hash=job_hash, kind=kind, label=label)
+    return types.SimpleNamespace(spec=spec, value=value or {"x": 1})
+
+
+class TestProcessCounters:
+    def test_add_accumulates(self):
+        before = counters.engine_events
+        add_engine_events(100)
+        add_engine_events(23)
+        assert counters.engine_events == before + 123
+
+    def test_flows_counter_independent(self):
+        before = counters.flows_modelled
+        add_flows_modelled(7)
+        assert counters.flows_modelled == before + 7
+
+
+class TestResourceSampling:
+    def test_sample_fields(self):
+        sample = sample_resources()
+        assert sample.cpu_user >= 0.0
+        assert sample.max_rss_kb > 0  # Linux always reports ru_maxrss
+
+    def test_delta_counts_work_between_samples(self):
+        before = sample_resources()
+        add_engine_events(50)
+        delta = resource_delta(before, sample_resources())
+        assert delta["engine_events"] == 50
+        assert delta["cpu_user"] >= 0.0
+        # RSS is a high-water mark, reported absolute, never differenced.
+        assert delta["max_rss_kb"] >= before.max_rss_kb
+
+    def test_delta_clamps_cpu_at_zero(self):
+        sample = sample_resources()
+        delta = resource_delta(sample, sample)
+        assert delta["cpu_user"] == 0.0 and delta["cpu_system"] == 0.0
+
+
+class TestSpans:
+    def test_span_id_and_shape(self):
+        t = RunTelemetry()
+        t.start(total=1)
+        span = t.record_span(HASH_A, "single_flow", "lbl", status="ok",
+                             attempt=1, worker=42, queue_wait=0.25,
+                             exec_time=1.5)
+        assert span.span_id == f"{HASH_A[:12]}#1"
+        d = span.to_dict()
+        assert d["span"] == span.span_id
+        assert d["worker"] == 42
+        assert d["queue_wait"] == 0.25 and d["exec"] == 1.5
+        assert "retry_of" not in d and "error" not in d
+
+    def test_retry_lineage_chains_attempts(self):
+        t = RunTelemetry()
+        t.start(total=1)
+        first = t.record_span(HASH_A, "single_flow", "lbl", status="retry",
+                              attempt=1, exec_time=0.5, error="boom")
+        second = t.record_span(HASH_A, "single_flow", "lbl", status="ok",
+                               attempt=2, exec_time=0.4)
+        assert first.retry_of is None
+        assert second.retry_of == first.span_id
+        # a different job's span does not inherit the chain
+        other = t.record_span(HASH_B, "single_flow", "o", status="ok",
+                              attempt=1)
+        assert other.retry_of is None
+
+    def test_spans_emitted_as_trace_records(self):
+        sink = MemorySink()
+        t = RunTelemetry(obs=tracing(sink))
+        t.start(total=1)
+        t.record_span(HASH_A, "single_flow", "lbl", status="ok", attempt=1)
+        kinds = [r.kind for r in sink.records]
+        assert kinds == [CAMPAIGN_SPAN]
+        assert sink.records[0].fields["hash"] == HASH_A
+
+
+class TestAggregation:
+    def test_outcome_counters(self):
+        t = RunTelemetry()
+        t.start(total=4)
+        t.record_span(HASH_A, "a", "1", status="ok", cached=True)
+        t.record_span(HASH_B, "a", "2", status="ok", attempt=1,
+                      exec_time=1.0)
+        t.record_span("c" * 64, "b", "3", status="retry", attempt=1,
+                      exec_time=0.5)
+        t.record_span("c" * 64, "b", "3", status="failed", attempt=2,
+                      exec_time=0.5, error="x")
+        assert (t.cached, t.executed, t.failed, t.retries) == (1, 1, 1, 1)
+        assert t.done == 3                       # retry is not a done job
+        assert t.by_kind == {"a": 2, "b": 1}
+        assert t.retry_seconds == 0.5
+        # exec_total: ok 1.0 + failed 0.5; retry time lives in
+        # retry_seconds only, cached spans add nothing.
+        assert t.exec_total == pytest.approx(1.5)
+        jobs = t.metrics.counter("run.jobs", status="cached")
+        assert jobs.value == 1
+
+    def test_cached_spans_do_not_enter_histograms(self):
+        t = RunTelemetry()
+        t.start(total=2)
+        t.record_span(HASH_A, "a", "1", status="ok", cached=True)
+        t.record_span(HASH_B, "a", "2", status="ok", attempt=1,
+                      exec_time=0.02)
+        hist = t.metrics.histogram("run.exec_seconds")
+        assert hist.count == 1
+
+    def test_eta_charges_retry_time_to_executed_jobs(self):
+        """Regression for ETA drift under retries: a retried job's lost
+        time must raise the per-job mean, and finished jobs (including
+        the failed ones) must leave the remaining count."""
+        t = RunTelemetry()
+        t.start(total=4, workers=2)
+        assert t.eta is None                     # nothing executed yet
+        t.record_span(HASH_A, "a", "1", status="retry", attempt=1,
+                      exec_time=1.0)
+        t.record_span(HASH_A, "a", "1", status="ok", attempt=2,
+                      exec_time=1.0)
+        # mean = (exec 1.0 + retry 1.0) / 1 executed; 3 remain on 2 lanes
+        assert t.eta == pytest.approx(2.0 * 3 / 2)
+
+    def test_lane_accounting(self):
+        t = RunTelemetry()
+        t.start(total=3)
+        t.record_span(HASH_A, "a", "one", status="ok", attempt=1,
+                      worker=10, exec_time=1.0)
+        t.record_span(HASH_B, "a", "two", status="ok", attempt=1,
+                      worker=10, exec_time=2.0)
+        t.record_span("c" * 64, "a", "three", status="ok", attempt=1)
+        lanes = t.snapshot()["lanes"]
+        assert lanes["10"]["jobs"] == 2
+        assert lanes["10"]["busy"] == pytest.approx(3.0)
+        assert lanes["10"]["last"] == "two"
+        assert lanes["inline"]["jobs"] == 1
+
+    def test_worker_resources_absorbed(self):
+        t = RunTelemetry()
+        t.start(total=2)
+        t.record_span(HASH_A, "a", "1", status="ok", attempt=1,
+                      resources={"cpu_user": 1.5, "cpu_system": 0.5,
+                                 "max_rss_kb": 1000, "engine_events": 10,
+                                 "flows_modelled": 0})
+        t.record_span(HASH_B, "a", "2", status="ok", attempt=1,
+                      resources={"cpu_user": 0.5, "cpu_system": 0.0,
+                                 "max_rss_kb": 900, "engine_events": 5,
+                                 "flows_modelled": 3})
+        res = t.snapshot()["resources"]
+        assert res["cpu_user"] == pytest.approx(2.0)
+        assert res["max_rss_kb"] == 1000        # high-water, not a sum
+        assert res["engine_events"] == 15
+        assert res["flows_modelled"] == 3
+
+
+class TestStatusFile:
+    def test_atomic_write_and_reload(self, tmp_path):
+        path = tmp_path / "status.json"
+        t = RunTelemetry(tool="validate", status_path=str(path))
+        t.start(total=2, workers=2)
+        t.record_span(HASH_A, "a", "1", status="ok", attempt=1,
+                      exec_time=0.1)
+        t.write_status(force=True)
+        status = json.loads(path.read_text())
+        assert status["tool"] == "validate"
+        assert status["total"] == 2 and status["done"] == 1
+        assert not status["finished"]
+        assert not list(tmp_path.glob("*.tmp.*"))  # no temp debris
+
+    def test_throttle_skips_rapid_writes(self, tmp_path):
+        path = tmp_path / "status.json"
+        t = RunTelemetry(status_path=str(path), status_interval=3600.0)
+        t.start(total=2)                          # forced initial write
+        first = path.read_text()
+        t.record_span(HASH_A, "a", "1", status="ok", attempt=1)
+        assert path.read_text() == first          # throttled, not rewritten
+        t.write_status(force=True)
+        assert path.read_text() != first
+
+    def test_no_status_path_is_a_noop(self):
+        t = RunTelemetry()
+        t.start(total=1)
+        t.write_status(force=True)                # must not raise
+
+
+class TestComplete:
+    def test_captures_spec_order_and_finishes(self, tmp_path):
+        path = tmp_path / "status.json"
+        t = RunTelemetry(status_path=str(path))
+        t.start(total=2)
+        results = [_result(HASH_A, label="first", value={"v": 1}),
+                   _result(HASH_B, label="second", value={"v": 2})]
+        t.complete(results)
+        assert [j["hash"] for j in t.jobs] == [HASH_A, HASH_B]
+        assert t.values == [{"v": 1}, {"v": 2}]
+        assert json.loads(path.read_text())["finished"] is True
+
+    def test_execution_record_shape(self):
+        t = RunTelemetry()
+        t.start(total=1)
+        t.record_span(HASH_A, "a", "1", status="ok", attempt=1)
+        record = t.execution_record()
+        assert set(record) == {"status", "spans"}
+        assert record["status"]["schema"] == 1
+        assert record["spans"][0]["hash"] == HASH_A
+        json.dumps(record)                        # JSON-serialisable
