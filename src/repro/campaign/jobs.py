@@ -128,6 +128,18 @@ def run_single_flow_job(params: Mapping[str, Any]) -> Dict[str, Any]:
     return value
 
 
+@register("topo_flow")
+def run_topo_flow_job(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """One seeded download over an embedded topogen scenario."""
+    from repro.experiments.runner import run_topo_flow
+
+    return run_topo_flow(
+        params["topo"], params["cc"], params["size_bytes"],
+        seed=params["seed"],
+        cross_load=params.get("cross_load", 1.0),
+        cross_cc=params.get("cross_cc", "cubic"))
+
+
 @register("stability")
 def run_stability_job(params: Mapping[str, Any]) -> Dict[str, Any]:
     """One seeded Table-1 run: a large flow vs twelve small flows."""

@@ -21,6 +21,7 @@ from typing import Any, Dict, Mapping, Optional, Sequence, Union
 
 from repro.core.units import MILLIS_PER_SECOND, Bytes, PerSecond, Seconds
 from repro.workloads.scenarios import INTERNET_SCENARIOS, PathScenario
+from repro.workloads.topo import TopologySpec, resolve_topo
 
 
 def canonical_json(value: Any) -> str:
@@ -112,6 +113,36 @@ def single_flow_job(scenario: Union[str, PathScenario], cc: str,
     return JobSpec(kind="single_flow", params=params,
                    label=f"{sc.name} {cc} {size_bytes}B seed={seed}"
                          + ("" if fidelity == "packet" else f" [{fidelity}]"))
+
+
+def topo_flow_job(scenario: Union[str, TopologySpec, Mapping[str, Any]],
+                  cc: str, size_bytes: Bytes, seed: int = 0, *,
+                  cross_load: float = 1.0, cross_cc: str = "cubic",
+                  knobs: Optional[Mapping[str, Any]] = None) -> JobSpec:
+    """Spec for one seeded download over a topogen scenario.
+
+    The topology is embedded by value — its canonical dict — so the job
+    hashes, ships to workers, and replays standalone; two jobs collide
+    exactly when scenario + workload + seed match.  ``cross_load``
+    scales the spec's declared cross-traffic plans (0 disables them; 1,
+    the default, runs them as declared) and is added to ``params`` only
+    when non-default so unscaled job hashes stay stable.
+    """
+    spec = resolve_topo(scenario)
+    params: Dict[str, Any] = {
+        "topo": spec.canonical(),
+        "cc": cc,
+        "size_bytes": int(size_bytes),
+        "seed": int(seed),
+    }
+    if cross_load != 1.0:
+        params["cross_load"] = float(cross_load)
+    if cross_cc != "cubic":
+        params["cross_cc"] = cross_cc
+    if knobs:
+        params["knobs"] = dict(knobs)
+    return JobSpec(kind="topo_flow", params=params,
+                   label=f"{spec.name} {cc} {size_bytes}B seed={seed}")
 
 
 def flowsim_sweep_job(path: Mapping[str, Any], flows: int, *,

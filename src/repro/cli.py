@@ -170,6 +170,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 #: default location of the committed cross-validation golden report.
 FLOWSIM_GOLDEN = os.path.join("tests", "golden", "flowsim_crossval.json")
+TOPOGEN_GOLDEN = os.path.join("tests", "golden", "topogen_specs.json")
 
 
 def _flowsim_path(args: argparse.Namespace):
@@ -275,12 +276,12 @@ def cmd_flowsim(args: argparse.Namespace) -> int:
 def _flowsim_crossval(args: argparse.Namespace) -> int:
     """--cross-validate: packet-vs-analytical agreement on the golden set."""
     from repro.flowsim.crossval import (
-        default_cases,
+        all_cases,
         quick_cases,
         run_crossval,
     )
 
-    cases = quick_cases() if args.quick else default_cases()
+    cases = quick_cases() if args.quick else all_cases()
     report = run_crossval(cases, tolerance=args.tolerance)
     payload = report.to_dict()
     if args.update_golden:
@@ -299,7 +300,8 @@ def _flowsim_crossval(args: argparse.Namespace) -> int:
     else:
         rows = [[c.name, c.cc, f"{c.packet_median:.4f}",
                  f"{c.analytical_fct:.4f}", pct(c.rel_median_error),
-                 "ok" if c.within(report.tolerance) else "FAIL"]
+                 ("ok" if c.within(report.tolerance) else "FAIL")
+                 if c.gated else "info"]
                 for c in report.cases]
         print(render_table(
             ["case", "cc", "packet median (s)", "analytical (s)",
@@ -308,6 +310,10 @@ def _flowsim_crossval(args: argparse.Namespace) -> int:
         print(f"worst: {report.worst_case} ({pct(report.max_rel_error)}); "
               f"tolerance {pct(report.tolerance)}; "
               f"Cliff's delta {report.delta:+.3f}")
+        for cls, stats in report.class_errors().items():
+            print(f"  {cls}: {int(stats['cells'])} cells, "
+                  f"mean error {pct(stats['mean_rel_error'])}, "
+                  f"max {pct(stats['max_rel_error'])}")
     if not report.passed:
         print("cross-validation FAILED the tolerance gate", file=sys.stderr)
         return 1
@@ -327,6 +333,7 @@ EXPERIMENTS = {
     "fig16": "fig16_stability_trace",
     "table1": "table1_stability",
     "fig18": "fig17_18_all_scenarios",
+    "topo": "topo_suite",
     "kmax": "ablation_kmax",
     "btlbw": "ablation_btlbw",
     "aqm": "ablation_aqm",
@@ -355,9 +362,62 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         return 0
     elif args.name == "table1":
         results = module.run(**_campaign_kwargs(args))
+    elif args.name == "topo":
+        module.run(**_campaign_kwargs(args))
+        return 0
     else:
         results = module.run()
     print(module.format_report(results))
+    return 0
+
+
+def _campaign_topo(args: argparse.Namespace) -> int:
+    """``repro campaign --topo``: the topogen scenario matrix, cached."""
+    from repro.experiments import topo_suite
+    from repro.workloads.topo import get_topo_scenario, registered_specs
+
+    names = (sorted(registered_specs()) if args.topo == "all"
+             else args.topo.split(","))
+    for name in names:
+        try:
+            get_topo_scenario(name)
+        except KeyError as exc:
+            raise SystemExit(f"repro campaign: {exc.args[0]}")
+    sizes = [int(s) for s in args.sizes.split(",")]
+
+    if args.resume and not os.path.isdir(args.cache_dir):
+        raise SystemExit(f"--resume: cache directory {args.cache_dir!r} "
+                         f"does not exist (nothing to resume)")
+    store = None if args.no_cache else ResultStore(args.cache_dir)
+    progress = (ProgressReporter(stream=None) if args.quiet
+                else stderr_reporter(min_interval=0.5))
+    telemetry, server = _ledger_telemetry(args, "campaign")
+    try:
+        for size in sizes:
+            rows = topo_suite.run_suite(
+                scenarios=names, size=size, iterations=args.iterations,
+                base_seed=args.seed, cross_load=args.cross_load,
+                jobs=args.jobs, store=store, progress=progress,
+                timeout=args.timeout, retries=args.retries,
+                telemetry=telemetry)
+            print(topo_suite.format_report(rows))
+            print()
+    except RuntimeError as exc:
+        if server is not None:
+            server.close()
+        raise SystemExit(f"campaign failed: {exc}\n"
+                         f"(completed jobs stay cached; re-run with "
+                         f"--resume to retry only the rest)")
+    from repro.campaign import code_fingerprint
+    _finish_ledger(args, telemetry, server, mode="topo",
+                   fingerprint=code_fingerprint(), base_seed=args.seed)
+    stats = progress.stats()
+    print(f"campaign: total={stats['total']} executed={stats['executed']} "
+          f"cached={stats['cached']} failed={stats['failed']} "
+          f"elapsed={stats['elapsed']:.1f}s")
+    if args.stats_json:
+        with open(args.stats_json, "w", encoding="utf-8") as fh:
+            json.dump(stats, fh, sort_keys=True)
     return 0
 
 
@@ -365,6 +425,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     """Run a (sub-)matrix of the Fig. 17/18 evaluation as a cached campaign."""
     from repro.experiments import fig17_18_all_scenarios
 
+    if args.topo:
+        return _campaign_topo(args)
     servers = args.servers.split(",")
     links = args.links.split(",")
     sizes = [int(s) for s in args.sizes.split(",")]
@@ -410,6 +472,98 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.stats_json:
         with open(args.stats_json, "w", encoding="utf-8") as fh:
             json.dump(stats, fh, sort_keys=True)
+    return 0
+
+
+def _topo_spec(args: argparse.Namespace):
+    """Resolve --spec PATH / --scenario NAME into a validated TopologySpec."""
+    from repro.workloads.topo import TopologySpec, get_topo_scenario
+    from repro.net.topogen.spec import TopologySpecError
+
+    if args.spec:
+        try:
+            with open(args.spec, "r", encoding="utf-8") as fh:
+                return TopologySpec.from_json(fh.read())
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            raise SystemExit(f"repro topo: bad spec file {args.spec!r}: "
+                             f"{exc}")
+    if not args.scenario:
+        raise SystemExit("repro topo: --scenario or --spec is required")
+    try:
+        return get_topo_scenario(args.scenario)
+    except KeyError as exc:
+        raise SystemExit(f"repro topo: {exc.args[0]}")
+
+
+def cmd_topo(args: argparse.Namespace) -> int:
+    """Declarative topology scenarios: list, render, validate, run."""
+    from repro.workloads.topo import registered_specs, routing_table_json
+
+    if args.action == "list":
+        rows = []
+        for name, spec in sorted(registered_specs().items()):
+            rows.append([name, spec.scenario_class, str(len(spec.nodes)),
+                         str(len(spec.links)), str(len(spec.flows)),
+                         str(len(spec.cross_traffic)),
+                         spec.content_hash[:12]])
+        print(render_table(
+            ["scenario", "class", "nodes", "links", "flows", "cross",
+             "hash"], rows, title="Registered topogen scenarios"))
+        return 0
+    if args.action == "golden":
+        path = args.out or TOPOGEN_GOLDEN
+        payload = {}
+        for name, spec in sorted(registered_specs().items()):
+            payload[name] = {
+                "content_hash": spec.content_hash,
+                "spec": spec.canonical(),
+                "routes": json.loads(routing_table_json(spec)),
+            }
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"golden topogen specs written: {path} "
+              f"({len(payload)} scenarios)")
+        return 0
+
+    spec = _topo_spec(args)
+    if args.action == "show":
+        print(spec.to_json())
+        if not args.as_json:
+            print(f"content hash: {spec.content_hash}", file=sys.stderr)
+        return 0
+    if args.action == "routes":
+        print(routing_table_json(spec))
+        return 0
+    if args.action == "validate":
+        # construction already validated; report the canonical identity
+        print(f"{spec.name}: OK ({spec.scenario_class}; "
+              f"{len(spec.nodes)} nodes, {len(spec.links)} links)")
+        print(f"content hash: {spec.content_hash}")
+        return 0
+
+    # action == "run": one foreground flow with the spec's cross traffic
+    from repro.experiments.runner import run_topo_flow
+
+    result = run_topo_flow(spec, args.cc, args.size, seed=args.seed,
+                           cross_load=args.cross_load)
+    if args.as_json:
+        print(json.dumps(result, sort_keys=True))
+        return 0 if result["completed"] else 1
+    if not result["completed"]:
+        print("flow did not complete within the deadline", file=sys.stderr)
+        return 1
+    print(f"scenario:        {result['scenario']} "
+          f"({result['scenario_class']})")
+    print(f"topo hash:       {result['topo_hash'][:12]}")
+    print(f"path RTT:        {result['rtt'] * MILLIS_PER_SECOND:.1f} ms")
+    print(f"fct:             {result['fct']:.4f} s")
+    print(f"retransmissions: {result['retransmissions']} "
+          f"(RTOs: {result['rto_count']})")
+    print(f"loss rate:       {result['loss_rate'] * 100:.3f}%")
+    print(f"cross flows:     {result['cross_flows_completed']}"
+          f"/{result['cross_flows']} completed")
     return 0
 
 
@@ -593,7 +747,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
                 module.run_comparison()
             elif args.name == "fig18":
                 module.run_matrix(**_campaign_kwargs(args))
-            elif args.name == "table1":
+            elif args.name in ("table1", "topo"):
                 module.run(**_campaign_kwargs(args))
             else:
                 module.run()
@@ -922,6 +1076,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a cached, parallel scenario-matrix campaign")
     camp_p.add_argument("--servers", default=",".join(SERVER_NAMES))
     camp_p.add_argument("--links", default=",".join(LINK_NAMES))
+    camp_p.add_argument("--topo", metavar="SCENARIOS",
+                        help="run registered topogen scenarios instead of "
+                             "the server/link matrix: a comma-separated "
+                             "list or 'all' (see `repro topo list`)")
+    camp_p.add_argument("--cross-load", type=float, default=1.0,
+                        help="scale each topo spec's declared cross-traffic "
+                             "load (with --topo; 0 disables)")
     camp_p.add_argument("--sizes", default="1000000,2000000,4000000")
     camp_p.add_argument("--ccs", default="bbr,cubic+suss,cubic")
     camp_p.add_argument("--iterations", type=int, default=3)
@@ -952,6 +1113,36 @@ def build_parser() -> argparse.ArgumentParser:
                              "campaign runs (0 = ephemeral; needs "
                              "--ledger-dir)")
     camp_p.set_defaults(func=cmd_campaign)
+
+    topo_p = sub.add_parser(
+        "topo",
+        help="declarative topology scenarios: list, render, validate, run")
+    topo_p.add_argument("action",
+                        choices=["list", "show", "routes", "validate",
+                                 "run", "golden"],
+                        help="list registered scenarios; show canonical "
+                             "spec JSON; print SPF routing tables; "
+                             "validate a spec; run one foreground flow; "
+                             "re-record the spec golden file")
+    topo_p.add_argument("--out", metavar="PATH",
+                        help=f"golden output path (with golden; default "
+                             f"{TOPOGEN_GOLDEN})")
+    topo_p.add_argument("--scenario",
+                        help="registered scenario name (see `repro topo "
+                             "list`)")
+    topo_p.add_argument("--spec", metavar="PATH",
+                        help="load the TopologySpec from a JSON file "
+                             "instead of the registry")
+    topo_p.add_argument("--cc", default="cubic+suss")
+    topo_p.add_argument("--size", type=int, default=2 * MB,
+                        help="foreground flow size in bytes (with run)")
+    topo_p.add_argument("--seed", type=int, default=0)
+    topo_p.add_argument("--cross-load", type=float, default=1.0,
+                        help="scale the spec's declared cross-traffic "
+                             "load (0 disables)")
+    topo_p.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit machine-readable output")
+    topo_p.set_defaults(func=cmd_topo)
 
     flow_p = sub.add_parser(
         "flowsim",

@@ -24,6 +24,7 @@ from repro.sim.rng import RngRegistry
 from repro.tcp.connection import Transfer, open_transfer
 from repro.workloads.flows import FlowSpec, launch_flows
 from repro.workloads.scenarios import LocalTestbedConfig, PathScenario
+from repro.workloads.topo import build_topology, place_cross_traffic, resolve_topo
 
 
 @dataclass
@@ -100,6 +101,77 @@ def run_single_flow(scenario: PathScenario, cc: str, size_bytes: int,
         drops=telemetry.flow(1).drops,
         telemetry=telemetry if collect else None,
         transfer=transfer if keep_transfer else None)
+
+
+def run_topo_flow(scenario, cc: str, size_bytes: int, seed: int = 0,
+                  cross_load: float = 1.0, cross_cc: str = "cubic",
+                  obs: Optional[Observability] = None) -> Dict[str, Any]:
+    """One seeded foreground download over a topogen scenario.
+
+    ``scenario`` is a registered name, a :class:`TopologySpec`, or its
+    canonical dict (how campaign jobs ship it).  The spec's declared
+    cross-traffic plans are placed with their loads scaled by
+    ``cross_load`` (0 disables them), then the foreground flow runs on
+    the spec's first flow path.  Returns a JSON-serialisable dict so the
+    run doubles as the ``topo_flow`` campaign job.
+    """
+    spec = resolve_topo(scenario)
+    sim = Simulator() if obs is None else Simulator(obs=obs)
+    rng = RngRegistry(seed)
+    built = build_topology(sim, spec, rng)
+    flow = spec.flows[0]
+    bottleneck = built.bottleneck_link(flow.server, flow.client)
+    rtt = built.path_rtt(flow.server, flow.client)
+    telemetry = Telemetry(sample_cwnd=False, sample_rtt=False,
+                          sample_delivered=False)
+    if sim.obs is not None:
+        telemetry.registry = sim.obs.metrics
+    telemetry.attach_queue(bottleneck.queue)
+    generators = place_cross_traffic(built, rng, load_scale=cross_load,
+                                     cc=cross_cc)
+    transfer = open_transfer(sim, built.hosts[flow.server],
+                             built.hosts[flow.client], flow_id=1,
+                             size_bytes=size_bytes, cc=cc,
+                             telemetry=telemetry)
+    # Cross traffic steals a load-dependent share of the bottleneck, so
+    # the deadline scales the ideal transfer time by the worst-case
+    # residual share on top of run_single_flow's generous envelope.
+    total_load = min(sum(p.load for p in spec.cross_traffic) * cross_load,
+                     0.9)
+    ideal = size_bytes / bottleneck.bandwidth.mean_rate()
+    deadline = 60.0 + 40.0 * ideal / (1.0 - total_load) + 200.0 * rtt
+    # The cross-traffic generators never drain on their own, so advance
+    # the clock in slices and stop as soon as the foreground flow is
+    # done (slicing run() does not change event order, only how far the
+    # clock is pushed past completion).
+    step = max(8.0 * rtt, 0.25)
+    while not transfer.completed and sim.now < deadline:
+        sim.run(until=min(sim.now + step, deadline))
+    for generator in generators:
+        generator.stop()
+    if sim.sanitizer is not None:
+        sim.sanitizer.verify_conservation(sim.pending_events)
+    sender = transfer.sender
+    return {
+        "scenario": spec.name,
+        "scenario_class": spec.scenario_class,
+        "topo_hash": spec.content_hash,
+        "cc": cc,
+        "size_bytes": int(size_bytes),
+        "seed": int(seed),
+        "cross_load": float(cross_load),
+        "rtt": rtt,
+        "fct": transfer.fct,
+        "completed": transfer.completed,
+        "retransmissions": sender.retransmissions,
+        "rto_count": sender.rto_count,
+        "data_packets_sent": sender.data_packets_sent,
+        "drops": telemetry.flow(1).drops,
+        "loss_rate": (telemetry.flow(1).drops / sender.data_packets_sent
+                      if sender.data_packets_sent else 0.0),
+        "cross_flows": sum(len(g.flows) for g in generators),
+        "cross_flows_completed": sum(g.completed_flows for g in generators),
+    }
 
 
 def run_flow_campaign(scenario: PathScenario, cc: str, size_bytes: int,

@@ -67,13 +67,22 @@ LONG_FLOW = 4_000_000     # ~2763 segments: saturates the pipe
 
 @dataclass(frozen=True)
 class CrossValCase:
-    """One validation cell: a scenario/size/scheme triple plus seeds."""
+    """One validation cell: a scenario/size/scheme triple plus seeds.
+
+    ``gated`` cells must sit inside the tolerance band for the report to
+    pass; ungated cells are *informational* — they quantify the
+    analytical tier's error on path classes (jitter-heavy, bandwidth-
+    varying) that its closed forms deliberately do not model, and are
+    recorded in the report without failing it.
+    """
 
     name: str
     scenario: PathScenario
     cc: str                      # packet-tier algorithm
     size_bytes: Bytes
     seeds: Tuple[int, ...] = (1, 2, 3)
+    gated: bool = True
+    scenario_class: str = "clean"
 
     @property
     def model(self) -> str:
@@ -91,6 +100,39 @@ def default_cases() -> List[CrossValCase]:
                     name=f"{bdp_name}bdp-{size_name}-{suffix}",
                     scenario=scenario, cc=cc, size_bytes=size))
     return cases
+
+
+#: perturbed dumbbells for the informational cells: the same low-BDP
+#: path with (a) jitter at 10% of the RTT and (b) a ±25% random-walk
+#: bottleneck — both outside the analytical tier's clean-path model.
+JITTER_PATH = replace(LOW_BDP, name="xval-jitter", jitter=0.004)
+BWVAR_PATH = replace(LOW_BDP, name="xval-bwvar", bw_variation=0.25)
+
+
+def perturbed_cases() -> List[CrossValCase]:
+    """Informational (ungated) cells on jitter/bw-variation classes.
+
+    These quantify the flowsim trust boundary beyond the golden matrix:
+    how far the analytical FCT drifts when the path violates the fixed-
+    RTT / fixed-bandwidth assumptions.  Their errors are recorded in the
+    report's ``class_errors`` section but never fail the gate.
+    """
+    cases: List[CrossValCase] = []
+    for cls, scenario in (("jitter", JITTER_PATH), ("bw_variation",
+                                                    BWVAR_PATH)):
+        for size_name, size in (("short", SHORT_FLOW), ("long", LONG_FLOW)):
+            for cc in SCHEME_PAIRS:
+                suffix = "suss" if cc.endswith("suss") else "base"
+                cases.append(CrossValCase(
+                    name=f"{cls.replace('_', '')}-{size_name}-{suffix}",
+                    scenario=scenario, cc=cc, size_bytes=size,
+                    gated=False, scenario_class=cls))
+    return cases
+
+
+def all_cases() -> List[CrossValCase]:
+    """Golden matrix plus the informational perturbed-path cells."""
+    return default_cases() + perturbed_cases()
 
 
 def quick_cases() -> List[CrossValCase]:
@@ -132,6 +174,8 @@ class CaseResult:
     packet_median: Seconds
     analytical_fct: Seconds
     rel_median_error: float
+    gated: bool = True
+    scenario_class: str = "clean"
 
     def within(self, tolerance: float = TOLERANCE_REL_MEDIAN_FCT) -> bool:
         return self.rel_median_error <= tolerance
@@ -144,6 +188,8 @@ class CaseResult:
             "packet_median": self.packet_median,
             "analytical_fct": self.analytical_fct,
             "rel_median_error": self.rel_median_error,
+            "gated": self.gated,
+            "scenario_class": self.scenario_class,
         }
 
 
@@ -158,7 +204,8 @@ def run_case(case: CrossValCase) -> CaseResult:
     return CaseResult(name=case.name, cc=case.cc, model=case.model,
                       size_bytes=case.size_bytes, packet_fcts=fcts,
                       packet_median=median, analytical_fct=est.fct,
-                      rel_median_error=rel)
+                      rel_median_error=rel, gated=case.gated,
+                      scenario_class=case.scenario_class)
 
 
 @dataclass(frozen=True)
@@ -169,24 +216,48 @@ class CrossValReport:
     tolerance: float
 
     @property
+    def gated_cases(self) -> Tuple[CaseResult, ...]:
+        return tuple(c for c in self.cases if c.gated)
+
+    @property
     def max_rel_error(self) -> float:
-        return max(c.rel_median_error for c in self.cases)
+        """Worst gated error (the tolerance gate's headline number)."""
+        return max(c.rel_median_error for c in self.gated_cases)
 
     @property
     def worst_case(self) -> str:
-        return max(self.cases, key=lambda c: c.rel_median_error).name
+        return max(self.gated_cases,
+                   key=lambda c: c.rel_median_error).name
 
     @property
     def delta(self) -> float:
         """Cliff's delta between the tiers' per-cell FCT vectors (near 0
-        means no systematic bias toward either tier)."""
-        packet = [c.packet_median for c in self.cases]
-        analytical = [c.analytical_fct for c in self.cases]
+        means no systematic bias toward either tier; gated cells only —
+        the perturbed classes are expected to be biased)."""
+        packet = [c.packet_median for c in self.gated_cases]
+        analytical = [c.analytical_fct for c in self.gated_cases]
         return cliffs_delta(analytical, packet)
 
     @property
     def passed(self) -> bool:
-        return all(c.within(self.tolerance) for c in self.cases)
+        """Informational (ungated) cells never fail the gate."""
+        return all(c.within(self.tolerance) for c in self.gated_cases)
+
+    def class_errors(self) -> Dict[str, Dict[str, float]]:
+        """Per-scenario-class relative-error statistics over all cells.
+
+        This is where the perturbed classes' quantified error lives:
+        ``clean`` is the gated matrix, ``jitter``/``bw_variation`` the
+        informational classes.
+        """
+        grouped: Dict[str, List[float]] = {}
+        for case in self.cases:
+            grouped.setdefault(case.scenario_class, []).append(
+                case.rel_median_error)
+        return {cls: {"cells": float(len(errs)),
+                      "mean_rel_error": sum(errs) / len(errs),
+                      "max_rel_error": max(errs)}
+                for cls, errs in sorted(grouped.items())}
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -195,6 +266,7 @@ class CrossValReport:
             "max_rel_error": self.max_rel_error,
             "worst_case": self.worst_case,
             "cliffs_delta": self.delta,
+            "class_errors": self.class_errors(),
             "cases": [c.to_dict() for c in self.cases],
         }
 
@@ -206,5 +278,7 @@ def run_crossval(cases: Optional[Sequence[CrossValCase]] = None,
     chosen = list(cases) if cases is not None else default_cases()
     if not chosen:
         raise ValueError("need at least one cross-validation case")
+    if not any(c.gated for c in chosen):
+        raise ValueError("need at least one gated cross-validation case")
     return CrossValReport(cases=tuple(run_case(c) for c in chosen),
                           tolerance=tolerance)

@@ -7,6 +7,7 @@ from typing import Callable, Dict, Optional, Protocol
 from repro.net.link import Link
 from repro.net.packet import POOL, Packet
 from repro.obs import records as obsrec
+from repro.sim.engine import SimulationError
 
 
 class Endpoint(Protocol):
@@ -88,29 +89,69 @@ class Router:
 
     ``add_route(dst_host_name, link)`` installs a next-hop link; packets
     for unknown destinations fall back to ``default_route`` when set.
+
+    A ``strict`` router raises :class:`SimulationError` instead of
+    silently counting unroutable packets — topologies built from an
+    explicit spec (``repro.net.topogen``) use this, because there a
+    missing next-hop is a builder/routing bug, not background noise.
     """
 
     __slots__ = ("name", "_routes", "default_route", "packets_forwarded",
-                 "unroutable")
+                 "unroutable", "strict")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, strict: bool = False) -> None:
         self.name = name
         self._routes: Dict[str, Link] = {}
         self.default_route: Optional[Link] = None
         self.packets_forwarded = 0
         self.unroutable = 0
+        self.strict = strict
 
     def add_route(self, dst: str, link: Link) -> None:
         self._routes[dst] = link
+
+    def routes(self) -> Dict[str, Link]:
+        """Snapshot of the installed next-hop table (dst -> link)."""
+        return dict(self._routes)
+
+    def _no_route_error(self, dst: str) -> SimulationError:
+        known = ", ".join(sorted(self._routes)) or "<none>"
+        return SimulationError(
+            f"router {self.name} has no route for destination {dst!r} "
+            f"(routes: {known}; no default route)")
+
+    def forward(self, packet: Packet) -> None:
+        """Forward ``packet`` toward its destination, failing loudly.
+
+        Unlike :meth:`receive` on a non-strict router (which tolerates
+        unroutable packets by counting and dropping them), an unknown
+        destination here raises :class:`SimulationError` naming the
+        router, the destination, and the routes it does know.
+        """
+        link = self._routes.get(packet.dst, self.default_route)
+        if link is None:
+            self.unroutable += 1
+            POOL.release(packet)
+            raise self._no_route_error(packet.dst)
+        self.packets_forwarded += 1
+        if not link.send(packet):
+            # Queue-full drop at this hop: the link counted the drop and
+            # the packet's life ends here, so pooled packets rejoin the
+            # free list (refcount-guarded, like end-host delivery).
+            POOL.release(packet)
 
     def receive(self, packet: Packet) -> None:
         link = self._routes.get(packet.dst, self.default_route)
         if link is None:
             self.unroutable += 1
             POOL.release(packet)
+            if self.strict:
+                raise self._no_route_error(packet.dst)
             return
         self.packets_forwarded += 1
-        link.send(packet)
+        if not link.send(packet):
+            # Queue-full drop at this hop (see forward()).
+            POOL.release(packet)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Router {self.name}>"

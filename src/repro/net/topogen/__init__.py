@@ -1,0 +1,57 @@
+"""Declarative topology/scenario generation beyond the dumbbell.
+
+``repro.net.topogen`` turns a pure-data :class:`~repro.net.topogen.spec.TopologySpec`
+— nodes, directed links with rate/delay/jitter/loss/queue discipline,
+foreground flow endpoints, and cross-traffic placement — into a built
+network of :class:`~repro.net.node.Host`/:class:`~repro.net.node.Router`
+objects with forwarding tables computed by deterministic link-state SPF
+(:mod:`~repro.net.topogen.routing`).  Specs are content-hashable and
+JSON-round-trippable, so they embed by value into campaign
+:class:`~repro.campaign.spec.JobSpec` params and cache like any other
+job input.
+
+Builders (:mod:`~repro.net.topogen.builders`) cover the scenario
+classes the SUSS evaluation bed needs: parking-lot chains,
+multi-bottleneck paths, routed multi-path meshes, and LFN/satellite
+profiles where slow-start dominates.
+"""
+
+from repro.net.topogen.build import BuiltTopology, build_topology
+from repro.net.topogen.builders import (
+    SCENARIO_CLASSES,
+    TOPO_SCENARIOS,
+    get_topo_scenario,
+    lfn_satellite,
+    mesh_diamond,
+    multi_bottleneck,
+    parking_lot,
+    registered_specs,
+)
+from repro.net.topogen.routing import routing_table_json, spf_routes
+from repro.net.topogen.spec import (
+    CrossTrafficPlan,
+    FlowPath,
+    LinkSpec,
+    NodeSpec,
+    TopologySpec,
+)
+
+__all__ = [
+    "BuiltTopology",
+    "CrossTrafficPlan",
+    "FlowPath",
+    "LinkSpec",
+    "NodeSpec",
+    "SCENARIO_CLASSES",
+    "TOPO_SCENARIOS",
+    "TopologySpec",
+    "build_topology",
+    "get_topo_scenario",
+    "lfn_satellite",
+    "mesh_diamond",
+    "multi_bottleneck",
+    "parking_lot",
+    "registered_specs",
+    "routing_table_json",
+    "spf_routes",
+]

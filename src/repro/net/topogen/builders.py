@@ -1,0 +1,229 @@
+"""Scenario-class builders and the registered scenario catalogue.
+
+Four scenario classes cover the SUSS evaluation bed beyond the
+dumbbell:
+
+* **parking_lot** — a chain of equal-rate hops with a foreground flow
+  traversing all of them and per-hop cross traffic competing on each
+  segment (the classic multi-hop fairness stressor);
+* **multi_bottleneck** — a chain whose narrow links differ in rate, so
+  the foreground flow crosses more than one genuine bottleneck;
+* **mesh** — a routed diamond with two disjoint router paths whose
+  delays differ; SPF steers each host pair over its shortest path, so
+  two foreground flows share only the edges of the diamond;
+* **lfn_satellite** — long-fat-network profiles (≥300 ms RTT, high
+  BDP) where slow-start dominates FCT and SUSS's rounds-saved should
+  be largest (GEO satellite at ~560 ms RTT is the extreme point).
+
+``TOPO_SCENARIOS`` maps registered scenario names to zero-argument
+builders; the canonical JSON of every registered spec is pinned in
+``tests/golden/topogen_specs.json``, so any drift — parameter tweaks,
+new fields, builder edits — fails loudly and must re-record the golden.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.core.units import MBPS, Bytes, BytesPerSec, Seconds
+from repro.net.topogen.spec import (
+    CrossTrafficPlan,
+    FlowPath,
+    LinkSpec,
+    NodeSpec,
+    TopologySpec,
+)
+
+#: the scenario-class taxonomy (claims and smoke gates group by these).
+SCENARIO_CLASSES = ("parking_lot", "multi_bottleneck", "mesh",
+                    "lfn_satellite")
+
+#: negligible propagation of a host's access cable (hosts sit next to
+#: their router, as in build_dumbbell's server side).
+ACCESS_DELAY: Seconds = 1e-6
+
+#: access links run at this multiple of the fastest shaped link so they
+#: never bottleneck (same convention as build_dumbbell).
+ACCESS_RATE_FACTOR = 10.0
+
+
+def _bdp(rate: BytesPerSec, rtt: Seconds) -> Bytes:
+    return max(int(rate * rtt), 2 * 1500)
+
+
+def _host_pair(nodes: List[NodeSpec], links: List[LinkSpec], host: str,
+               router: str, rate: BytesPerSec,
+               delay: Seconds = ACCESS_DELAY) -> None:
+    """Attach ``host`` to ``router`` with an unshaped duplex cable."""
+    nodes.append(NodeSpec(host, "host"))
+    links.append(LinkSpec(host, router, rate=rate, delay=delay))
+    links.append(LinkSpec(router, host, rate=rate, delay=delay))
+
+
+def _duplex(links: List[LinkSpec], a: str, b: str, rate: BytesPerSec,
+            delay: Seconds, buffer_bytes: Bytes, *, jitter: Seconds = 0.0,
+            loss: float = 0.0, bw_variation: float = 0.0) -> None:
+    """A shaped forward link plus an unshaped same-rate reverse link."""
+    links.append(LinkSpec(a, b, rate=rate, delay=delay,
+                          buffer_bytes=buffer_bytes, jitter=jitter,
+                          loss=loss, bw_variation=bw_variation))
+    links.append(LinkSpec(b, a, rate=rate, delay=delay))
+
+
+def parking_lot(n_hops: int = 3, hop_rate: BytesPerSec = 25 * MBPS,
+                hop_delay: Seconds = 0.010, buffer_bdp: float = 1.0,
+                cross_load: float = 0.2,
+                name: str = "") -> TopologySpec:
+    """A chain of ``n_hops`` equal bottlenecks with per-hop cross traffic.
+
+    The foreground flow (flow 0) runs end to end; each hop carries one
+    web-mix cross-traffic pair that enters at hop ``i`` and leaves at
+    hop ``i + 1``, so every segment is independently loaded.
+    """
+    if n_hops < 2:
+        raise ValueError("a parking lot needs at least 2 hops")
+    routers = [f"r{i}" for i in range(n_hops + 1)]
+    nodes = [NodeSpec(r, "router") for r in routers]
+    links: List[LinkSpec] = []
+    access_rate = ACCESS_RATE_FACTOR * hop_rate
+    rtt = 2 * n_hops * hop_delay
+    buffer_bytes = max(int(buffer_bdp * _bdp(hop_rate, rtt)), 3000)
+    for i in range(n_hops):
+        _duplex(links, routers[i], routers[i + 1], hop_rate, hop_delay,
+                buffer_bytes)
+    _host_pair(nodes, links, "s0", routers[0], access_rate)
+    _host_pair(nodes, links, "c0", routers[-1], access_rate)
+    flows = [FlowPath("s0", "c0")]
+    cross: List[CrossTrafficPlan] = []
+    for i in range(n_hops):
+        _host_pair(nodes, links, f"xs{i}", routers[i], access_rate)
+        _host_pair(nodes, links, f"xc{i}", routers[i + 1], access_rate)
+        cross.append(CrossTrafficPlan(f"xs{i}", f"xc{i}", mix="web",
+                                      load=cross_load))
+    return TopologySpec(
+        name=name or f"parking-lot-{n_hops}",
+        scenario_class="parking_lot", nodes=tuple(nodes),
+        links=tuple(links), flows=tuple(flows),
+        cross_traffic=tuple(cross)).validate()
+
+
+def multi_bottleneck(rates: Sequence[BytesPerSec] = (100 * MBPS, 20 * MBPS,
+                                                     80 * MBPS, 15 * MBPS),
+                     hop_delay: Seconds = 0.012, buffer_bdp: float = 1.0,
+                     cross_load: float = 0.15,
+                     name: str = "") -> TopologySpec:
+    """A chain whose hops differ in rate: several true bottlenecks.
+
+    The narrowest hop sets the foreground flow's fair share; an RPC-mix
+    cross-traffic pair loads the *second*-narrowest hop so the flow is
+    squeezed at two distinct places.
+    """
+    if len(rates) < 2:
+        raise ValueError("need at least two hops")
+    n_hops = len(rates)
+    routers = [f"r{i}" for i in range(n_hops + 1)]
+    nodes = [NodeSpec(r, "router") for r in routers]
+    links: List[LinkSpec] = []
+    access_rate = ACCESS_RATE_FACTOR * max(rates)
+    rtt = 2 * n_hops * hop_delay
+    for i, rate in enumerate(rates):
+        buffer_bytes = max(int(buffer_bdp * _bdp(rate, rtt)), 3000)
+        _duplex(links, routers[i], routers[i + 1], rate, hop_delay,
+                buffer_bytes)
+    _host_pair(nodes, links, "s0", routers[0], access_rate)
+    _host_pair(nodes, links, "c0", routers[-1], access_rate)
+    # Load the second-narrowest hop with RPC bursts.
+    order = sorted(range(n_hops), key=lambda i: (rates[i], i))
+    hop = order[1]
+    _host_pair(nodes, links, "xs0", routers[hop], access_rate)
+    _host_pair(nodes, links, "xc0", routers[hop + 1], access_rate)
+    return TopologySpec(
+        name=name or f"multi-bottleneck-{n_hops}",
+        scenario_class="multi_bottleneck", nodes=tuple(nodes),
+        links=tuple(links), flows=(FlowPath("s0", "c0"),),
+        cross_traffic=(CrossTrafficPlan("xs0", "xc0", mix="rpc",
+                                        load=cross_load),)).validate()
+
+
+def mesh_diamond(fast_delay: Seconds = 0.008, slow_delay: Seconds = 0.020,
+                 rate: BytesPerSec = 40 * MBPS, buffer_bdp: float = 1.0,
+                 cross_load: float = 0.15, name: str = "") -> TopologySpec:
+    """A routed diamond: two disjoint equal-rate paths, different delays.
+
+    SPF sends ``s0 -> c0`` over the fast branch (``ra -> rb -> rd``).
+    A second pair homes on the slow branch's middle router (``rc``), so
+    its traffic shares only the diamond's entry/exit with flow 0 —
+    multi-path routing with partial overlap, not a shared chain.
+    """
+    nodes = [NodeSpec(r, "router") for r in ("ra", "rb", "rc", "rd")]
+    links: List[LinkSpec] = []
+    access_rate = ACCESS_RATE_FACTOR * rate
+    rtt = 2 * (fast_delay * 2)
+    buffer_bytes = max(int(buffer_bdp * _bdp(rate, rtt)), 3000)
+    _duplex(links, "ra", "rb", rate, fast_delay, buffer_bytes)
+    _duplex(links, "rb", "rd", rate, fast_delay, buffer_bytes)
+    _duplex(links, "ra", "rc", rate, slow_delay, buffer_bytes)
+    _duplex(links, "rc", "rd", rate, slow_delay, buffer_bytes)
+    _host_pair(nodes, links, "s0", "ra", access_rate)
+    _host_pair(nodes, links, "c0", "rd", access_rate)
+    # The second pair's client homes on the slow branch's router.
+    _host_pair(nodes, links, "s1", "ra", access_rate)
+    _host_pair(nodes, links, "c1", "rc", access_rate)
+    return TopologySpec(
+        name=name or "mesh-diamond", scenario_class="mesh",
+        nodes=tuple(nodes), links=tuple(links),
+        flows=(FlowPath("s0", "c0"), FlowPath("s1", "c1")),
+        cross_traffic=(CrossTrafficPlan("s1", "c1", mix="web",
+                                        load=cross_load),)).validate()
+
+
+def lfn_satellite(rtt: Seconds = 0.560, rate: BytesPerSec = 50 * MBPS,
+                  buffer_bdp: float = 1.0, jitter: Seconds = 0.001,
+                  name: str = "") -> TopologySpec:
+    """A long-fat/satellite path: ≥300 ms RTT at high BDP.
+
+    The default is a GEO-satellite-like 560 ms RTT at 50 Mbps (a ~3.5 MB
+    BDP — hundreds of slow-start rounds' worth of window to grow), the
+    profile where SUSS's compressed slow start should save the most
+    rounds.  The satellite hop carries mild jitter; access cables are
+    clean.
+    """
+    if rtt < 0.300:
+        raise ValueError("an LFN/satellite profile needs rtt >= 300 ms")
+    hop_delay = rtt / 2
+    nodes = [NodeSpec(r, "router") for r in ("rg", "rs")]
+    links: List[LinkSpec] = []
+    access_rate = ACCESS_RATE_FACTOR * rate
+    buffer_bytes = max(int(buffer_bdp * _bdp(rate, rtt)), 3000)
+    _duplex(links, "rg", "rs", rate, hop_delay, buffer_bytes,
+            jitter=jitter)
+    _host_pair(nodes, links, "s0", "rg", access_rate)
+    _host_pair(nodes, links, "c0", "rs", access_rate)
+    return TopologySpec(
+        name=name or "lfn-satellite", scenario_class="lfn_satellite",
+        nodes=tuple(nodes), links=tuple(links),
+        flows=(FlowPath("s0", "c0"),)).validate()
+
+
+#: registered scenario catalogue: name -> zero-argument builder.
+TOPO_SCENARIOS: Dict[str, Callable[[], TopologySpec]] = {
+    "parking-lot-3": lambda: parking_lot(3),
+    "multi-bottleneck-4": lambda: multi_bottleneck(),
+    "mesh-diamond": lambda: mesh_diamond(),
+    "lfn-satellite": lambda: lfn_satellite(),
+    "lfn-terrestrial": lambda: lfn_satellite(
+        rtt=0.300, rate=100 * MBPS, jitter=0.0005, name="lfn-terrestrial"),
+}
+
+
+def get_topo_scenario(name: str) -> TopologySpec:
+    """Build a registered scenario by name."""
+    if name not in TOPO_SCENARIOS:
+        known = ", ".join(sorted(TOPO_SCENARIOS))
+        raise KeyError(f"unknown topo scenario {name!r}; known: {known}")
+    return TOPO_SCENARIOS[name]()
+
+
+def registered_specs() -> Dict[str, TopologySpec]:
+    """All registered scenarios, built (sorted by name)."""
+    return {name: TOPO_SCENARIOS[name]() for name in sorted(TOPO_SCENARIOS)}

@@ -1,0 +1,91 @@
+"""Deterministic link-state SPF next-hop computation.
+
+Each router runs Dijkstra over the spec's directed link graph with
+propagation delay as the metric, exactly like an OSPF-style link-state
+protocol that has converged.  Ties are broken deterministically —
+first on hop count, then on the lexicographic name of the candidate
+predecessor path — so the same spec always yields byte-identical
+forwarding tables (:func:`routing_table_json` is the canonical form the
+determinism test compares).
+
+The output maps ``router -> {destination host -> next-hop node}``;
+:func:`repro.net.topogen.build.build_topology` turns next-hop node
+names into :meth:`repro.net.node.Router.add_route` entries on the
+corresponding outgoing links.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Tuple
+
+from repro.core.units import Seconds
+from repro.net.topogen.spec import TopologySpec, canonical_json
+
+
+def _adjacency(spec: TopologySpec) -> Dict[str, List[Tuple[str, Seconds]]]:
+    """node -> [(neighbor, delay)] with neighbors in sorted order."""
+    adjacency: Dict[str, List[Tuple[str, Seconds]]] = {
+        n.name: [] for n in spec.nodes}
+    for link in spec.links:
+        adjacency[link.src].append((link.dst, link.delay))
+    for edges in adjacency.values():
+        edges.sort()
+    return adjacency
+
+
+def _dijkstra(adjacency: Dict[str, List[Tuple[str, Seconds]]],
+              source: str, transit: frozenset) -> Dict[str, Tuple[float, int, str]]:
+    """Shortest paths from ``source``: node -> (delay, hops, first_hop).
+
+    ``first_hop`` is the neighbor of ``source`` on the winning path —
+    the value a forwarding table needs.  The priority key is
+    ``(delay, hops, first_hop, node)``: equal-delay paths prefer fewer
+    hops, then the lexicographically smallest next hop, making the
+    tables a pure function of the spec with no dict-order dependence.
+
+    Only ``transit`` nodes (routers) are expanded: a host terminates a
+    path — real hosts do not forward other nodes' traffic even when the
+    graph gives them an uplink that would shortcut somewhere.
+    """
+    best: Dict[str, Tuple[float, int, str]] = {}
+    # (delay, hops, first_hop, node)
+    frontier: List[Tuple[float, int, str, str]] = []
+    for neighbor, delay in adjacency.get(source, ()):
+        heapq.heappush(frontier, (delay, 1, neighbor, neighbor))
+    while frontier:
+        delay, hops, first_hop, node = heapq.heappop(frontier)
+        if node in best:
+            continue
+        best[node] = (delay, hops, first_hop)
+        if node not in transit:
+            continue
+        for neighbor, edge_delay in adjacency.get(node, ()):
+            if neighbor not in best and neighbor != source:
+                heapq.heappush(frontier, (delay + edge_delay, hops + 1,
+                                          first_hop, neighbor))
+    return best
+
+
+def spf_routes(spec: TopologySpec) -> Dict[str, Dict[str, str]]:
+    """Forwarding tables: ``router -> {host destination -> next hop}``.
+
+    Only destinations that are reachable appear; unreachable hosts are
+    simply absent (the spec validator already guarantees every *flow's*
+    pair is connected, and a strict :class:`~repro.net.node.Router`
+    raises on anything else at simulation time).
+    """
+    adjacency = _adjacency(spec)
+    hosts = spec.hosts()
+    transit = frozenset(spec.router_names())
+    tables: Dict[str, Dict[str, str]] = {}
+    for router in spec.router_names():
+        paths = _dijkstra(adjacency, router, transit)
+        table = {host: paths[host][2] for host in hosts if host in paths}
+        tables[router] = table
+    return tables
+
+
+def routing_table_json(spec: TopologySpec) -> str:
+    """Canonical JSON of the SPF tables (the byte-identity surface)."""
+    return canonical_json(spf_routes(spec))

@@ -1,0 +1,307 @@
+"""The declarative scenario/topology spec: pure data, content-hashable.
+
+A :class:`TopologySpec` is the unit the rest of the stack passes around:
+builders produce one, :func:`repro.net.topogen.build.build_topology`
+instantiates one, campaign jobs embed one by value (its canonical dict),
+and the golden gate (``tests/golden/topogen_specs.json``) pins each
+registered spec's canonical JSON against drift.  Everything in a spec is
+JSON-serialisable; nothing here touches the simulator.
+
+Conventions:
+
+* links are **directed** — a duplex cable is two :class:`LinkSpec`\\ s,
+  which is what lets the reverse (ACK) direction carry its own buffer
+  and rate, exactly as :func:`repro.net.topology.build_dumbbell` does;
+* every host has exactly one outgoing link (its uplink) and at least one
+  incoming link; routers forward by SPF next hops;
+* all rates are bytes/second, delays are seconds (one-way), buffers are
+  bytes — the same units as :mod:`repro.net.link`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.units import Bytes, BytesPerSec, Seconds
+
+#: queue disciplines a LinkSpec may name (mirrors repro.net.queue).
+QUEUE_DISCIPLINES = ("droptail", "codel")
+
+#: traffic mixes a CrossTrafficPlan may name (repro.workloads.mixes).
+TRAFFIC_MIXES = ("web", "video", "rpc")
+
+#: effectively-infinite buffer used when a LinkSpec leaves buffer_bytes
+#: unset (access and reverse links that must never be the bottleneck).
+UNSHAPED_BUFFER: Bytes = 10**9
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace, no NaN).
+
+    Local twin of :func:`repro.campaign.spec.canonical_json` — topogen
+    sits in the net layer, below campaign, so it cannot import it.
+    """
+    return json.dumps(value, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+class TopologySpecError(ValueError):
+    """A spec that cannot describe a buildable network."""
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One node: an end host (transport endpoints) or a router."""
+
+    name: str
+    kind: str = "host"  # "host" | "router"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TopologySpecError("node name must be non-empty")
+        if self.kind not in ("host", "router"):
+            raise TopologySpecError(
+                f"node {self.name!r}: unknown kind {self.kind!r} "
+                f"(host or router)")
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One *direction* of a link: src -> dst.
+
+    ``buffer_bytes=None`` means an effectively-infinite drop-tail buffer
+    (:data:`UNSHAPED_BUFFER`) — for access/reverse links.  A shaped
+    bottleneck sets an explicit buffer and optionally jitter, Bernoulli
+    loss, a bandwidth-variation span (``bw_variation`` feeds
+    :class:`repro.net.netem.RandomWalkBandwidth`), or CoDel.
+    """
+
+    src: str
+    dst: str
+    rate: BytesPerSec
+    delay: Seconds
+    buffer_bytes: Optional[Bytes] = None
+    queue: str = "droptail"
+    jitter: Seconds = 0.0
+    loss: float = 0.0
+    bw_variation: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise TopologySpecError(f"link {self.src}->{self.dst}: self-loop")
+        if not self.rate > 0:
+            raise TopologySpecError(
+                f"link {self.src}->{self.dst}: rate must be positive")
+        if self.delay < 0:
+            raise TopologySpecError(
+                f"link {self.src}->{self.dst}: delay must be non-negative")
+        if self.buffer_bytes is not None and self.buffer_bytes <= 0:
+            raise TopologySpecError(
+                f"link {self.src}->{self.dst}: buffer_bytes must be positive")
+        if self.queue not in QUEUE_DISCIPLINES:
+            raise TopologySpecError(
+                f"link {self.src}->{self.dst}: unknown queue {self.queue!r} "
+                f"(known: {', '.join(QUEUE_DISCIPLINES)})")
+        if self.jitter < 0:
+            raise TopologySpecError(
+                f"link {self.src}->{self.dst}: jitter must be non-negative")
+        if not 0.0 <= self.loss < 1.0:
+            raise TopologySpecError(
+                f"link {self.src}->{self.dst}: loss must be in [0, 1)")
+        if not 0.0 <= self.bw_variation < 1.0:
+            raise TopologySpecError(
+                f"link {self.src}->{self.dst}: bw_variation must be in [0, 1)")
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.src, self.dst)
+
+
+@dataclass(frozen=True)
+class FlowPath:
+    """A foreground flow's endpoints (data flows server -> client)."""
+
+    server: str
+    client: str
+
+    def __post_init__(self) -> None:
+        if self.server == self.client:
+            raise TopologySpecError(
+                f"flow {self.server}->{self.client}: endpoints must differ")
+
+
+@dataclass(frozen=True)
+class CrossTrafficPlan:
+    """Background load on one host pair, drawn from a named traffic mix.
+
+    ``load`` is the offered load as a fraction of the narrowest link on
+    the pair's forward path; the builder scales arrival rates to it.
+    """
+
+    server: str
+    client: str
+    mix: str = "web"
+    load: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.mix not in TRAFFIC_MIXES:
+            raise TopologySpecError(
+                f"cross traffic {self.server}->{self.client}: unknown mix "
+                f"{self.mix!r} (known: {', '.join(TRAFFIC_MIXES)})")
+        if not 0.0 < self.load < 1.0:
+            raise TopologySpecError(
+                f"cross traffic {self.server}->{self.client}: load must be "
+                f"in (0, 1)")
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """A complete, buildable scenario: topology + flows + traffic.
+
+    ``scenario_class`` is the taxonomy key claims and smoke gates group
+    by (``parking_lot`` / ``multi_bottleneck`` / ``mesh`` /
+    ``lfn_satellite`` / free-form).  :meth:`validate` checks structural
+    soundness; :meth:`content_hash` is a SHA-256 over the canonical
+    JSON, so two specs collide exactly when they describe the same
+    network and workload.
+    """
+
+    name: str
+    scenario_class: str
+    nodes: Tuple[NodeSpec, ...]
+    links: Tuple[LinkSpec, ...]
+    flows: Tuple[FlowPath, ...] = ()
+    cross_traffic: Tuple[CrossTrafficPlan, ...] = ()
+
+    # -- structural validation -----------------------------------------
+    def validate(self) -> "TopologySpec":
+        """Raise :class:`TopologySpecError` on structural problems."""
+        if not self.name:
+            raise TopologySpecError("spec name must be non-empty")
+        if not self.scenario_class:
+            raise TopologySpecError(f"{self.name}: scenario_class required")
+        names = [n.name for n in self.nodes]
+        if len(names) != len(set(names)):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise TopologySpecError(
+                f"{self.name}: duplicate node names {dupes}")
+        kinds = {n.name: n.kind for n in self.nodes}
+        seen_links = set()
+        out_degree: Dict[str, int] = {}
+        in_degree: Dict[str, int] = {}
+        for link in self.links:
+            for end in (link.src, link.dst):
+                if end not in kinds:
+                    raise TopologySpecError(
+                        f"{self.name}: link {link.src}->{link.dst} names "
+                        f"unknown node {end!r}")
+            if link.key in seen_links:
+                raise TopologySpecError(
+                    f"{self.name}: duplicate link {link.src}->{link.dst}")
+            seen_links.add(link.key)
+            out_degree[link.src] = out_degree.get(link.src, 0) + 1
+            in_degree[link.dst] = in_degree.get(link.dst, 0) + 1
+        for node in self.nodes:
+            if node.kind != "host":
+                continue
+            if out_degree.get(node.name, 0) != 1:
+                raise TopologySpecError(
+                    f"{self.name}: host {node.name} needs exactly one "
+                    f"outgoing link (its uplink), has "
+                    f"{out_degree.get(node.name, 0)}")
+            if in_degree.get(node.name, 0) != 1:
+                raise TopologySpecError(
+                    f"{self.name}: host {node.name} needs exactly one "
+                    f"incoming link, has {in_degree.get(node.name, 0)}")
+        for flow in self.flows:
+            for end in (flow.server, flow.client):
+                if kinds.get(end) != "host":
+                    raise TopologySpecError(
+                        f"{self.name}: flow endpoint {end!r} is not a host")
+        for plan in self.cross_traffic:
+            for end in (plan.server, plan.client):
+                if kinds.get(end) != "host":
+                    raise TopologySpecError(
+                        f"{self.name}: cross-traffic endpoint {end!r} is "
+                        f"not a host")
+        self._check_reachability(kinds)
+        return self
+
+    def _check_reachability(self, kinds: Mapping[str, str]) -> None:
+        """Every flow/cross-traffic pair must be connected both ways
+        (data forward, ACKs back)."""
+        adjacency: Dict[str, List[str]] = {}
+        for link in self.links:
+            adjacency.setdefault(link.src, []).append(link.dst)
+        pairs = [(f.server, f.client) for f in self.flows]
+        pairs += [(p.server, p.client) for p in self.cross_traffic]
+        for server, client in pairs:
+            for src, dst in ((server, client), (client, server)):
+                if not self._reaches(adjacency, src, dst):
+                    raise TopologySpecError(
+                        f"{self.name}: no directed path {src} -> {dst}")
+
+    @staticmethod
+    def _reaches(adjacency: Mapping[str, Sequence[str]], src: str,
+                 dst: str) -> bool:
+        seen = {src}
+        frontier = [src]
+        while frontier:
+            node = frontier.pop()
+            if node == dst:
+                return True
+            for nxt in adjacency.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return False
+
+    # -- identity -------------------------------------------------------
+    def canonical(self) -> Dict[str, Any]:
+        """JSON-serialisable dict in canonical (sorted, tuple-free) form."""
+        return {
+            "name": self.name,
+            "scenario_class": self.scenario_class,
+            "nodes": [asdict(n) for n in
+                      sorted(self.nodes, key=lambda n: n.name)],
+            "links": [asdict(l) for l in
+                      sorted(self.links, key=lambda l: l.key)],
+            "flows": [asdict(f) for f in self.flows],
+            "cross_traffic": [asdict(p) for p in self.cross_traffic],
+        }
+
+    def to_json(self) -> str:
+        return canonical_json(self.canonical())
+
+    @property
+    def content_hash(self) -> str:
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TopologySpec":
+        return cls(
+            name=data["name"],
+            scenario_class=data["scenario_class"],
+            nodes=tuple(NodeSpec(**n) for n in data["nodes"]),
+            links=tuple(LinkSpec(**l) for l in data["links"]),
+            flows=tuple(FlowPath(**f) for f in data.get("flows", ())),
+            cross_traffic=tuple(CrossTrafficPlan(**p)
+                                for p in data.get("cross_traffic", ())),
+        ).validate()
+
+    @classmethod
+    def from_json(cls, text: str) -> "TopologySpec":
+        return cls.from_dict(json.loads(text))
+
+    # -- convenience ----------------------------------------------------
+    def hosts(self) -> List[str]:
+        return sorted(n.name for n in self.nodes if n.kind == "host")
+
+    def router_names(self) -> List[str]:
+        return sorted(n.name for n in self.nodes if n.kind == "router")
+
+    def link_map(self) -> Dict[Tuple[str, str], LinkSpec]:
+        return {l.key: l for l in self.links}

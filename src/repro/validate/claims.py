@@ -29,6 +29,7 @@ from repro.campaign.spec import (
     fairness_job,
     single_flow_job,
     stability_job,
+    topo_flow_job,
 )
 from repro.experiments.fig16_stability_trace import PAIR_RTTS
 from repro.workloads.flows import MB
@@ -330,6 +331,63 @@ register_claim(Claim(
     kind="improvement", direction="lower", effect="relative",
     threshold=0.20, build_arms=_fairness_arms,
     extract=_fairness_recovery))
+
+# ----------------------------------------------------------------------
+# Topogen scenario classes — SUSS beyond the dumbbell (repro.net.topogen).
+
+def _topo_claim(claim_id: str, title: str, *, scenario: str, kind: str,
+                threshold: float, size: int = 2 * MB,
+                cross_load: float = 1.0,
+                quick_seeds: int = 3, full_seeds: int = 8) -> Claim:
+    def build_arms(mode: str, base_seed: int) -> Dict[str, List[JobSpec]]:
+        n = _mode_count(mode, quick_seeds, full_seeds)
+        flow_size = size if mode == "quick" else 2 * size
+        return {
+            "baseline": [topo_flow_job(scenario, "cubic", flow_size,
+                                       seed=base_seed + i,
+                                       cross_load=cross_load)
+                         for i in range(n)],
+            "treatment": [topo_flow_job(scenario, "cubic+suss", flow_size,
+                                        seed=base_seed + i,
+                                        cross_load=cross_load)
+                          for i in range(n)],
+        }
+
+    return register_claim(Claim(
+        id=claim_id, title=title, paper="Sec. 7 (beyond the testbed)",
+        harness="topo_suite", kind=kind,
+        direction="lower", effect="relative", threshold=threshold,
+        build_arms=build_arms, extract=lambda value: value["fct"]))
+
+
+_topo_claim(
+    "topo-lfn-fct-improvement",
+    "On a long-fat/satellite path (560 ms RTT, 50 Mbps) SUSS improves a "
+    "2 MB flow's FCT by >= 15% — the scenario class where compressed "
+    "slow start saves the most rounds",
+    scenario="lfn-satellite", kind="improvement", threshold=0.15)
+
+_topo_claim(
+    "topo-parking-lot-no-harm",
+    "On a 3-hop parking lot with per-hop web cross traffic, SUSS does "
+    "not regress foreground FCT by more than 10%",
+    scenario="parking-lot-3", kind="non_regression", threshold=0.10,
+    size=1 * MB)
+
+_topo_claim(
+    "topo-multi-bottleneck-no-harm",
+    "Crossing two distinct bottlenecks (20 and 15 Mbps hops) with RPC "
+    "cross traffic, SUSS does not regress FCT by more than 10%",
+    scenario="multi-bottleneck-4", kind="non_regression", threshold=0.10,
+    size=1 * MB)
+
+_topo_claim(
+    "topo-mesh-no-harm",
+    "On an SPF-routed diamond where a second pair shares only the "
+    "diamond's edges, SUSS does not regress FCT by more than 10%",
+    scenario="mesh-diamond", kind="non_regression", threshold=0.10,
+    size=1 * MB)
+
 
 register_claim(Claim(
     id="fig15-fairness-floor",

@@ -594,3 +594,89 @@ class TestProfileCollapsed:
                    "google-tokyo/wired", "--size", "400000"])
         assert rc == 0
         assert "event type" in capsys.readouterr().out
+
+
+class TestTopo:
+    def test_list(self, capsys):
+        assert main(["topo", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "parking-lot-3" in out
+        assert "lfn-satellite" in out
+        assert "mesh" in out
+
+    def test_show_emits_canonical_json(self, capsys):
+        assert main(["topo", "show", "--scenario", "mesh-diamond",
+                     "--json"]) == 0
+        out = capsys.readouterr().out
+        spec = json.loads(out)
+        assert spec["name"] == "mesh-diamond"
+        assert spec["scenario_class"] == "mesh"
+
+    def test_routes_byte_identical_across_invocations(self, capsys):
+        assert main(["topo", "routes", "--scenario", "mesh-diamond"]) == 0
+        first = capsys.readouterr().out
+        assert main(["topo", "routes", "--scenario", "mesh-diamond"]) == 0
+        assert capsys.readouterr().out == first
+        assert json.loads(first)["ra"]["c0"] == "rb"
+
+    def test_validate_spec_file(self, tmp_path, capsys):
+        from repro.net.topogen import get_topo_scenario
+        path = tmp_path / "spec.json"
+        path.write_text(get_topo_scenario("lfn-satellite").to_json())
+        assert main(["topo", "validate", "--spec", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "content hash" in out
+
+    def test_bad_spec_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"name": "x"}')
+        with pytest.raises(SystemExit, match="bad spec file"):
+            main(["topo", "validate", "--spec", str(path)])
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit, match="unknown topo scenario"):
+            main(["topo", "show", "--scenario", "nope"])
+
+    def test_scenario_or_spec_required(self):
+        with pytest.raises(SystemExit, match="--scenario or --spec"):
+            main(["topo", "show"])
+
+    def test_run_completes(self, capsys):
+        rc = main(["topo", "run", "--scenario", "mesh-diamond",
+                   "--size", "60000", "--cross-load", "0", "--json"])
+        assert rc == 0
+        value = json.loads(capsys.readouterr().out)
+        assert value["completed"] and value["fct"] > 0
+
+    def test_golden_roundtrip(self, tmp_path, capsys):
+        from repro.net.topogen import get_topo_scenario, registered_specs
+        path = tmp_path / "specs.json"
+        assert main(["topo", "golden", "--out", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert set(payload) == set(registered_specs())
+        for name, entry in payload.items():
+            assert entry["content_hash"] == \
+                get_topo_scenario(name).content_hash
+
+
+class TestTopoCampaign:
+    ARGS = ["campaign", "--topo", "mesh-diamond", "--sizes", "60000",
+            "--iterations", "1", "--quiet"]
+
+    def test_first_run_executes_second_run_cached(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        rc = main(self.ARGS + ["--cache-dir", cache])
+        assert rc == 0
+        first = capsys.readouterr().out
+        assert "Topogen suite" in first
+        assert "executed=2 cached=0" in first
+
+        rc = main(self.ARGS + ["--cache-dir", cache, "--resume"])
+        assert rc == 0
+        second = capsys.readouterr().out
+        assert "executed=0 cached=2" in second
+        assert second.split("campaign:")[0] == first.split("campaign:")[0]
+
+    def test_unknown_topo_scenario_rejected(self):
+        with pytest.raises(SystemExit, match="unknown topo scenario"):
+            main(["campaign", "--topo", "nope", "--quiet"])

@@ -166,3 +166,172 @@ class TestDumbbell:
         net.servers[1].transmit(pkt("client1", flow=2))
         sim.run()
         assert arrivals["near"] < arrivals["far"]
+
+
+class TestRouterForward:
+    """Satellite: Router.forward fails loudly on unknown destinations."""
+
+    def _router_with_route(self, sim):
+        from repro.net import ConstantBandwidth, Link
+        router = Router("core")
+        h = Host("known")
+        router.add_route("known", Link(sim, h, ConstantBandwidth(1e9), 0.0))
+        return router, h
+
+    def test_forward_unknown_destination_raises(self):
+        from repro.sim import SimulationError
+        router, _ = self._router_with_route(Simulator())
+        with pytest.raises(SimulationError) as exc:
+            router.forward(pkt("nowhere"))
+        msg = str(exc.value)
+        assert "core" in msg and "nowhere" in msg and "known" in msg
+        assert router.unroutable == 1
+
+    def test_forward_known_destination_delivers(self):
+        sim = Simulator()
+        router, h = self._router_with_route(sim)
+        router.forward(pkt("known"))
+        sim.run()
+        assert h.packets_received == 1
+        assert router.packets_forwarded == 1
+
+    def test_forward_mentions_default_route_absence(self):
+        from repro.sim import SimulationError
+        router, _ = self._router_with_route(Simulator())
+        with pytest.raises(SimulationError, match="no default route"):
+            router.forward(pkt("elsewhere"))
+
+    def test_strict_receive_raises(self):
+        from repro.sim import SimulationError
+        router = Router("strict-r", strict=True)
+        with pytest.raises(SimulationError):
+            router.receive(pkt("nowhere"))
+        assert router.unroutable == 1
+
+    def test_non_strict_receive_stays_silent(self):
+        router = Router("lax-r")
+        router.receive(pkt("nowhere"))
+        assert router.unroutable == 1
+
+
+class TestRouterPoolRelease:
+    """Satellite: pooled packets die cleanly at router hops too."""
+
+    def test_unroutable_pooled_packet_rejoins_free_list(self):
+        from repro.net.packet import POOL
+        router = Router("r")
+        before = len(POOL)
+        retained = POOL.retained
+        # Passing the acquisition straight in keeps the refcount at the
+        # release floor: no caller frame retains the packet.
+        router.receive(POOL.acquire_ack(1, "a", "nowhere", 0, 0.0, None,
+                                        None, False))
+        # acquire popped one packet, release pushed it straight back
+        assert len(POOL) == before
+        assert POOL.retained == retained
+
+    def test_full_queue_at_router_hop_releases(self):
+        from repro.net import ConstantBandwidth, Link
+        from repro.net.packet import HEADER_BYTES, POOL
+        from repro.net.queue import DropTailQueue
+        sim = Simulator()
+        router = Router("r")
+        h = Host("h")
+        # Tiny buffer: one ACK serialising, one queued, the third drops.
+        q = DropTailQueue(HEADER_BYTES, name="tiny")
+        link = Link(sim, h, ConstantBandwidth(10.0), 0.0, queue=q)
+        router.add_route("h", link)
+        for seq in range(2):
+            router.receive(POOL.acquire_ack(1, "a", "h", seq, 0.0, None,
+                                            None, False))
+        before = len(POOL)
+        retained = POOL.retained
+        router.receive(POOL.acquire_ack(1, "a", "h", 2, 0.0, None,
+                                        None, False))
+        assert q.drops == 1
+        # the dropped packet rejoined the free list (acquire -1, +1 back)
+        assert len(POOL) == before
+        assert POOL.retained == retained
+
+    def test_directly_constructed_packet_is_ignored(self):
+        from repro.net.packet import POOL
+        router = Router("r")
+        before = len(POOL)
+        router.receive(pkt("nowhere"))
+        assert len(POOL) == before
+
+
+class TestDumbbellEdges:
+    """Satellite: build_dumbbell edge cases."""
+
+    def test_bdp_floor_boundary(self):
+        assert bdp_bytes(1_000, 2.999) == 3000   # floored
+        assert bdp_bytes(1_000, 3.001) == 3001   # just past the floor
+
+    def test_per_pair_rtt_realised_in_link_delays(self):
+        """Requested RTTs reappear as per-pair access propagation."""
+        sim = Simulator()
+        rtts = [0.03, 0.12, 0.3]
+        net = build_dumbbell(sim, 3, 1e6, rtts, 100_000)
+        # access_links holds [srv.up, srv.down, cli.down, cli.up] per pair
+        for i, rtt in enumerate(rtts):
+            per_side = rtt / 2 - BOTTLENECK_PROP_DELAY
+            srv_up, srv_down, cli_down, cli_up = net.access_links[4 * i:
+                                                                  4 * i + 4]
+            assert cli_down.delay == pytest.approx(per_side)
+            assert cli_up.delay == pytest.approx(per_side)
+            one_way = (srv_up.delay + BOTTLENECK_PROP_DELAY
+                       + cli_down.delay)
+            back = (cli_up.delay + BOTTLENECK_PROP_DELAY + srv_down.delay)
+            assert one_way + back == pytest.approx(rtt, rel=0, abs=3e-6)
+
+    def test_measured_rtt_matches_request_per_pair(self):
+        sim = Simulator()
+        rtts = [0.02, 0.2]
+        net = build_dumbbell(sim, 2, 1e9, rtts, 10 ** 7, access_rate=1e9)
+        times = {}
+
+        def bounce(idx):
+            client, server = net.clients[idx], net.servers[idx]
+
+            class ClientEp:
+                def on_packet(self, p):
+                    reply = Packet(flow_id=idx + 1, src=client.name,
+                                   dst=server.name, kind=PacketKind.ACK)
+                    client.transmit(reply)
+
+            class ServerEp:
+                def on_packet(self, p):
+                    times[idx] = sim.now
+
+            client.attach(idx + 1, ClientEp())
+            server.attach(idx + 1, ServerEp())
+            server.transmit(Packet(flow_id=idx + 1, src=server.name,
+                                   dst=client.name, kind=PacketKind.DATA,
+                                   payload=0))
+
+        bounce(0)
+        bounce(1)
+        sim.run()
+        for idx, rtt in enumerate(rtts):
+            assert abs(times[idx] - rtt) < 0.002, (idx, times[idx], rtt)
+
+    def test_small_buffer_capacity_is_exact(self):
+        """buffer_bytes lands on the queue unrounded, however small."""
+        sim = Simulator()
+        net = build_path(sim, 1e6, 0.05, 1501)
+        assert net.bottleneck_queue.capacity_bytes == 1501
+
+    def test_sub_packet_buffer_drops_every_data_packet(self):
+        from repro.net.packet import HEADER_BYTES
+        sim = Simulator()
+        net = build_path(sim, 1e6, 0.05, HEADER_BYTES + 1)
+        big = Packet(flow_id=1, src="server0", dst="client0",
+                     kind=PacketKind.DATA, payload=1448)
+        assert not net.bottleneck_queue.push(big)
+        assert net.bottleneck_queue.drops == 1
+
+    def test_zero_capacity_rejected(self):
+        from repro.net.queue import DropTailQueue
+        with pytest.raises(ValueError):
+            DropTailQueue(0)

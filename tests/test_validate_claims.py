@@ -20,6 +20,7 @@ HARNESS_MODULES = (
     "fig14_loss",
     "fig15_fairness",
     "table1_stability",
+    "topo_suite",
 )
 
 
